@@ -1,0 +1,172 @@
+// Package clickpass is a click-based graphical password library
+// implementing Centered Discretization (Chiasson, Srinivasan, Biddle,
+// van Oorschot — USENIX UPSEC 2008) together with the Robust
+// Discretization baseline it improves upon.
+//
+// A password is an ordered sequence of clicks on an image. The library
+// discretizes each click so that approximately-correct re-entries hash
+// to the same verifier as the original, stores only salted iterated
+// hashes plus the per-point grid identifiers, and guarantees — under
+// Centered Discretization — that the acceptance region is a square of
+// the configured tolerance exactly centered on each original click:
+// no false accepts, no false rejects.
+//
+// Quick start:
+//
+//	auth, err := clickpass.New(clickpass.Options{
+//		ImageW: 451, ImageH: 331,
+//		Clicks: 5, SquareSide: 13, // tolerance ±6 pixels
+//	})
+//	rec, err := auth.Enroll("alice", clicks)
+//	ok, err := auth.Verify(rec, loginClicks)
+//
+// See examples/ for runnable programs and cmd/pwstudy for the
+// reproduction of the paper's evaluation.
+package clickpass
+
+import (
+	"fmt"
+
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/passpoints"
+	"clickpass/internal/space"
+)
+
+// Point is one click at pixel granularity, origin top-left.
+type Point struct {
+	X, Y int
+}
+
+// Kind selects a discretization scheme.
+type Kind string
+
+// Available schemes.
+const (
+	// Centered is the paper's contribution: per-point offset grids,
+	// squares of SquareSide pixels exactly centered on each original
+	// click. The default.
+	Centered Kind = "centered"
+	// Robust is Birget et al.'s three-offset-grid baseline, provided
+	// for comparison; its tolerance region is usually off-center
+	// (accepting up to 5r away while rejecting as near as r+1).
+	Robust Kind = "robust"
+)
+
+// Options configures an Authenticator.
+type Options struct {
+	// ImageW, ImageH are the background image dimensions in pixels.
+	ImageW, ImageH int
+	// Clicks is the number of click-points per password (default 5).
+	Clicks int
+	// SquareSide is the grid-square side in pixels (default 13, i.e.
+	// a ±6 pixel centered tolerance). Under Robust the guaranteed
+	// tolerance is SquareSide/6 instead.
+	SquareSide int
+	// Scheme selects the discretization scheme (default Centered).
+	Scheme Kind
+	// HashIterations is the iterated-hash count (default 1000,
+	// adding ~10 bits of offline attack cost).
+	HashIterations int
+}
+
+// Authenticator enrolls and verifies graphical passwords. It is safe
+// for concurrent use.
+type Authenticator struct {
+	cfg passpoints.Config
+}
+
+// Record is a stored password verifier: clear grid identifiers, salt,
+// iteration count, and digest. Serialize with Marshal; restore with
+// UnmarshalRecord.
+type Record = passpoints.Record
+
+// UnmarshalRecord decodes a Record produced by Record.Marshal.
+func UnmarshalRecord(data []byte) (*Record, error) {
+	return passpoints.UnmarshalRecord(data)
+}
+
+// New validates options and builds an Authenticator.
+func New(opts Options) (*Authenticator, error) {
+	if opts.Clicks == 0 {
+		opts.Clicks = passpoints.DefaultClicks
+	}
+	if opts.SquareSide == 0 {
+		opts.SquareSide = 13
+	}
+	if opts.Scheme == "" {
+		opts.Scheme = Centered
+	}
+	var (
+		scheme core.Scheme
+		err    error
+	)
+	switch opts.Scheme {
+	case Centered:
+		scheme, err = core.NewCentered(opts.SquareSide)
+	case Robust:
+		scheme, err = core.NewRobust2D(opts.SquareSide, core.MostCentered, 0)
+	default:
+		return nil, fmt.Errorf("clickpass: unknown scheme %q", opts.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cfg := passpoints.Config{
+		Image:      geom.Size{W: opts.ImageW, H: opts.ImageH},
+		Clicks:     opts.Clicks,
+		Scheme:     scheme,
+		Iterations: opts.HashIterations,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Authenticator{cfg: cfg}, nil
+}
+
+// Enroll creates the stored record for a new password.
+func (a *Authenticator) Enroll(user string, clicks []Point) (*Record, error) {
+	return passpoints.Enroll(a.cfg, user, toGeom(clicks))
+}
+
+// Verify checks a login attempt against a record. A false return with
+// nil error is a failed login; errors indicate malformed input.
+func (a *Authenticator) Verify(rec *Record, clicks []Point) (bool, error) {
+	return passpoints.Verify(a.cfg, rec, toGeom(clicks))
+}
+
+// GuaranteedTolerancePx returns the minimum tolerance in pixels
+// guaranteed around every original click-point (6 for a Centered 13x13
+// configuration; SquareSide/6 for Robust).
+func (a *Authenticator) GuaranteedTolerancePx() float64 {
+	return a.cfg.Scheme.GuaranteedR().Float()
+}
+
+// MaxAcceptedPx returns the largest displacement in pixels that can
+// ever be accepted: equal to the guaranteed tolerance for Centered,
+// 5x the guaranteed tolerance for Robust (the paper's rmax).
+func (a *Authenticator) MaxAcceptedPx() float64 {
+	return a.cfg.Scheme.MaxAccepted().Float()
+}
+
+// PasswordSpaceBits returns the theoretical full password space of
+// this configuration in bits (paper Table 3).
+func (a *Authenticator) PasswordSpaceBits() (float64, error) {
+	side := int(a.cfg.Scheme.SquareSide().Pixels())
+	return space.PasswordSpaceBits(a.cfg.Image, side, a.cfg.Clicks)
+}
+
+// GridIdentifierBits returns how many bits of information the stored
+// clear-text grid identifiers reveal per click (paper §5.2): log2(3)
+// for Robust, log2(SquareSide^2) for Centered.
+func (a *Authenticator) GridIdentifierBits() float64 {
+	return a.cfg.Scheme.ClearBits()
+}
+
+func toGeom(clicks []Point) []geom.Point {
+	pts := make([]geom.Point, len(clicks))
+	for i, c := range clicks {
+		pts[i] = geom.Pt(c.X, c.Y)
+	}
+	return pts
+}

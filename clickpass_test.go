@@ -1,0 +1,150 @@
+package clickpass
+
+import (
+	"math"
+	"testing"
+)
+
+func testClicks(dx int) []Point {
+	return []Point{
+		{30 + dx, 40}, {120 + dx, 300}, {222 + dx, 51}, {400 + dx, 200}, {77 + dx, 160},
+	}
+}
+
+func newAuth(t *testing.T, opts Options) *Authenticator {
+	t.Helper()
+	if opts.HashIterations == 0 {
+		opts.HashIterations = 2
+	}
+	a, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	a := newAuth(t, Options{ImageW: 451, ImageH: 331})
+	if a.GuaranteedTolerancePx() != 6 {
+		t.Errorf("default tolerance = %v, want 6 (13x13)", a.GuaranteedTolerancePx())
+	}
+	if a.MaxAcceptedPx() != 6 {
+		t.Errorf("centered max accepted = %v, want 6", a.MaxAcceptedPx())
+	}
+}
+
+func TestEnrollVerify(t *testing.T) {
+	a := newAuth(t, Options{ImageW: 451, ImageH: 331})
+	rec, err := a.Enroll("alice", testClicks(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.Verify(rec, testClicks(6))
+	if err != nil || !ok {
+		t.Errorf("6px login: %v, %v", ok, err)
+	}
+	ok, err = a.Verify(rec, testClicks(7))
+	if err != nil || ok {
+		t.Errorf("7px login accepted: %v, %v", ok, err)
+	}
+}
+
+func TestRobustOption(t *testing.T) {
+	a := newAuth(t, Options{ImageW: 451, ImageH: 331, Scheme: Robust, SquareSide: 36})
+	if a.GuaranteedTolerancePx() != 6 {
+		t.Errorf("robust 36x36 tolerance = %v, want 6", a.GuaranteedTolerancePx())
+	}
+	if a.MaxAcceptedPx() != 30 {
+		t.Errorf("robust rmax = %v, want 30", a.MaxAcceptedPx())
+	}
+	rec, err := a.Enroll("bob", testClicks(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.Verify(rec, testClicks(6))
+	if err != nil || !ok {
+		t.Errorf("within-r login rejected: %v, %v", ok, err)
+	}
+}
+
+func TestRecordSerializationPublicAPI(t *testing.T) {
+	a := newAuth(t, Options{ImageW: 451, ImageH: 331})
+	rec, err := a.Enroll("carol", testClicks(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.Verify(back, testClicks(0))
+	if err != nil || !ok {
+		t.Error("restored record failed verification")
+	}
+}
+
+func TestPasswordSpaceBits(t *testing.T) {
+	a := newAuth(t, Options{ImageW: 640, ImageH: 480, SquareSide: 13})
+	bits, err := a.PasswordSpaceBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bits-54.3) > 0.05 {
+		t.Errorf("space = %.2f bits, want 54.3 (paper Table 3)", bits)
+	}
+}
+
+func TestGridIdentifierBits(t *testing.T) {
+	c := newAuth(t, Options{ImageW: 451, ImageH: 331, SquareSide: 16})
+	if got := c.GridIdentifierBits(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("centered 16x16 id bits = %v, want 8", got)
+	}
+	r := newAuth(t, Options{ImageW: 451, ImageH: 331, Scheme: Robust, SquareSide: 36})
+	if got := r.GridIdentifierBits(); math.Abs(got-math.Log2(3)) > 1e-9 {
+		t.Errorf("robust id bits = %v, want log2(3)", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := map[string]Options{
+		"empty image": {},
+		"bad scheme":  {ImageW: 10, ImageH: 10, Scheme: "weird"},
+		"neg square":  {ImageW: 10, ImageH: 10, SquareSide: -1},
+		"neg iter":    {ImageW: 10, ImageH: 10, HashIterations: -1},
+		"neg clicks":  {ImageW: 10, ImageH: 10, Clicks: -2},
+		"zero width":  {ImageH: 10},
+		"zero height": {ImageW: 10},
+	}
+	for name, opts := range cases {
+		if _, err := New(opts); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestVerifyMalformedInput(t *testing.T) {
+	a := newAuth(t, Options{ImageW: 451, ImageH: 331})
+	rec, err := a.Enroll("dave", testClicks(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(nil, testClicks(0)); err == nil {
+		t.Error("nil record accepted")
+	}
+	out := testClicks(0)
+	out[0].X = 9999
+	if _, err := a.Verify(rec, out); err == nil {
+		t.Error("out-of-image click accepted as non-error")
+	}
+}
+
+func TestEnrollOutsideImage(t *testing.T) {
+	a := newAuth(t, Options{ImageW: 100, ImageH: 100})
+	if _, err := a.Enroll("erin", testClicks(0)); err == nil {
+		t.Error("clicks outside a 100x100 image accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Command pwserver serves a PassPoints vault over TCP (length-prefixed
+// JSON frames) and HTTP:
+//
+//	pwserver -vault v.json -tcp :7700 -http :7780 -side 13 -lockout 10
+//
+// The lockout bounds online dictionary attacks (§5.1): after N failed
+// logins an account refuses further attempts until an administrative
+// reset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"clickpass/internal/authproto"
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/passpoints"
+	"clickpass/internal/vault"
+)
+
+func main() {
+	var (
+		vaultPath = flag.String("vault", "vault.json", "vault file path")
+		tcpAddr   = flag.String("tcp", ":7700", "TCP listen address (empty to disable)")
+		httpAddr  = flag.String("http", "", "HTTP listen address (empty to disable)")
+		imageW    = flag.Int("image-w", 451, "image width (pixels)")
+		imageH    = flag.Int("image-h", 331, "image height (pixels)")
+		side      = flag.Int("side", 13, "grid-square side (pixels)")
+		schemeArg = flag.String("scheme", "centered", "discretization scheme: centered or robust")
+		iter      = flag.Int("iterations", 1000, "hash iterations")
+		lockout   = flag.Int("lockout", authproto.DefaultLockout, "failed attempts before lockout")
+		useTLS    = flag.Bool("tls", false, "wrap the TCP listener in TLS with an ephemeral self-signed certificate")
+	)
+	flag.Parse()
+
+	var (
+		scheme core.Scheme
+		err    error
+	)
+	switch *schemeArg {
+	case "centered":
+		scheme, err = core.NewCentered(*side)
+	case "robust":
+		scheme, err = core.NewRobust2D(*side, core.MostCentered, 0)
+	default:
+		err = fmt.Errorf("unknown scheme %q", *schemeArg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	v, err := vault.Open(*vaultPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := passpoints.Config{
+		Image:      geom.Size{W: *imageW, H: *imageH},
+		Clicks:     passpoints.DefaultClicks,
+		Scheme:     scheme,
+		Iterations: *iter,
+	}
+	srv, err := authproto.NewServer(cfg, v, *lockout)
+	if err != nil {
+		fatal(err)
+	}
+	if *tcpAddr == "" && *httpAddr == "" {
+		fatal(fmt.Errorf("nothing to serve: both -tcp and -http are empty"))
+	}
+	errc := make(chan error, 2)
+	if *tcpAddr != "" {
+		l, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		if *useTLS {
+			cert, err := authproto.SelfSignedCert([]string{"127.0.0.1", "localhost"}, 365*24*time.Hour)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("pwserver: TLS on %s (%s %dx%d, lockout %d; self-signed cert %x...)\n",
+				l.Addr(), scheme.Name(), *side, *side, *lockout, cert.Certificate[0][:8])
+			go func() { errc <- srv.ServeTLS(l, cert) }()
+		} else {
+			fmt.Printf("pwserver: TCP on %s (%s %dx%d, lockout %d)\n",
+				l.Addr(), scheme.Name(), *side, *side, *lockout)
+			go func() { errc <- srv.Serve(l) }()
+		}
+	}
+	if *httpAddr != "" {
+		fmt.Printf("pwserver: HTTP on %s\n", *httpAddr)
+		go func() { errc <- http.ListenAndServe(*httpAddr, srv.HTTPHandler()) }()
+	}
+	fatal(<-errc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pwserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package clickpass_test
+
+import (
+	"fmt"
+	"log"
+
+	"clickpass"
+)
+
+// Enrolling and verifying a 5-click graphical password with Centered
+// Discretization: re-entries within 6 pixels of every original click
+// are accepted, anything farther is rejected — exactly.
+func Example() {
+	auth, err := clickpass.New(clickpass.Options{
+		ImageW: 451, ImageH: 331,
+		Clicks:         5,
+		SquareSide:     13, // ±6 px centered tolerance
+		HashIterations: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	password := []clickpass.Point{
+		{X: 52, Y: 70}, {X: 246, Y: 74}, {X: 74, Y: 168}, {X: 330, Y: 268}, {X: 180, Y: 90},
+	}
+	rec, err := auth.Enroll("alice", password)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	near := make([]clickpass.Point, len(password))
+	far := make([]clickpass.Point, len(password))
+	for i, p := range password {
+		near[i] = clickpass.Point{X: p.X + 6, Y: p.Y - 6}
+		far[i] = clickpass.Point{X: p.X + 7, Y: p.Y}
+	}
+	okNear, _ := auth.Verify(rec, near)
+	okFar, _ := auth.Verify(rec, far)
+	fmt.Println("6px off:", okNear)
+	fmt.Println("7px off:", okFar)
+	// Output:
+	// 6px off: true
+	// 7px off: false
+}
+
+// Comparing the two schemes at equal guaranteed tolerance: Centered
+// needs a 13x13 square where Robust needs 36x36, which costs Robust
+// ~14 bits of password space on the paper's study image.
+func ExampleAuthenticator_PasswordSpaceBits() {
+	centered, err := clickpass.New(clickpass.Options{
+		ImageW: 451, ImageH: 331, SquareSide: 13, Scheme: clickpass.Centered,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	robust, err := clickpass.New(clickpass.Options{
+		ImageW: 451, ImageH: 331, SquareSide: 36, Scheme: clickpass.Robust,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cb, _ := centered.PasswordSpaceBits()
+	rb, _ := robust.PasswordSpaceBits()
+	fmt.Printf("centered 13x13: %.1f bits\n", cb)
+	fmt.Printf("robust 36x36:   %.1f bits\n", rb)
+	fmt.Printf("same tolerance: ±%.0fpx vs ±%.0fpx guaranteed\n",
+		centered.GuaranteedTolerancePx(), robust.GuaranteedTolerancePx())
+	// Output:
+	// centered 13x13: 49.1 bits
+	// robust 36x36:   35.1 bits
+	// same tolerance: ±6px vs ±6px guaranteed
+}

@@ -1,0 +1,82 @@
+// Attack walk-through: steal a password file and mount the paper's
+// human-seeded offline dictionary attack against both discretization
+// schemes at equal guaranteed tolerance — the experiment behind the
+// paper's headline security number (Figure 8: with r = 9, up to 79% of
+// passwords fall to one dictionary under Robust Discretization versus
+// 26% under Centered).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clickpass/internal/attack"
+	"clickpass/internal/core"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/report"
+	"clickpass/internal/study"
+	"os"
+)
+
+func main() {
+	const seed = 7
+	fmt.Println("1. a deployment collects graphical passwords (simulated field study)")
+	fmt.Println("2. researchers collect 30 lab passwords per image -> permutation dictionary")
+	fmt.Println("3. the server's password file leaks: hashes + clear grid identifiers")
+	fmt.Println("4. the dictionary is run against every account, per scheme and tolerance")
+	fmt.Println()
+
+	for _, img := range imagegen.Gallery() {
+		field, err := study.Run(study.FieldConfig(img, seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lab, err := study.Run(study.LabConfig(img, seed+100))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dict, err := attack.BuildDictionary(lab, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := report.NewTable(
+			fmt.Sprintf("image %q: %d accounts, %.0f-bit dictionary", img.Name, len(field.Passwords), dict.Bits()),
+			"guaranteed r", "Centered grid", "cracked", "Robust grid", "cracked", "Robust advantage for attacker")
+		for _, r := range attack.Figure8Rs {
+			centered, err := core.NewCentered(2*r + 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			robust, err := core.NewRobust2D(6*r, core.MostCentered, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cRes, err := attack.OfflineKnownGrids(field, dict, centered)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rRes, err := attack.OfflineKnownGrids(field, dict, robust)
+			if err != nil {
+				log.Fatal(err)
+			}
+			advantage := "n/a"
+			if cRes.Cracked > 0 {
+				advantage = fmt.Sprintf("%.1fx", float64(rRes.Cracked)/float64(cRes.Cracked))
+			}
+			tb.AddRowf(
+				fmt.Sprintf("±%dpx", r),
+				fmt.Sprintf("%dx%d", 2*r+1, 2*r+1),
+				fmt.Sprintf("%d (%.1f%%)", cRes.Cracked, cRes.CrackedPct()),
+				fmt.Sprintf("%dx%d", 6*r, 6*r),
+				fmt.Sprintf("%d (%.1f%%)", rRes.Cracked, rRes.CrackedPct()),
+				advantage,
+			)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("equal usability (same guaranteed tolerance) costs Robust Discretization dearly:")
+	fmt.Println("its 6r squares hand the attacker a far coarser target than Centered's 2r+1 squares.")
+}

@@ -1,0 +1,106 @@
+// Cued Click-Points walk-through: the successor scheme the paper cites
+// (§2) built on the same discretization core. A password is one click
+// per image; each click's grid square selects the next image, so a
+// wrong click sends the user down an unfamiliar image path (implicit
+// feedback) while telling an attacker nothing explicit. The demo also
+// shows Persuasive CCP creation (random viewport) starving hotspot
+// dictionaries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clickpass/internal/ccp"
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/hotspot"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/rng"
+)
+
+func main() {
+	scheme, err := core.NewCentered(19) // ±9px tolerance
+	if err != nil {
+		log.Fatal(err)
+	}
+	// An image pool: the two study proxies plus shifted variants.
+	images := []*imagegen.Image{imagegen.Cars(), imagegen.Pool()}
+	for i := 0; i < 4; i++ {
+		v := imagegen.Cars()
+		v.Name = fmt.Sprintf("cars-v%d", i+1)
+		for j := range v.Hotspots {
+			v.Hotspots[j].X = float64((int(v.Hotspots[j].X) + 55*(i+1)) % 440)
+		}
+		images = append(images, v)
+	}
+	sys := &ccp.System{Images: images, Scheme: scheme, Clicks: 5, Iterations: 1000}
+
+	var clicked []geom.Point
+	rec, err := sys.Enroll("alice", ccp.RecordingClicker(ccp.HotspotClicker(rng.New(1)), &clicked))
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, err := sys.Path("alice", ccp.ReplayClicker(clicked, 0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("enrolled alice; image path: ")
+	for i, idx := range path {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		fmt.Print(images[idx].Name)
+	}
+	fmt.Println()
+
+	check := func(label string, dx int) {
+		ok, err := sys.Verify(rec, ccp.ReplayClicker(clicked, dx, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s -> %s\n", label,
+			map[bool]string{true: "ACCEPTED", false: "rejected"}[ok])
+	}
+	check("exact re-entry", 0)
+	check("every click 9px off", 9)
+	check("every click 10px off", 10)
+
+	// A wrong first click derails the whole path.
+	bad := append([]geom.Point(nil), clicked...)
+	bad[0] = geom.Pt(10, 10)
+	ok, err := sys.Verify(rec, ccp.ReplayClicker(bad, 0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-24s -> %s (path diverges at step 1)\n", "wrong first click",
+		map[bool]string{true: "ACCEPTED", false: "rejected"}[ok])
+
+	// Persuasive CCP: measure how much of the click mass an automated
+	// top-30 hotspot dictionary covers under each creation mode.
+	img := imagegen.Pool()
+	dm, err := hotspot.FromSaliency(img, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidates := dm.TopK(30, 10)
+	coverage := func(click ccp.Clicker) float64 {
+		covered := 0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			p := click(img, 0)
+			for _, c := range candidates {
+				if core.Accepts(scheme, scheme.Enroll(c), p) {
+					covered++
+					break
+				}
+			}
+		}
+		return 100 * float64(covered) / float64(n)
+	}
+	fmt.Println("\npersuasive creation vs hotspot dictionaries (pool image, top-30 candidates):")
+	fmt.Printf("  plain CCP creation     -> %.1f%% of clicks covered\n",
+		coverage(ccp.HotspotClicker(rng.New(5))))
+	fmt.Printf("  PCCP 75px viewport     -> %.1f%% of clicks covered\n",
+		coverage(ccp.ViewportClicker(rng.New(5), 75)))
+}

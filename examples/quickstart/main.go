@@ -1,0 +1,108 @@
+// Quickstart: enroll a 5-click graphical password and verify logins
+// under Centered Discretization, then contrast with the Robust
+// Discretization baseline. Demonstrates the library's headline
+// property: Centered acceptance is exactly the ±r box around each
+// original click — no false accepts, no false rejects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clickpass"
+)
+
+func main() {
+	// A 451x331 image (the paper's study size), 5 clicks, 13x13
+	// squares: every login click may be up to 6 pixels off.
+	auth, err := clickpass.New(clickpass.Options{
+		ImageW: 451, ImageH: 331,
+		Clicks:     5,
+		SquareSide: 13,
+		Scheme:     clickpass.Centered,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	password := []clickpass.Point{
+		{X: 52, Y: 70}, {X: 246, Y: 74}, {X: 74, Y: 168}, {X: 330, Y: 268}, {X: 180, Y: 90},
+	}
+	rec, err := auth.Enroll("alice", password)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled alice: tolerance ±%.0fpx, grid identifiers reveal %.1f bits/click\n",
+		auth.GuaranteedTolerancePx(), auth.GridIdentifierBits())
+	bits, err := auth.PasswordSpaceBits()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("theoretical password space: %.1f bits\n\n", bits)
+
+	// The record is what the server stores; it round-trips as JSON.
+	blob, err := rec.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stored, err := clickpass.UnmarshalRecord(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	attempt := func(label string, dx, dy int) {
+		clicks := make([]clickpass.Point, len(password))
+		for i, p := range password {
+			clicks[i] = clickpass.Point{X: p.X + dx, Y: p.Y + dy}
+		}
+		ok, err := auth.Verify(stored, clicks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s -> %v\n", label, verdict(ok))
+	}
+	fmt.Println("centered discretization, 13x13 squares:")
+	attempt("exact re-entry", 0, 0)
+	attempt("each click 6px off", 6, -6)
+	attempt("each click 7px off", 7, 0)
+
+	// The same password under Robust Discretization with the same
+	// guaranteed tolerance needs 36x36 squares — and may accept clicks
+	// far outside the centered box.
+	robust, err := clickpass.New(clickpass.Options{
+		ImageW: 451, ImageH: 331,
+		Clicks:     5,
+		SquareSide: 36,
+		Scheme:     clickpass.Robust,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rrec, err := robust.Enroll("alice", password)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrobust discretization, 36x36 squares (same guaranteed ±%.0fpx):\n",
+		robust.GuaranteedTolerancePx())
+	fmt.Printf("  worst-case accepted displacement rmax = %.0fpx\n", robust.MaxAcceptedPx())
+	for _, d := range []int{6, 12, 20} {
+		clicks := make([]clickpass.Point, len(password))
+		for i, p := range password {
+			clicks[i] = clickpass.Point{X: p.X + d, Y: p.Y}
+		}
+		ok, err := robust.Verify(rrec, clicks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  every click %2dpx right       -> %v\n", d, verdict(ok))
+	}
+	fmt.Println("\n(12px and 20px outcomes depend on where each click fell in its Robust square —")
+	fmt.Println(" precisely the unpredictability Centered Discretization eliminates.)")
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "ACCEPTED"
+	}
+	return "rejected"
+}

@@ -1,0 +1,78 @@
+// Threed: the paper's §3.2 extension — Centered Discretization in
+// three dimensions. 3-D graphical password schemes of the time limited
+// users to predefined clickable objects; per-axis centered
+// discretization lets a user pick ANY point in a 3-D scene and still
+// log in with approximately-correct re-entries, enlarging the password
+// space enormously.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"clickpass/internal/core"
+	"clickpass/internal/fixed"
+)
+
+func main() {
+	// A 512x512x256-unit scene; tolerance ±4.5 units per axis.
+	const toleranceHalfUnits = 9 // 4.5 units in half-unit steps
+	scheme := core.CenteredND{R: fixed.FromHalfPixels(toleranceHalfUnits), Dims: 3}
+	if err := scheme.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The "password": three selected points in the scene (a corner of
+	// a desk, a lamp, a doorknob). One coordinate triple per point.
+	password := [][]fixed.Sub{
+		{fixed.FromPixels(120), fixed.FromPixels(305), fixed.FromPixels(64)},
+		{fixed.FromPixels(402), fixed.FromPixels(77), fixed.FromPixels(130)},
+		{fixed.FromPixels(256), fixed.FromPixels(256), fixed.FromPixels(32)},
+	}
+
+	type enrolled struct {
+		idx []int64
+		off []fixed.Sub
+	}
+	var stored []enrolled
+	for _, p := range password {
+		idx, off := scheme.Discretize(p)
+		stored = append(stored, enrolled{idx: idx, off: off})
+	}
+	fmt.Println("enrolled a 3-point password in a 3-D scene (tolerance ±4.5 units per axis)")
+
+	verify := func(label string, jitter []int) {
+		okAll := true
+		for i, p := range password {
+			cand := make([]fixed.Sub, len(p))
+			for k := range p {
+				cand[k] = p[k] + fixed.FromPixels(jitter[k])
+			}
+			if !scheme.Accepts(stored[i].idx, stored[i].off, cand) {
+				okAll = false
+			}
+		}
+		fmt.Printf("  %-30s -> %s\n", label, map[bool]string{true: "ACCEPTED", false: "rejected"}[okAll])
+	}
+	verify("exact re-entry", []int{0, 0, 0})
+	verify("4 units off on every axis", []int{4, -4, 4})
+	verify("5 units off on one axis", []int{0, 5, 0})
+
+	// Password space: (scene cells)^points, cells of (2r)^3.
+	cells := math.Floor(512.0/9) * math.Floor(512.0/9) * math.Floor(256.0/9)
+	bits := 3 * math.Log2(cells)
+	fmt.Printf("\n3 points over ~%.0f cells of 9x9x9 units: ~%.0f-bit theoretical space\n", cells, bits)
+	fmt.Println("(clicking predefined objects instead — say 50 of them — gives only",
+		fmt.Sprintf("%.1f bits)", 3*math.Log2(50)))
+
+	// Robust Discretization generalizes too, but needs n+1 = 4 grids
+	// and hypercubes of side 8r — the usability/space trade-off gets
+	// worse with dimension.
+	robust, err := core.NewRobust(fixed.FromHalfPixels(toleranceHalfUnits), 3, core.MostCentered, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRobust in 3-D would need %d offset grids with cubes of side %s units (vs %s for Centered)\n",
+		robust.GridCount(), robust.Side(), fixed.FromHalfPixels(2*toleranceHalfUnits))
+}

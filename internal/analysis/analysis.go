@@ -1,0 +1,297 @@
+// Package analysis replays study datasets under both discretization
+// schemes and measures the false accepts and false rejects the paper
+// defines (§2.2.1, §4.1):
+//
+//   - false reject: a login that falls within the centered-tolerance
+//     square of every original click-point yet is rejected by Robust
+//     Discretization, because some click left the Robust grid square.
+//   - false accept: a login accepted by Robust Discretization although
+//     some click lies outside the centered-tolerance square.
+//
+// Centered Discretization has zero of both by construction, which the
+// engine verifies as a cross-check on every run.
+package analysis
+
+import (
+	"fmt"
+
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/stats"
+)
+
+// Row is one line of Table 1 or Table 2.
+type Row struct {
+	// RobustSide and CenteredSide are the square sides (pixels) used
+	// for each scheme in this comparison.
+	RobustSide   int
+	CenteredSide int
+	// RobustRPx and CenteredRPx are the guaranteed tolerances in
+	// pixels (Robust: side/6; Centered: (side-1)/2).
+	RobustRPx   float64
+	CenteredRPx float64
+	// Logins is the number of login attempts replayed.
+	Logins int
+	// FalseAccepts / FalseRejects count login attempts (not clicks).
+	FalseAccepts int
+	FalseRejects int
+	// ClickFalseAccepts / ClickFalseRejects count individual clicks.
+	ClickFalseAccepts int
+	ClickFalseRejects int
+	Clicks            int
+}
+
+// FalseAcceptPct returns the login-level false-accept rate in percent.
+func (r Row) FalseAcceptPct() float64 { return pct(r.FalseAccepts, r.Logins) }
+
+// FalseRejectPct returns the login-level false-reject rate in percent.
+func (r Row) FalseRejectPct() float64 { return pct(r.FalseRejects, r.Logins) }
+
+// ClickFalseAcceptPct returns the per-click false-accept rate in percent.
+func (r Row) ClickFalseAcceptPct() float64 { return pct(r.ClickFalseAccepts, r.Clicks) }
+
+// ClickFalseRejectPct returns the per-click false-reject rate in percent.
+func (r Row) ClickFalseRejectPct() float64 { return pct(r.ClickFalseRejects, r.Clicks) }
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// Compare replays every login in the datasets against Robust squares
+// of robustSide and centered tolerance squares of centeredSide.
+func Compare(dsets []*dataset.Dataset, robustSide, centeredSide int, policy core.RobustPolicy, seed uint64) (Row, error) {
+	if len(dsets) == 0 {
+		return Row{}, fmt.Errorf("analysis: no datasets")
+	}
+	robust, err := core.NewRobust2D(robustSide, policy, seed)
+	if err != nil {
+		return Row{}, err
+	}
+	centered, err := core.NewCentered(centeredSide)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{
+		RobustSide:   robustSide,
+		CenteredSide: centeredSide,
+		RobustRPx:    float64(robustSide) / 6,
+		CenteredRPx:  float64(centeredSide-1) / 2,
+	}
+	for _, d := range dsets {
+		if err := replay(d, robust, centered, &row); err != nil {
+			return Row{}, err
+		}
+	}
+	return row, nil
+}
+
+func replay(d *dataset.Dataset, robust, centered core.Scheme, row *Row) error {
+	type enrolled struct {
+		robust   []core.Token
+		centered []core.Token
+	}
+	byID := make(map[int]enrolled, len(d.Passwords))
+	for i := range d.Passwords {
+		p := &d.Passwords[i]
+		pts := p.Points()
+		e := enrolled{
+			robust:   make([]core.Token, len(pts)),
+			centered: make([]core.Token, len(pts)),
+		}
+		for j, pt := range pts {
+			e.robust[j] = robust.Enroll(pt)
+			e.centered[j] = centered.Enroll(pt)
+		}
+		byID[p.ID] = e
+	}
+	for i := range d.Logins {
+		l := &d.Logins[i]
+		e, ok := byID[l.PasswordID]
+		if !ok {
+			return fmt.Errorf("analysis: login references unknown password %d", l.PasswordID)
+		}
+		pts := l.Points()
+		loginRobustOK, loginCenteredOK := true, true
+		orig := d.PasswordByID(l.PasswordID)
+		for j, pt := range pts {
+			rOK := core.Accepts(robust, e.robust[j], pt)
+			cOK := core.Accepts(centered, e.centered[j], pt)
+			// Cross-check the paper's definitional claim: centered
+			// acceptance must coincide with centered-tolerance
+			// membership around the original click.
+			origPt := orig.Clicks[j].Point()
+			if cOK != (origPt.Chebyshev(pt) <= centered.MaxAccepted()) {
+				return fmt.Errorf("analysis: centered scheme deviated from centered tolerance at password %d click %d", l.PasswordID, j)
+			}
+			if rOK && !cOK {
+				row.ClickFalseAccepts++
+			}
+			if cOK && !rOK {
+				row.ClickFalseRejects++
+			}
+			loginRobustOK = loginRobustOK && rOK
+			loginCenteredOK = loginCenteredOK && cOK
+			row.Clicks++
+		}
+		if loginRobustOK && !loginCenteredOK {
+			row.FalseAccepts++
+		}
+		if loginCenteredOK && !loginRobustOK {
+			row.FalseRejects++
+		}
+		row.Logins++
+	}
+	return nil
+}
+
+// Table1Sizes are the equal-square-size comparisons of Table 1.
+var Table1Sizes = []int{9, 13, 19}
+
+// Table1 keeps the grid-square size equal for both schemes (Figure 5):
+// Robust trades its whole square for a smaller guaranteed r, producing
+// both false accepts and false rejects.
+func Table1(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64) ([]Row, error) {
+	rows := make([]Row, 0, len(Table1Sizes))
+	for _, s := range Table1Sizes {
+		row, err := Compare(dsets, s, s, policy, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2Rs are the equal-r comparisons of Table 2 (pixels).
+var Table2Rs = []int{4, 6, 9}
+
+// Table2 keeps the guaranteed tolerance r equal (Figure 6): Robust
+// squares grow to 6r so false rejects vanish but false accepts remain.
+func Table2(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64) ([]Row, error) {
+	rows := make([]Row, 0, len(Table2Rs))
+	for _, r := range Table2Rs {
+		row, err := Compare(dsets, 6*r, 2*r+1, policy, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WorstCase demonstrates Figure 1's geometry for a given Robust square
+// side: it scans origins until it finds a click-point whose enrolled
+// Robust square leaves it exactly r from one edge, and reports the
+// asymmetric accepted displacements.
+type WorstCase struct {
+	Origin        geom.Point
+	Region        geom.Rect
+	LeftSlackPx   float64 // accepted displacement toward the near edge
+	RightSlackPx  float64 // accepted displacement toward the far edge
+	GuaranteedRPx float64
+	RMaxPx        float64
+}
+
+// FindWorstCase locates a maximally off-center Robust enrollment.
+func FindWorstCase(side int, policy core.RobustPolicy, seed uint64) (WorstCase, error) {
+	robust, err := core.NewRobust2D(side, policy, seed)
+	if err != nil {
+		return WorstCase{}, err
+	}
+	var worst WorstCase
+	worstAsym := -1.0
+	for x := 0; x < 3*side; x++ {
+		for y := 0; y < 3*side; y++ {
+			p := geom.Pt(x, y)
+			tok := robust.Enroll(p)
+			region := robust.Region(tok)
+			left := (p.X - region.MinX).Float()
+			right := (region.MaxX - p.X).Float()
+			asym := right - left
+			if left > right {
+				asym = left - right
+			}
+			if asym > worstAsym {
+				worstAsym = asym
+				worst = WorstCase{
+					Origin:        p,
+					Region:        region,
+					LeftSlackPx:   left,
+					RightSlackPx:  right,
+					GuaranteedRPx: robust.GuaranteedR().Float(),
+					RMaxPx:        robust.MaxAccepted().Float(),
+				}
+			}
+		}
+	}
+	return worst, nil
+}
+
+// SuccessRate is the overall login acceptance of one scheme over a
+// dataset — the usability number a deployment cares about. The paper's
+// argument in one metric: at equal square sizes Robust loses real
+// logins to false rejects; to recover them it must inflate its squares
+// (equal r), paying in password space instead.
+type SuccessRate struct {
+	Scheme   string
+	SidePx   int
+	Logins   int
+	Accepted int
+}
+
+// AcceptedPct returns the acceptance rate in percent.
+func (s SuccessRate) AcceptedPct() float64 { return pct(s.Accepted, s.Logins) }
+
+// Success replays every login under the scheme and counts acceptances.
+func Success(dsets []*dataset.Dataset, scheme core.Scheme) (SuccessRate, error) {
+	if len(dsets) == 0 {
+		return SuccessRate{}, fmt.Errorf("analysis: no datasets")
+	}
+	out := SuccessRate{Scheme: scheme.Name(), SidePx: scheme.SquareSide().Pixels()}
+	for _, d := range dsets {
+		byID := make(map[int][]core.Token, len(d.Passwords))
+		for i := range d.Passwords {
+			p := &d.Passwords[i]
+			tokens := make([]core.Token, len(p.Clicks))
+			for j, c := range p.Clicks {
+				tokens[j] = scheme.Enroll(c.Point())
+			}
+			byID[p.ID] = tokens
+		}
+		for i := range d.Logins {
+			l := &d.Logins[i]
+			tokens, ok := byID[l.PasswordID]
+			if !ok {
+				return SuccessRate{}, fmt.Errorf("analysis: login references unknown password %d", l.PasswordID)
+			}
+			accepted := true
+			for j, c := range l.Clicks {
+				if !core.Accepts(scheme, tokens[j], c.Point()) {
+					accepted = false
+					break
+				}
+			}
+			out.Logins++
+			if accepted {
+				out.Accepted++
+			}
+		}
+	}
+	return out, nil
+}
+
+// FalseAcceptCI returns the 95% Wilson interval of the false-accept
+// rate, in percent.
+func (r Row) FalseAcceptCI() (lo, hi float64) {
+	return stats.Proportion{K: r.FalseAccepts, N: r.Logins}.Wilson95Pct()
+}
+
+// FalseRejectCI returns the 95% Wilson interval of the false-reject
+// rate, in percent.
+func (r Row) FalseRejectCI() (lo, hi float64) {
+	return stats.Proportion{K: r.FalseRejects, N: r.Logins}.Wilson95Pct()
+}

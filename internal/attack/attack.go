@@ -1,0 +1,426 @@
+// Package attack implements the paper's §5.1 security experiments
+// against PassPoints password files: human-seeded dictionary attacks
+// (offline, with and without known grid identifiers) and lockout-
+// limited online guessing.
+//
+// The paper's dictionary contains every 5-click-point permutation of
+// the click-points harvested from 30 lab passwords per image — about
+// 2^36 entries. Enumerating 2^36 guesses is pointless when the success
+// criterion factors per click: a field password is cracked by the
+// dictionary if and only if the harvested points can be assigned, one
+// per click, to the password's accepting grid squares (distinct points
+// for distinct clicks, since a permutation cannot repeat a point).
+// That is a bipartite matching question, solved exactly here, so the
+// attack evaluation is exact yet costs microseconds per password.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/imagegen"
+)
+
+// Dictionary is the harvested click-point pool seeding the attack.
+type Dictionary struct {
+	// Points are all harvested click-points in harvest order.
+	Points []geom.Point
+	// SourcePasswords is how many lab passwords contributed.
+	SourcePasswords int
+	// ClicksPerGuess is the permutation length (the system's click
+	// count).
+	ClicksPerGuess int
+}
+
+// BuildDictionary harvests every click-point from the lab dataset.
+func BuildDictionary(lab *dataset.Dataset, clicksPerGuess int) (*Dictionary, error) {
+	if err := lab.Validate(); err != nil {
+		return nil, err
+	}
+	if clicksPerGuess <= 0 {
+		return nil, fmt.Errorf("attack: clicks per guess %d must be positive", clicksPerGuess)
+	}
+	d := &Dictionary{ClicksPerGuess: clicksPerGuess}
+	for i := range lab.Passwords {
+		d.SourcePasswords++
+		for _, c := range lab.Passwords[i].Clicks {
+			d.Points = append(d.Points, c.Point())
+		}
+	}
+	if len(d.Points) < clicksPerGuess {
+		return nil, fmt.Errorf("attack: only %d harvested points for %d-click guesses",
+			len(d.Points), clicksPerGuess)
+	}
+	return d, nil
+}
+
+// NewPointDictionary wraps an arbitrary candidate point pool — e.g.
+// the top-K points of an automated hotspot analysis (package hotspot)
+// — as an attack dictionary. This is the Dirik et al. style attack
+// that needs no harvested passwords, only the image.
+func NewPointDictionary(points []geom.Point, clicksPerGuess int) (*Dictionary, error) {
+	if clicksPerGuess <= 0 {
+		return nil, fmt.Errorf("attack: clicks per guess %d must be positive", clicksPerGuess)
+	}
+	if len(points) < clicksPerGuess {
+		return nil, fmt.Errorf("attack: only %d points for %d-click guesses", len(points), clicksPerGuess)
+	}
+	return &Dictionary{
+		Points:         append([]geom.Point(nil), points...),
+		ClicksPerGuess: clicksPerGuess,
+	}, nil
+}
+
+// Entries returns the number of permutation entries: P(n, k).
+func (d *Dictionary) Entries() float64 {
+	n := float64(len(d.Points))
+	e := 1.0
+	for i := 0; i < d.ClicksPerGuess; i++ {
+		e *= n - float64(i)
+	}
+	return e
+}
+
+// Bits returns log2(Entries) — the paper's "36-bit dictionary" for 150
+// points and 5 clicks.
+func (d *Dictionary) Bits() float64 { return math.Log2(d.Entries()) }
+
+// Result summarizes an offline attack run.
+type Result struct {
+	Image     string
+	Scheme    string
+	SidePx    int
+	Passwords int
+	Cracked   int
+	// DictionaryBits is the modeled attack cost per account in hash
+	// computations, log2.
+	DictionaryBits float64
+}
+
+// CrackedPct returns the percentage of passwords cracked.
+func (r Result) CrackedPct() float64 {
+	if r.Passwords == 0 {
+		return 0
+	}
+	return 100 * float64(r.Cracked) / float64(r.Passwords)
+}
+
+// OfflineKnownGrids runs the paper's first offline scenario: the
+// attacker holds the password file, so each guess is discretized under
+// the victim's stored grid identifiers before hashing. A password
+// counts as cracked if any dictionary permutation hashes equal — i.e.
+// if the harvested points admit a matching into the password's
+// accepting squares.
+func OfflineKnownGrids(field *dataset.Dataset, dict *Dictionary, scheme core.Scheme) (Result, error) {
+	if err := field.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Image:          field.Image,
+		Scheme:         scheme.Name(),
+		SidePx:         int(scheme.SquareSide().Pixels()),
+		DictionaryBits: dict.Bits(),
+	}
+	for i := range field.Passwords {
+		pw := &field.Passwords[i]
+		if len(pw.Clicks) != dict.ClicksPerGuess {
+			return Result{}, fmt.Errorf("attack: password %d has %d clicks, dictionary guesses %d",
+				pw.ID, len(pw.Clicks), dict.ClicksPerGuess)
+		}
+		res.Passwords++
+		if crackable(pw.Points(), dict.Points, scheme) {
+			res.Cracked++
+		}
+	}
+	return res, nil
+}
+
+// Witness returns a concrete dictionary entry (one pool point per
+// click, all distinct) that cracks the password, or ok=false if none
+// exists. It is the constructive counterpart of the matching test:
+// feeding the witness to the real PassPoints verifier must succeed,
+// which cmd/pwattack uses to validate the analytic attack end to end.
+func Witness(clicks []geom.Point, pool []geom.Point, scheme core.Scheme) (entry []geom.Point, ok bool) {
+	adj := make([][]int, len(clicks))
+	for i, c := range clicks {
+		rg := scheme.Region(scheme.Enroll(c))
+		for j, p := range pool {
+			if rg.Contains(p) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		if len(adj[i]) == 0 {
+			return nil, false
+		}
+	}
+	matchRight := make([]int, len(pool))
+	for i := range matchRight {
+		matchRight[i] = -1
+	}
+	var seen []bool
+	var try func(i int) bool
+	try = func(i int) bool {
+		for _, j := range adj[i] {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if matchRight[j] == -1 || try(matchRight[j]) {
+				matchRight[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := range adj {
+		seen = make([]bool, len(pool))
+		if !try(i) {
+			return nil, false
+		}
+	}
+	entry = make([]geom.Point, len(clicks))
+	for j, i := range matchRight {
+		if i >= 0 {
+			entry[i] = pool[j]
+		}
+	}
+	return entry, true
+}
+
+// crackable reports whether some permutation of dictionary points hits
+// every accepting square: bipartite matching between clicks and points.
+func crackable(clicks []geom.Point, pool []geom.Point, scheme core.Scheme) bool {
+	regions := make([]geom.Rect, len(clicks))
+	for i, c := range clicks {
+		regions[i] = scheme.Region(scheme.Enroll(c))
+	}
+	// adj[i] lists pool indices usable for click i.
+	adj := make([][]int, len(clicks))
+	for i, rg := range regions {
+		for j, p := range pool {
+			if rg.Contains(p) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		if len(adj[i]) == 0 {
+			return false
+		}
+	}
+	return maxMatching(adj, len(pool)) == len(clicks)
+}
+
+// maxMatching is Kuhn's augmenting-path algorithm for bipartite
+// matching; left side is the clicks, right side the pool points.
+func maxMatching(adj [][]int, poolSize int) int {
+	matchRight := make([]int, poolSize)
+	for i := range matchRight {
+		matchRight[i] = -1
+	}
+	var seen []bool
+	var try func(i int) bool
+	try = func(i int) bool {
+		for _, j := range adj[i] {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if matchRight[j] == -1 || try(matchRight[j]) {
+				matchRight[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for i := range adj {
+		seen = make([]bool, poolSize)
+		if try(i) {
+			matched++
+		}
+	}
+	return matched
+}
+
+// UnknownGridBits returns the extra work (in bits per dictionary
+// entry) an attacker pays when the clear grid identifiers are NOT
+// known and every identifier combination must be hashed (§5.1): the
+// per-click identifier entropy times the click count — log2(3) per
+// click for Robust versus log2(side^2) per click for Centered.
+func UnknownGridBits(scheme core.Scheme, clicks int) float64 {
+	return float64(clicks) * scheme.ClearBits()
+}
+
+// OnlineResult summarizes a lockout-limited online attack.
+type OnlineResult struct {
+	Image       string
+	Scheme      string
+	SidePx      int
+	Lockout     int
+	Accounts    int
+	Compromised int
+}
+
+// CompromisedPct returns the percentage of accounts compromised.
+func (r OnlineResult) CompromisedPct() float64 {
+	if r.Accounts == 0 {
+		return 0
+	}
+	return 100 * float64(r.Compromised) / float64(r.Accounts)
+}
+
+// Online models §5.1's online attack: the attacker cannot read the
+// password file, so guesses go through the login interface and the
+// system locks each account after lockout failed attempts. The guess
+// list is the lab passwords ordered by hotspot saliency (the attacker
+// has the image and ranks whole guesses by how likely their points
+// are to be chosen), truncated to the lockout budget per account.
+func Online(field *dataset.Dataset, lab *dataset.Dataset, img *imagegen.Image, scheme core.Scheme, lockout int) (OnlineResult, error) {
+	if lockout <= 0 {
+		return OnlineResult{}, fmt.Errorf("attack: lockout %d must be positive", lockout)
+	}
+	if err := field.Validate(); err != nil {
+		return OnlineResult{}, err
+	}
+	if err := lab.Validate(); err != nil {
+		return OnlineResult{}, err
+	}
+	guesses := make([][]geom.Point, 0, len(lab.Passwords))
+	for i := range lab.Passwords {
+		guesses = append(guesses, lab.Passwords[i].Points())
+	}
+	sort.SliceStable(guesses, func(a, b int) bool {
+		return guessScore(guesses[a], img) > guessScore(guesses[b], img)
+	})
+	if lockout < len(guesses) {
+		guesses = guesses[:lockout]
+	}
+	res := OnlineResult{
+		Image:   field.Image,
+		Scheme:  scheme.Name(),
+		SidePx:  int(scheme.SquareSide().Pixels()),
+		Lockout: lockout,
+	}
+	for i := range field.Passwords {
+		pw := &field.Passwords[i]
+		res.Accounts++
+		tokens := make([]core.Token, len(pw.Clicks))
+		for j, c := range pw.Clicks {
+			tokens[j] = scheme.Enroll(c.Point())
+		}
+		for _, guess := range guesses {
+			if len(guess) != len(tokens) {
+				continue
+			}
+			hit := true
+			for j := range guess {
+				if !core.Accepts(scheme, tokens[j], guess[j]) {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				res.Compromised++
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// guessScore ranks a whole guess by the product of point saliencies
+// (log-sum, to avoid underflow).
+func guessScore(guess []geom.Point, img *imagegen.Image) float64 {
+	score := 0.0
+	for _, p := range guess {
+		score += math.Log(img.Saliency(p) + 1e-300)
+	}
+	return score
+}
+
+// Figure7Sizes are the square sides swept by the equal-size dictionary
+// attack comparison.
+var Figure7Sizes = []int{9, 13, 19, 24, 36, 54}
+
+// Figure8Rs are the guaranteed tolerances swept by the equal-r
+// comparison.
+var Figure8Rs = []int{4, 6, 9}
+
+// SeriesPoint is one (x, cracked%) sample of a figure series.
+type SeriesPoint struct {
+	X       int // square side (Figure 7) or r (Figure 8)
+	Result  Result
+	Cracked float64
+}
+
+// Figure7 runs the equal-square-size offline attack for one image:
+// both schemes use the same square sides, so their crack rates should
+// be close (the paper's Figure 7).
+func Figure7(field, lab *dataset.Dataset, policy core.RobustPolicy, seed uint64) (centered, robust []SeriesPoint, err error) {
+	dict, err := BuildDictionary(lab, clicksOf(field))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, side := range Figure7Sizes {
+		c, err := core.NewCentered(side)
+		if err != nil {
+			return nil, nil, err
+		}
+		rb, err := core.NewRobust2D(side, policy, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		cr, err := OfflineKnownGrids(field, dict, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		rr, err := OfflineKnownGrids(field, dict, rb)
+		if err != nil {
+			return nil, nil, err
+		}
+		centered = append(centered, SeriesPoint{X: side, Result: cr, Cracked: cr.CrackedPct()})
+		robust = append(robust, SeriesPoint{X: side, Result: rr, Cracked: rr.CrackedPct()})
+	}
+	return centered, robust, nil
+}
+
+// Figure8 runs the equal-r offline attack for one image: Centered uses
+// (2r+1)-pixel squares, Robust 6r-pixel squares, so Robust should be
+// cracked far more often (the paper's Figure 8).
+func Figure8(field, lab *dataset.Dataset, policy core.RobustPolicy, seed uint64) (centered, robust []SeriesPoint, err error) {
+	dict, err := BuildDictionary(lab, clicksOf(field))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range Figure8Rs {
+		c, err := core.NewCentered(2*r + 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		rb, err := core.NewRobust2D(6*r, policy, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		cr, err := OfflineKnownGrids(field, dict, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		rr, err := OfflineKnownGrids(field, dict, rb)
+		if err != nil {
+			return nil, nil, err
+		}
+		centered = append(centered, SeriesPoint{X: r, Result: cr, Cracked: cr.CrackedPct()})
+		robust = append(robust, SeriesPoint{X: r, Result: rr, Cracked: rr.CrackedPct()})
+	}
+	return centered, robust, nil
+}
+
+func clicksOf(d *dataset.Dataset) int {
+	if len(d.Passwords) == 0 {
+		return 0
+	}
+	return len(d.Passwords[0].Clicks)
+}

@@ -1,0 +1,460 @@
+package attack
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/hotspot"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/study"
+)
+
+type studyPair struct {
+	field, lab *dataset.Dataset
+	img        *imagegen.Image
+}
+
+var (
+	pairsOnce sync.Once
+	pairs     []studyPair
+)
+
+func studyPairs(t *testing.T) []studyPair {
+	t.Helper()
+	pairsOnce.Do(func() {
+		for i, img := range imagegen.Gallery() {
+			field, err := study.Run(study.FieldConfig(img, uint64(100+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lab, err := study.Run(study.LabConfig(img, uint64(200+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs = append(pairs, studyPair{field: field, lab: lab, img: img})
+		}
+	})
+	return pairs
+}
+
+func TestDictionaryBits(t *testing.T) {
+	lab := studyPairs(t)[0].lab
+	dict, err := BuildDictionary(lab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dict.Points) != 150 {
+		t.Errorf("points = %d, want 150 (30 passwords x 5)", len(dict.Points))
+	}
+	if dict.SourcePasswords != 30 {
+		t.Errorf("source passwords = %d, want 30", dict.SourcePasswords)
+	}
+	// P(150,5) = 150*149*148*147*146 ~ 2^36.04 — the paper's "36-bit
+	// dictionary".
+	if math.Abs(dict.Bits()-36) > 0.2 {
+		t.Errorf("dictionary bits = %.2f, want ~36", dict.Bits())
+	}
+}
+
+func TestBuildDictionaryValidation(t *testing.T) {
+	lab := studyPairs(t)[0].lab
+	if _, err := BuildDictionary(lab, 0); err == nil {
+		t.Error("zero clicks accepted")
+	}
+	tiny := &dataset.Dataset{
+		Image: "t", Width: 10, Height: 10,
+		Passwords: []dataset.Password{
+			{ID: 1, User: "u", Image: "t", Clicks: []dataset.Click{{X: 1, Y: 1}}},
+		},
+	}
+	if _, err := BuildDictionary(tiny, 5); err == nil {
+		t.Error("under-sized pool accepted")
+	}
+	bad := &dataset.Dataset{Image: "t"}
+	if _, err := BuildDictionary(bad, 5); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+// TestCrackableExact exercises the matching on hand-built cases.
+func TestCrackableExact(t *testing.T) {
+	scheme, err := core.NewCentered(13) // accepts within 6px
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks := []geom.Point{geom.Pt(50, 50), geom.Pt(100, 100)}
+	pool := []geom.Point{geom.Pt(52, 48), geom.Pt(104, 97)}
+	if !crackable(clicks, pool, scheme) {
+		t.Error("pool covering both clicks should crack")
+	}
+	// Both clicks coverable only by the SAME pool point: permutations
+	// cannot reuse a point, so not crackable.
+	closeClicks := []geom.Point{geom.Pt(50, 50), geom.Pt(53, 53)}
+	onePoint := []geom.Point{geom.Pt(51, 51)}
+	if crackable(closeClicks, onePoint, scheme) {
+		t.Error("single shared point must not crack two clicks")
+	}
+	// Add a second point covering only the first click: matching now
+	// exists (point A -> click 1, shared point -> click 2).
+	twoPoints := []geom.Point{geom.Pt(51, 51), geom.Pt(45, 45)}
+	if !crackable(closeClicks, twoPoints, scheme) {
+		t.Error("two points should crack via matching")
+	}
+	// A click with no nearby pool point cannot be cracked.
+	farClick := []geom.Point{geom.Pt(50, 50), geom.Pt(300, 300)}
+	if crackable(farClick, pool, scheme) {
+		t.Error("uncovered click must not crack")
+	}
+}
+
+func TestOfflineKnownGridsRuns(t *testing.T) {
+	for _, pair := range studyPairs(t) {
+		dict, err := BuildDictionary(pair.lab, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.NewCentered(13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := OfflineKnownGrids(pair.field, dict, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Passwords != len(pair.field.Passwords) {
+			t.Errorf("%s: evaluated %d passwords, want %d",
+				pair.field.Image, res.Passwords, len(pair.field.Passwords))
+		}
+		if res.Cracked < 0 || res.Cracked > res.Passwords {
+			t.Errorf("%s: cracked %d out of range", pair.field.Image, res.Cracked)
+		}
+		if res.CrackedPct() == 0 {
+			t.Errorf("%s: human-seeded dictionary cracked nothing — hotspot model broken", pair.field.Image)
+		}
+	}
+}
+
+// TestFigure7Parity: with equal square sizes the two schemes must have
+// similar crack rates (paper: "they performed similarly under this
+// condition").
+func TestFigure7Parity(t *testing.T) {
+	pair := studyPairs(t)[0]
+	centered, robust, err := Figure7(pair.field, pair.lab, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centered) != len(Figure7Sizes) || len(robust) != len(Figure7Sizes) {
+		t.Fatal("series length mismatch")
+	}
+	for i := range centered {
+		diff := math.Abs(centered[i].Cracked - robust[i].Cracked)
+		if diff > 12 {
+			t.Errorf("size %d: |centered %.1f%% - robust %.1f%%| = %.1f — equal sizes should be close",
+				centered[i].X, centered[i].Cracked, robust[i].Cracked, diff)
+		}
+	}
+	// Crack rate must grow with square size.
+	if !(centered[len(centered)-1].Cracked > centered[0].Cracked) {
+		t.Error("centered crack rate not increasing with size")
+	}
+	if !(robust[len(robust)-1].Cracked > robust[0].Cracked) {
+		t.Error("robust crack rate not increasing with size")
+	}
+}
+
+// TestFigure8Gap: with equal r, Robust must be cracked far more often
+// (paper, Cars: r=6 gives 14.8% vs 45.1%; r=9 up to 79% vs 26%).
+func TestFigure8Gap(t *testing.T) {
+	for _, pair := range studyPairs(t) {
+		centered, robust, err := Figure8(pair.field, pair.lab, core.MostCentered, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range centered {
+			if robust[i].Cracked <= centered[i].Cracked {
+				t.Errorf("%s r=%d: robust %.1f%% <= centered %.1f%% — equal-r gap missing",
+					pair.field.Image, centered[i].X, robust[i].Cracked, centered[i].Cracked)
+			}
+		}
+		// The r=9 robust rate should be dramatic (paper: up to 79%).
+		last := robust[len(robust)-1]
+		if last.Cracked < 40 {
+			t.Errorf("%s: robust r=9 cracked only %.1f%%", pair.field.Image, last.Cracked)
+		}
+	}
+}
+
+// TestFigure8CarsMagnitudes pins the Cars proxy near the paper's
+// published values with generous tolerance (simulated substrate).
+func TestFigure8CarsMagnitudes(t *testing.T) {
+	pair := studyPairs(t)[0]
+	if pair.field.Image != "cars" {
+		t.Fatal("expected cars first")
+	}
+	centered, robust, err := Figure8(pair.field, pair.lab, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paper: centered r6=14.8, r9=26; robust r6=45.1, r9 up to 79.
+	checks := []struct {
+		name     string
+		got      float64
+		lo, hi   float64
+		paperPct float64
+	}{
+		{"centered r6", centered[1].Cracked, 5, 30, 14.8},
+		{"centered r9", centered[2].Cracked, 12, 45, 26},
+		{"robust r6", robust[1].Cracked, 30, 75, 45.1},
+		{"robust r9", robust[2].Cracked, 55, 95, 79},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s = %.1f%%, want within [%v,%v] (paper %.1f%%)",
+				c.name, c.got, c.lo, c.hi, c.paperPct)
+		}
+	}
+}
+
+func TestUnknownGridBits(t *testing.T) {
+	c, _ := core.NewCentered(16)
+	rb, _ := core.NewRobust2D(36, core.MostCentered, 1)
+	// Centered 16x16: 8 bits per click x 5 = 40 bits extra.
+	if got := UnknownGridBits(c, 5); math.Abs(got-40) > 1e-9 {
+		t.Errorf("centered unknown-grid bits = %.2f, want 40", got)
+	}
+	// Robust: log2(3) per click x 5 ~ 7.9 bits.
+	if got := UnknownGridBits(rb, 5); math.Abs(got-5*math.Log2(3)) > 1e-9 {
+		t.Errorf("robust unknown-grid bits = %.2f", got)
+	}
+	// The paper's point: Centered makes grid-blind offline attacks far
+	// more expensive.
+	if UnknownGridBits(c, 5) <= UnknownGridBits(rb, 5) {
+		t.Error("centered should cost more than robust without grid ids")
+	}
+}
+
+// TestOnlineAttackInfeasible: a finding the paper implies — with five
+// ordered clicks, a handful of online guesses through the login UI
+// compromises essentially nobody, in stark contrast to the offline
+// rates. Lockout monotonicity must still hold.
+func TestOnlineAttackInfeasible(t *testing.T) {
+	pair := studyPairs(t)[1] // pool: most concentrated, best case for attacker
+	rb, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Online(pair.field, pair.lab, pair.img, rb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Online(pair.field, pair.lab, pair.img, rb, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Compromised > loose.Compromised {
+		t.Error("tighter lockout compromised more accounts")
+	}
+	if loose.CompromisedPct() > 5 {
+		t.Errorf("online attack compromised %.1f%% — implausibly high for whole-password guessing",
+			loose.CompromisedPct())
+	}
+	if strict.Accounts != len(pair.field.Passwords) {
+		t.Errorf("attacked %d accounts, want %d", strict.Accounts, len(pair.field.Passwords))
+	}
+	if _, err := Online(pair.field, pair.lab, pair.img, rb, 0); err == nil {
+		t.Error("zero lockout accepted")
+	}
+}
+
+// TestOnlineAttackHitsReusedPassword: if a lab guess nearly coincides
+// with a field password (password reuse / an insider's knowledge), the
+// online attack succeeds within the lockout budget — and succeeds
+// against Robust at displacements Centered would reject.
+func TestOnlineAttackHitsReusedPassword(t *testing.T) {
+	img := imagegen.Pool()
+	clicks := []dataset.Click{
+		{X: 60, Y: 50}, {X: 170, Y: 45}, {X: 300, Y: 70}, {X: 110, Y: 160}, {X: 250, Y: 280},
+	}
+	// The guess is each click displaced by 8px: outside Centered r=6.5
+	// tolerance, often inside a Robust 36x36 square.
+	guess := make([]dataset.Click, len(clicks))
+	for i, c := range clicks {
+		guess[i] = dataset.Click{X: c.X + 8, Y: c.Y}
+	}
+	field := &dataset.Dataset{
+		Image: img.Name, Width: img.Size.W, Height: img.Size.H,
+		Passwords: []dataset.Password{{ID: 1, User: "victim", Image: img.Name, Clicks: clicks}},
+	}
+	lab := &dataset.Dataset{
+		Image: img.Name, Width: img.Size.W, Height: img.Size.H,
+		Passwords: []dataset.Password{{ID: 2, User: "leak", Image: img.Name, Clicks: guess}},
+	}
+	c13, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRes, err := Online(field, lab, img, c13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cRes.Compromised != 0 {
+		t.Error("centered accepted an 8px-off guess — tolerance not exact")
+	}
+	exact := &dataset.Dataset{
+		Image: img.Name, Width: img.Size.W, Height: img.Size.H,
+		Passwords: []dataset.Password{{ID: 3, User: "leak2", Image: img.Name, Clicks: clicks}},
+	}
+	cRes2, err := Online(field, exact, img, c13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cRes2.Compromised != 1 {
+		t.Error("exact guess must compromise the account")
+	}
+}
+
+func TestResultPctEmpty(t *testing.T) {
+	if (Result{}).CrackedPct() != 0 {
+		t.Error("empty result pct should be 0")
+	}
+	if (OnlineResult{}).CompromisedPct() != 0 {
+		t.Error("empty online pct should be 0")
+	}
+}
+
+// TestWitnessAgreesWithCrackable: Witness succeeds exactly when the
+// matching test says crackable, and every witness point lands in its
+// click's accepting region with no point reused.
+func TestWitnessAgreesWithCrackable(t *testing.T) {
+	pair := studyPairs(t)[0]
+	dict, err := BuildDictionary(pair.lab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, witnessed := 0, 0
+	for i := range pair.field.Passwords {
+		pw := &pair.field.Passwords[i]
+		clicks := pw.Points()
+		want := crackable(clicks, dict.Points, scheme)
+		entry, ok := Witness(clicks, dict.Points, scheme)
+		if ok != want {
+			t.Fatalf("password %d: witness ok=%v, crackable=%v", pw.ID, ok, want)
+		}
+		checked++
+		if !ok {
+			continue
+		}
+		witnessed++
+		if len(entry) != len(clicks) {
+			t.Fatalf("password %d: witness length %d", pw.ID, len(entry))
+		}
+		used := make(map[geom.Point]int)
+		for j, p := range entry {
+			rg := scheme.Region(scheme.Enroll(clicks[j]))
+			if !rg.Contains(p) {
+				t.Fatalf("password %d: witness point %d outside region", pw.ID, j)
+			}
+			used[p]++
+		}
+		// Dictionary permutations cannot repeat a point; equal points
+		// can only appear as often as they appear in the pool.
+		for p, n := range used {
+			avail := 0
+			for _, q := range dict.Points {
+				if q == p {
+					avail++
+				}
+			}
+			if n > avail {
+				t.Fatalf("password %d: witness reuses point %v", pw.ID, p)
+			}
+		}
+	}
+	if witnessed == 0 {
+		t.Error("no witnesses produced — attack found nothing to validate")
+	}
+	t.Logf("validated %d witnesses over %d passwords", witnessed, checked)
+}
+
+// TestAutomatedDictionary: the image-processing attack (saliency top-K
+// candidates) must crack a substantial fraction of what the
+// human-seeded dictionary cracks, and far more than a grid of
+// arbitrary points — the §2.1 premise that hotspots, not individual
+// users, drive dictionary attacks.
+func TestAutomatedDictionary(t *testing.T) {
+	pair := studyPairs(t)[1] // pool
+	scheme, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	human, err := BuildDictionary(pair.lab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := hotspot.FromSaliency(pair.img, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoDict, err := NewPointDictionary(dm.TopK(150, 8), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A uniform lattice of the same budget, as the weak baseline.
+	var lattice []geom.Point
+	for x := 20; x < 451 && len(lattice) < 150; x += 38 {
+		for y := 20; y < 331 && len(lattice) < 150; y += 38 {
+			lattice = append(lattice, geom.Pt(x, y))
+		}
+	}
+	latticeDict, err := NewPointDictionary(lattice, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hRes, err := OfflineKnownGrids(pair.field, human, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRes, err := OfflineKnownGrids(pair.field, autoDict, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lRes, err := OfflineKnownGrids(pair.field, latticeDict, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("human %.1f%%, automated %.1f%%, lattice %.1f%%",
+		hRes.CrackedPct(), aRes.CrackedPct(), lRes.CrackedPct())
+	if aRes.CrackedPct() < hRes.CrackedPct()/3 {
+		t.Errorf("automated attack (%.1f%%) far below human-seeded (%.1f%%)",
+			aRes.CrackedPct(), hRes.CrackedPct())
+	}
+	if aRes.CrackedPct() <= lRes.CrackedPct() {
+		t.Errorf("automated attack (%.1f%%) no better than blind lattice (%.1f%%)",
+			aRes.CrackedPct(), lRes.CrackedPct())
+	}
+}
+
+func TestNewPointDictionaryValidation(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2)}
+	if _, err := NewPointDictionary(pts, 0); err == nil {
+		t.Error("zero clicks accepted")
+	}
+	if _, err := NewPointDictionary(pts, 5); err == nil {
+		t.Error("undersized pool accepted")
+	}
+	d, err := NewPointDictionary(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Entries() != 2 { // P(2,2)
+		t.Errorf("entries = %v", d.Entries())
+	}
+}

@@ -1,0 +1,82 @@
+package attack
+
+import (
+	"fmt"
+
+	"clickpass/internal/core"
+	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
+	"clickpass/internal/passhash"
+)
+
+// GridBlindResult reports an offline attack mounted WITHOUT the
+// clear-text grid identifiers (§5.1's "unusual case where only the
+// hashed passwords are known"): for every guess the attacker must hash
+// every possible grid-identifier combination. This is the empirical
+// counterpart of UnknownGridBits — run on single-click verifiers where
+// the enumeration is tractable, it shows Centered costing side^2
+// hashes per guess where Robust costs 3.
+type GridBlindResult struct {
+	Matched bool
+	// Hashes is the number of digest computations performed.
+	Hashes int
+	// Combinations is the number of grid-identifier candidates.
+	Combinations int
+}
+
+// ClearCandidates enumerates every grid identifier a 1-click verifier
+// could have stored for integer-pixel clicks: the 3 grids for Robust,
+// or the side^2 (dx, dy) offset pairs for Centered.
+func ClearCandidates(scheme core.Scheme) ([]core.Clear, error) {
+	switch s := scheme.(type) {
+	case *core.Robust2D:
+		return []core.Clear{{Grid: 0}, {Grid: 1}, {Grid: 2}}, nil
+	case *core.Centered2D:
+		sidePx := int(s.SquareSide() / fixed.Scale)
+		// Offsets observable from integer-pixel clicks: discretize one
+		// full period of positions.
+		axis := make([]fixed.Sub, 0, sidePx)
+		seen := make(map[fixed.Sub]bool, sidePx)
+		for px := 0; px < sidePx; px++ {
+			tok := s.Enroll(geom.Pt(px, 0))
+			if !seen[tok.Clear.DX] {
+				seen[tok.Clear.DX] = true
+				axis = append(axis, tok.Clear.DX)
+			}
+		}
+		out := make([]core.Clear, 0, len(axis)*len(axis))
+		for _, dx := range axis {
+			for _, dy := range axis {
+				out = append(out, core.Clear{DX: dx, DY: dy})
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("attack: unsupported scheme %T", scheme)
+	}
+}
+
+// GridBlindTest tries one guessed click against a stolen 1-click
+// verifier (digest + salt, no grid identifier), hashing every grid-
+// identifier candidate. It returns whether any candidate matched and
+// how many hash computations that cost.
+func GridBlindTest(scheme core.Scheme, params passhash.Params, digest []byte, guess geom.Point) (GridBlindResult, error) {
+	candidates, err := ClearCandidates(scheme)
+	if err != nil {
+		return GridBlindResult{}, err
+	}
+	res := GridBlindResult{Combinations: len(candidates)}
+	for _, clear := range candidates {
+		token := core.Token{Clear: clear, Secret: scheme.Locate(guess, clear)}
+		ok, err := passhash.Verify(params, digest, []core.Token{token})
+		if err != nil {
+			return GridBlindResult{}, err
+		}
+		res.Hashes++
+		if ok {
+			res.Matched = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"testing"
+
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/passhash"
+)
+
+func oneClickVerifier(t *testing.T, scheme core.Scheme, p geom.Point) (passhash.Params, []byte) {
+	t.Helper()
+	params := passhash.Params{Iterations: 2, Salt: []byte("0123456789abcdef")}
+	tok := scheme.Enroll(p)
+	digest, err := passhash.Digest(params, []core.Token{tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params, digest
+}
+
+func TestClearCandidateCounts(t *testing.T) {
+	c, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := ClearCandidates(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.2: a 13x13 centered grid has 13^2 = 169 possible identifiers.
+	if len(cand) != 169 {
+		t.Errorf("centered 13x13 candidates = %d, want 169", len(cand))
+	}
+	rb, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err = ClearCandidates(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cand) != 3 {
+		t.Errorf("robust candidates = %d, want 3", len(cand))
+	}
+}
+
+// TestGridBlindFindsTruePassword: enumerating identifiers recovers a
+// correct guess for both schemes, at their respective costs.
+func TestGridBlindFindsTruePassword(t *testing.T) {
+	orig := geom.Pt(100, 150)
+	guess := geom.Pt(103, 148) // within every tolerance tested here
+
+	c, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, digest := oneClickVerifier(t, c, orig)
+	res, err := GridBlindTest(c, params, digest, guess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched {
+		t.Error("centered grid-blind attack missed a correct guess")
+	}
+	if res.Combinations != 169 {
+		t.Errorf("centered combinations = %d, want 169", res.Combinations)
+	}
+
+	rb, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, digest = oneClickVerifier(t, rb, orig)
+	resR, err := GridBlindTest(rb, params, digest, guess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resR.Matched {
+		t.Error("robust grid-blind attack missed a correct guess")
+	}
+	if resR.Combinations != 3 {
+		t.Errorf("robust combinations = %d, want 3", resR.Combinations)
+	}
+	if resR.Hashes > 3 {
+		t.Errorf("robust needed %d hashes for one guess, max 3", resR.Hashes)
+	}
+}
+
+// TestGridBlindWrongGuessCosts: a wrong guess costs the FULL
+// enumeration — the per-entry work factor of §5.1.
+func TestGridBlindWrongGuessCosts(t *testing.T) {
+	orig := geom.Pt(100, 150)
+	wrong := geom.Pt(300, 20)
+
+	c, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, digest := oneClickVerifier(t, c, orig)
+	res, err := GridBlindTest(c, params, digest, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched {
+		t.Error("wrong guess matched")
+	}
+	if res.Hashes != 169 {
+		t.Errorf("centered wrong guess cost %d hashes, want 169", res.Hashes)
+	}
+	rb, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, digest = oneClickVerifier(t, rb, orig)
+	resR, err := GridBlindTest(rb, params, digest, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resR.Matched || resR.Hashes != 3 {
+		t.Errorf("robust wrong guess: matched=%v hashes=%d, want false/3", resR.Matched, resR.Hashes)
+	}
+	// The empirical ratio is the paper's claim: 169/3 = 56x more work
+	// per guess under Centered.
+	if res.Hashes/resR.Hashes < 50 {
+		t.Errorf("work ratio %dx, expected ~56x", res.Hashes/resR.Hashes)
+	}
+}
+
+// TestGridBlindNeverFalseMatches: enumeration must not produce a match
+// for guesses outside the tolerance (the identifier search cannot
+// manufacture acceptance).
+func TestGridBlindNeverFalseMatches(t *testing.T) {
+	orig := geom.Pt(200, 200)
+	c, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, digest := oneClickVerifier(t, c, orig)
+	for _, d := range []int{7, 10, 30} {
+		res, err := GridBlindTest(c, params, digest, geom.Pt(200+d, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matched {
+			t.Errorf("guess %dpx away matched under identifier enumeration", d)
+		}
+	}
+}
+
+func TestClearCandidatesUnsupported(t *testing.T) {
+	if _, err := ClearCandidates(fakeScheme{}); err == nil {
+		t.Error("unsupported scheme accepted")
+	}
+}
+
+type fakeScheme struct{ core.Scheme }

@@ -1,0 +1,316 @@
+// Package authproto exposes a PassPoints vault over the network: a
+// length-prefixed JSON protocol on TCP and an equivalent net/http
+// API. It also enforces the per-account failed-attempt lockout that
+// §5.1 identifies as the defense against online dictionary attacks.
+//
+// Wire format (TCP): each message is a 4-byte big-endian length
+// followed by a JSON document, request/response in lockstep on one
+// connection. Frames are capped at MaxFrame to bound allocation from
+// untrusted peers.
+package authproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/passpoints"
+	"clickpass/internal/vault"
+)
+
+// MaxFrame is the largest accepted wire frame in bytes.
+const MaxFrame = 1 << 20
+
+// DefaultLockout is the failed-attempt budget per account.
+const DefaultLockout = 10
+
+// Op identifies a request type.
+type Op string
+
+// Protocol operations.
+const (
+	OpPing   Op = "ping"
+	OpEnroll Op = "enroll"
+	OpLogin  Op = "login"
+	OpChange Op = "change" // replace the password after verifying the old one
+	OpReset  Op = "reset"  // administrative: clear an account's lockout
+)
+
+// Request is a client request.
+type Request struct {
+	Op     Op              `json:"op"`
+	User   string          `json:"user,omitempty"`
+	Clicks []dataset.Click `json:"clicks,omitempty"`
+	// NewClicks carries the replacement password for OpChange.
+	NewClicks []dataset.Click `json:"new_clicks,omitempty"`
+}
+
+// Response is a server reply.
+type Response struct {
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+	Locked    bool   `json:"locked,omitempty"`
+	Remaining int    `json:"remaining,omitempty"` // login attempts left
+}
+
+// Server authenticates PassPoints passwords against a vault. It is
+// safe for concurrent use.
+type Server struct {
+	cfg     passpoints.Config
+	vault   *vault.Vault
+	lockout int
+
+	mu       sync.Mutex
+	failures map[string]int
+}
+
+// NewServer validates the configuration and returns a server. lockout
+// <= 0 selects DefaultLockout.
+func NewServer(cfg passpoints.Config, v *vault.Vault, lockout int) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, fmt.Errorf("authproto: nil vault")
+	}
+	if lockout <= 0 {
+		lockout = DefaultLockout
+	}
+	return &Server{
+		cfg:      cfg,
+		vault:    v,
+		lockout:  lockout,
+		failures: make(map[string]int),
+	}, nil
+}
+
+// Handle executes one request. This is the transport-independent core
+// used by both the TCP and HTTP front ends.
+func (s *Server) Handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpEnroll:
+		return s.enroll(req)
+	case OpLogin:
+		return s.login(req)
+	case OpChange:
+		return s.change(req)
+	case OpReset:
+		s.mu.Lock()
+		delete(s.failures, req.User)
+		s.mu.Unlock()
+		return Response{OK: true}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) enroll(req Request) Response {
+	if req.User == "" {
+		return Response{Error: "user required"}
+	}
+	rec, err := passpoints.Enroll(s.cfg, req.User, clicksToPoints(req.Clicks))
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	if err := s.vault.Put(rec); err != nil {
+		if errors.Is(err, vault.ErrExists) {
+			return Response{Error: "user already enrolled"}
+		}
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true}
+}
+
+func (s *Server) login(req Request) Response {
+	if req.User == "" {
+		return Response{Error: "user required"}
+	}
+	s.mu.Lock()
+	failed := s.failures[req.User]
+	s.mu.Unlock()
+	if failed >= s.lockout {
+		return Response{Locked: true, Error: "account locked"}
+	}
+	rec, err := s.vault.Get(req.User)
+	if err != nil {
+		// Indistinguishable from a wrong password, to avoid user
+		// enumeration; still consumes an attempt for this name.
+		return s.fail(req.User)
+	}
+	ok, err := passpoints.Verify(s.cfg, rec, clicksToPoints(req.Clicks))
+	if err != nil || !ok {
+		return s.fail(req.User)
+	}
+	s.mu.Lock()
+	delete(s.failures, req.User)
+	s.mu.Unlock()
+	return Response{OK: true, Remaining: s.lockout}
+}
+
+// change replaces an account's password after verifying the old one.
+// Failed old-password checks consume lockout attempts exactly like
+// failed logins, so change cannot be used to bypass rate limiting.
+func (s *Server) change(req Request) Response {
+	resp := s.login(Request{Op: OpLogin, User: req.User, Clicks: req.Clicks})
+	if !resp.OK {
+		return resp
+	}
+	rec, err := passpoints.Enroll(s.cfg, req.User, clicksToPoints(req.NewClicks))
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	if err := s.vault.Replace(rec); err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true}
+}
+
+func (s *Server) fail(user string) Response {
+	s.mu.Lock()
+	s.failures[user]++
+	remaining := s.lockout - s.failures[user]
+	s.mu.Unlock()
+	if remaining <= 0 {
+		return Response{Locked: true, Error: "account locked"}
+	}
+	return Response{Error: "login failed", Remaining: remaining}
+}
+
+func clicksToPoints(clicks []dataset.Click) []geom.Point {
+	pts := make([]geom.Point, len(clicks))
+	for i, c := range clicks {
+		pts[i] = c.Point()
+	}
+	return pts
+}
+
+// Serve accepts connections until the listener is closed. Each
+// connection carries a sequence of request/response frames.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// IdleTimeout is how long a connection may sit between requests.
+const IdleTimeout = 2 * time.Minute
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(IdleTimeout))
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF, timeout, or malformed frame: drop the peer
+		}
+		resp := s.Handle(req)
+		_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader, v interface{}) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > MaxFrame {
+		return fmt.Errorf("authproto: frame size %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+func writeFrame(w io.Writer, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("authproto: frame too large (%d bytes)", len(data))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Client is a TCP client for the protocol. Not safe for concurrent
+// use; requests are serialized on one connection.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("authproto: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection (e.g. net.Pipe in tests).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Do sends one request and reads the reply.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := writeFrame(c.conn, req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.Do(Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("authproto: ping rejected: %s", resp.Error)
+	}
+	return nil
+}
+
+// Enroll registers a new password.
+func (c *Client) Enroll(user string, clicks []dataset.Click) (Response, error) {
+	return c.Do(Request{Op: OpEnroll, User: user, Clicks: clicks})
+}
+
+// Login attempts authentication.
+func (c *Client) Login(user string, clicks []dataset.Click) (Response, error) {
+	return c.Do(Request{Op: OpLogin, User: user, Clicks: clicks})
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,57 @@
+package authproto
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HTTPHandler exposes the server over HTTP:
+//
+//	POST /v1/enroll  {"user": ..., "clicks": [{"x":..,"y":..}, ...]}
+//	POST /v1/login   same body
+//	GET  /v1/ping
+//
+// Responses are the same Response JSON as the TCP protocol. Login
+// failures return 401, lockouts 429, malformed requests 400.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Response{OK: true})
+	})
+	mux.HandleFunc("/v1/enroll", s.httpOp(OpEnroll))
+	mux.HandleFunc("/v1/login", s.httpOp(OpLogin))
+	return mux
+}
+
+func (s *Server) httpOp(op Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "POST required"})
+			return
+		}
+		var req Request
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxFrame))
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, Response{Error: "malformed request body"})
+			return
+		}
+		req.Op = op
+		resp := s.Handle(req)
+		status := http.StatusOK
+		switch {
+		case resp.Locked:
+			status = http.StatusTooManyRequests
+		case !resp.OK && op == OpLogin:
+			status = http.StatusUnauthorized
+		case !resp.OK:
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

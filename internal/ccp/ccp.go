@@ -1,0 +1,285 @@
+// Package ccp implements Cued Click-Points (Chiasson, van Oorschot,
+// Biddle — ESORICS 2007) and the Persuasive Cued Click-Points creation
+// mode (Chiasson, Forget, Biddle, van Oorschot 2007), the successor
+// systems the paper cites (§2) as designed to raise the cost of
+// hotspot analysis and steer users away from hotspots.
+//
+// In CCP a password is one click on each of n images: the next image
+// shown is a deterministic function of the current image and the grid
+// square of the click, so a wrong click sends the user down a
+// different image path (implicit feedback) and an attacker must
+// reconstruct the path image by image. Discretization is exactly the
+// paper's problem — each click is stored as a clear grid identifier
+// plus a hashed square index — so CCP plugs in the same core.Scheme.
+//
+// Persuasive CCP changes only password creation: the system picks a
+// random viewport and the user must click inside it, flattening the
+// click distribution across the image and starving hotspot
+// dictionaries. That is a behavioural model here (ViewportClicker).
+package ccp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/passhash"
+	"clickpass/internal/rng"
+)
+
+// System is a Cued Click-Points deployment.
+type System struct {
+	// Images is the image pool the path walks through; all images
+	// must share one size.
+	Images []*imagegen.Image
+	// Scheme discretizes each click.
+	Scheme core.Scheme
+	// Clicks is the path length (one click per image shown).
+	Clicks int
+	// Iterations is the hash iteration count.
+	Iterations int
+}
+
+// Validate reports configuration errors.
+func (s *System) Validate() error {
+	if len(s.Images) < 2 {
+		return fmt.Errorf("ccp: need at least 2 images, have %d", len(s.Images))
+	}
+	size := s.Images[0].Size
+	for _, img := range s.Images {
+		if err := img.Validate(); err != nil {
+			return err
+		}
+		if img.Size != size {
+			return fmt.Errorf("ccp: image %q size %v differs from %v", img.Name, img.Size, size)
+		}
+	}
+	if s.Scheme == nil {
+		return fmt.Errorf("ccp: nil scheme")
+	}
+	if s.Clicks <= 0 {
+		return fmt.Errorf("ccp: clicks %d must be positive", s.Clicks)
+	}
+	if s.Iterations <= 0 {
+		return fmt.Errorf("ccp: iterations %d must be positive", s.Iterations)
+	}
+	return nil
+}
+
+// NextImage returns the index of the image shown after clicking the
+// square sec on image cur: a hash of (cur, square indices) mod the
+// pool size, skipping the current image so paths always move.
+func (s *System) NextImage(cur int, sec core.Secret) int {
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(cur))
+	binary.BigEndian.PutUint64(buf[8:], uint64(sec.IX))
+	binary.BigEndian.PutUint64(buf[16:], uint64(sec.IY))
+	sum := sha256.Sum256(buf[:])
+	n := len(s.Images)
+	next := int(binary.BigEndian.Uint64(sum[:8]) % uint64(n))
+	if next == cur {
+		next = (next + 1) % n
+	}
+	return next
+}
+
+// Clicker supplies the click for each displayed image — the user
+// model. step is 0-based.
+type Clicker func(img *imagegen.Image, step int) geom.Point
+
+// Record is the stored verifier: the start image, per-step clear grid
+// identifiers, salt and digest. The image path itself is NOT stored —
+// it is recomputed from the (hashed) squares during login, which is
+// what gives CCP its implicit feedback.
+type Record struct {
+	User       string       `json:"user"`
+	Start      int          `json:"start"`
+	Clears     []core.Clear `json:"clears"`
+	Salt       []byte       `json:"salt"`
+	Iterations int          `json:"iterations"`
+	Digest     []byte       `json:"digest"`
+}
+
+// Enroll walks the image path driven by the user's clicks and stores
+// the verifier. The start image is derived from the user name so
+// different accounts begin on different images.
+func (s *System) Enroll(user string, click Clicker) (*Record, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if click == nil {
+		return nil, fmt.Errorf("ccp: nil clicker")
+	}
+	params, err := passhash.NewParams(s.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	start := s.startImage(user)
+	cur := start
+	tokens := make([]core.Token, 0, s.Clicks)
+	clears := make([]core.Clear, 0, s.Clicks)
+	for step := 0; step < s.Clicks; step++ {
+		img := s.Images[cur]
+		p := click(img, step)
+		if !img.Size.Contains(p) {
+			return nil, fmt.Errorf("ccp: step %d click %v outside image %q", step, p, img.Name)
+		}
+		tok := s.Scheme.Enroll(p)
+		tokens = append(tokens, tok)
+		clears = append(clears, tok.Clear)
+		cur = s.NextImage(cur, tok.Secret)
+	}
+	digest, err := passhash.Digest(params, tokens)
+	if err != nil {
+		return nil, err
+	}
+	return &Record{
+		User:       user,
+		Start:      start,
+		Clears:     clears,
+		Salt:       params.Salt,
+		Iterations: params.Iterations,
+		Digest:     digest,
+	}, nil
+}
+
+// Verify replays a login: each candidate click is discretized under
+// the stored clear identifier, and the *candidate's* square determines
+// the next image — exactly as a deployed CCP system behaves, so a
+// wrong click derails the remaining path.
+func (s *System) Verify(rec *Record, click Clicker) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	if rec == nil {
+		return false, fmt.Errorf("ccp: nil record")
+	}
+	if click == nil {
+		return false, fmt.Errorf("ccp: nil clicker")
+	}
+	if len(rec.Clears) != s.Clicks {
+		return false, nil
+	}
+	if rec.Start < 0 || rec.Start >= len(s.Images) {
+		return false, fmt.Errorf("ccp: record start image %d out of range", rec.Start)
+	}
+	cur := rec.Start
+	tokens := make([]core.Token, 0, s.Clicks)
+	for step := 0; step < s.Clicks; step++ {
+		img := s.Images[cur]
+		p := click(img, step)
+		if !img.Size.Contains(p) {
+			return false, nil
+		}
+		sec := s.Scheme.Locate(p, rec.Clears[step])
+		tokens = append(tokens, core.Token{Clear: rec.Clears[step], Secret: sec})
+		cur = s.NextImage(cur, sec)
+	}
+	params := passhash.Params{Iterations: rec.Iterations, Salt: rec.Salt}
+	return passhash.Verify(params, rec.Digest, tokens)
+}
+
+// Path exposes the image sequence a clicker would traverse, for tests
+// and experiments (an attacker cannot compute this without the
+// squares).
+func (s *System) Path(user string, click Clicker) ([]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cur := s.startImage(user)
+	path := []int{cur}
+	for step := 0; step < s.Clicks; step++ {
+		p := click(s.Images[cur], step)
+		tok := s.Scheme.Enroll(p)
+		cur = s.NextImage(cur, tok.Secret)
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+func (s *System) startImage(user string) int {
+	sum := sha256.Sum256([]byte("ccp-start:" + user))
+	return int(binary.BigEndian.Uint64(sum[:8]) % uint64(len(s.Images)))
+}
+
+// HotspotClicker models an ordinary user (as in PassPoints and plain
+// CCP): clicks are drawn from the image's hotspot mixture.
+func HotspotClicker(r *rng.Source) Clicker {
+	return func(img *imagegen.Image, step int) geom.Point {
+		return img.SampleClick(r)
+	}
+}
+
+// ViewportClicker models Persuasive CCP password creation: the system
+// samples a uniformly random viewport of the given side and the user
+// clicks a memorable point inside it. Users satisfice rather than
+// optimize — they consider a handful of candidate spots and take the
+// most salient one — so when the random viewport contains no hotspot
+// (the common case) the click is close to uniform. This is what
+// flattens the click distribution and starves hotspot dictionaries.
+func ViewportClicker(r *rng.Source, viewportPx int) Clicker {
+	const consider = 6 // candidate spots a user weighs before clicking
+	return func(img *imagegen.Image, step int) geom.Point {
+		w, h := img.Size.W, img.Size.H
+		vp := viewportPx
+		if vp > w {
+			vp = w
+		}
+		if vp > h {
+			vp = h
+		}
+		x0 := r.Intn(w - vp + 1)
+		y0 := r.Intn(h - vp + 1)
+		best := geom.Pt(x0+vp/2, y0+vp/2)
+		bestV := -1.0
+		for i := 0; i < consider; i++ {
+			cand := geom.Pt(x0+r.Intn(vp), y0+r.Intn(vp))
+			if v := img.Saliency(cand); v > bestV {
+				bestV = v
+				best = cand
+			}
+		}
+		jx := int(r.NormalScaled(0, 2))
+		jy := int(r.NormalScaled(0, 2))
+		return img.Size.Clamp(best.Add(geom.Pt(jx, jy)))
+	}
+}
+
+// ReplayClicker replays a fixed click sequence (a login attempt with
+// remembered points), with a per-click offset for tolerance tests.
+func ReplayClicker(clicks []geom.Point, dx, dy int) Clicker {
+	return func(img *imagegen.Image, step int) geom.Point {
+		if step >= len(clicks) {
+			return geom.Pt(0, 0)
+		}
+		return img.Size.Clamp(clicks[step].Add(geom.Pt(dx, dy)))
+	}
+}
+
+// RecordingClicker wraps another clicker and records what it clicked.
+func RecordingClicker(inner Clicker, out *[]geom.Point) Clicker {
+	return func(img *imagegen.Image, step int) geom.Point {
+		p := inner(img, step)
+		*out = append(*out, p)
+		return p
+	}
+}
+
+// Marshal encodes the record as JSON for storage.
+func (r *Record) Marshal() ([]byte, error) { return json.Marshal(r) }
+
+// UnmarshalRecord decodes and sanity-checks a stored CCP record.
+func UnmarshalRecord(data []byte) (*Record, error) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("ccp: decoding record: %w", err)
+	}
+	if r.Start < 0 || r.Iterations <= 0 || len(r.Digest) == 0 || len(r.Clears) == 0 {
+		return nil, fmt.Errorf("ccp: record for %q is malformed", r.User)
+	}
+	return &r, nil
+}

@@ -1,0 +1,281 @@
+package ccp
+
+import (
+	"testing"
+
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/hotspot"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/rng"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pool of 6 images: the two study proxies plus shifted variants.
+	images := []*imagegen.Image{imagegen.Cars(), imagegen.Pool()}
+	for i := 0; i < 4; i++ {
+		v := imagegen.Cars()
+		v.Name = v.Name + string(rune('a'+i))
+		for j := range v.Hotspots {
+			v.Hotspots[j].X = float64((int(v.Hotspots[j].X) + 40*(i+1)) % 440)
+		}
+		images = append(images, v)
+	}
+	return &System{
+		Images:     images,
+		Scheme:     scheme,
+		Clicks:     5,
+		Iterations: 2,
+	}
+}
+
+func TestEnrollVerifyRoundTrip(t *testing.T) {
+	s := testSystem(t)
+	var clicked []geom.Point
+	rec, err := s.Enroll("alice", RecordingClicker(HotspotClicker(rng.New(1)), &clicked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clicked) != 5 || len(rec.Clears) != 5 {
+		t.Fatalf("recorded %d clicks, %d clears", len(clicked), len(rec.Clears))
+	}
+	ok, err := s.Verify(rec, ReplayClicker(clicked, 0, 0))
+	if err != nil || !ok {
+		t.Fatalf("exact replay rejected: %v %v", ok, err)
+	}
+	// Within tolerance (r = 6.5 for 13x13): accepted.
+	ok, err = s.Verify(rec, ReplayClicker(clicked, 5, -5))
+	if err != nil || !ok {
+		t.Fatalf("5px replay rejected: %v %v", ok, err)
+	}
+	// Outside tolerance: rejected.
+	ok, err = s.Verify(rec, ReplayClicker(clicked, 8, 0))
+	if err != nil || ok {
+		t.Fatalf("8px replay accepted: %v %v", ok, err)
+	}
+}
+
+func TestWrongClickDerailsPath(t *testing.T) {
+	s := testSystem(t)
+	var clicked []geom.Point
+	rec, err := s.Enroll("bob", RecordingClicker(HotspotClicker(rng.New(2)), &clicked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt only the FIRST click badly; replay the rest exactly.
+	// The path diverges after step 0, so the remaining correct clicks
+	// are judged against the wrong images and the login fails.
+	bad := append([]geom.Point(nil), clicked...)
+	bad[0] = geom.Pt((bad[0].X.Pixels()+100)%451, (bad[0].Y.Pixels()+100)%331)
+	ok, err := s.Verify(rec, ReplayClicker(bad, 0, 0))
+	if err != nil || ok {
+		t.Fatalf("derailed login accepted: %v %v", ok, err)
+	}
+}
+
+func TestPathsDifferAcrossUsersAndClicks(t *testing.T) {
+	s := testSystem(t)
+	p1, err := s.Path("alice", HotspotClicker(rng.New(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Path("zoe", HotspotClicker(rng.New(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 6 || len(p2) != 6 {
+		t.Fatalf("path lengths %d/%d", len(p1), len(p2))
+	}
+	same := true
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different users walked identical paths")
+	}
+	// Consecutive images always differ (NextImage skips cur).
+	for i := 1; i < len(p1); i++ {
+		if p1[i] == p1[i-1] {
+			t.Error("path revisited the same image consecutively")
+		}
+	}
+}
+
+func TestNextImageDeterministic(t *testing.T) {
+	s := testSystem(t)
+	sec := core.Secret{IX: 7, IY: -3}
+	a := s.NextImage(2, sec)
+	b := s.NextImage(2, sec)
+	if a != b {
+		t.Error("NextImage not deterministic")
+	}
+	if a == 2 {
+		t.Error("NextImage returned the current image")
+	}
+	if a < 0 || a >= len(s.Images) {
+		t.Error("NextImage out of range")
+	}
+	// Different squares must (generally) lead to different images.
+	diff := 0
+	for ix := int64(0); ix < 20; ix++ {
+		if s.NextImage(2, core.Secret{IX: ix, IY: 0}) != a {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("NextImage ignores the square")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSystem(t)
+	mutations := map[string]func(*System){
+		"one image":   func(s *System) { s.Images = s.Images[:1] },
+		"nil scheme":  func(s *System) { s.Scheme = nil },
+		"zero clicks": func(s *System) { s.Clicks = 0 },
+		"zero iter":   func(s *System) { s.Iterations = 0 },
+		"size mix": func(s *System) {
+			odd := imagegen.Cars()
+			odd.Size = geom.Size{W: 10, H: 10}
+			odd.Hotspots = nil
+			odd.UniformWeight = 1
+			s.Images = append(s.Images, odd)
+		},
+	}
+	for name, mutate := range mutations {
+		sys := testSystem(t)
+		mutate(sys)
+		if err := sys.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+}
+
+func TestEnrollVerifyErrors(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.Enroll("x", nil); err == nil {
+		t.Error("nil clicker accepted")
+	}
+	rec, err := s.Enroll("x", HotspotClicker(rng.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(nil, HotspotClicker(rng.New(1))); err == nil {
+		t.Error("nil record accepted")
+	}
+	if _, err := s.Verify(rec, nil); err == nil {
+		t.Error("nil clicker accepted in verify")
+	}
+	short := *rec
+	short.Clears = short.Clears[:2]
+	ok, err := s.Verify(&short, HotspotClicker(rng.New(1)))
+	if err != nil || ok {
+		t.Error("short record should fail verification, not error")
+	}
+	broken := *rec
+	broken.Start = 99
+	if _, err := s.Verify(&broken, HotspotClicker(rng.New(1))); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+}
+
+// TestViewportFlattensClicks is the Persuasive CCP claim: creation
+// with a viewport starves hotspot dictionaries. We measure per-click
+// dictionary coverage — the fraction of created clicks falling within
+// a centered square of an automated top-30 hotspot candidate — for
+// hotspot-driven vs viewport-driven creation.
+func TestViewportFlattensClicks(t *testing.T) {
+	img := imagegen.Pool() // most concentrated image: strongest effect
+	scheme, err := core.NewCentered(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := hotspot.FromSaliency(img, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := dm.TopK(30, 10)
+	coverage := func(click Clicker) float64 {
+		covered, total := 0, 0
+		for i := 0; i < 1500; i++ {
+			p := click(img, 0)
+			total++
+			for _, c := range candidates {
+				if core.Accepts(scheme, scheme.Enroll(c), p) {
+					covered++
+					break
+				}
+			}
+		}
+		return float64(covered) / float64(total)
+	}
+	hotspotCov := coverage(HotspotClicker(rng.New(5)))
+	viewportCov := coverage(ViewportClicker(rng.New(5), 75))
+	t.Logf("dictionary coverage: hotspot %.1f%%, viewport %.1f%%", 100*hotspotCov, 100*viewportCov)
+	if hotspotCov < 0.3 {
+		t.Errorf("hotspot coverage %.2f too low — baseline broken", hotspotCov)
+	}
+	if viewportCov > hotspotCov/1.5 {
+		t.Errorf("viewport creation did not flatten clicks: %.2f vs %.2f", viewportCov, hotspotCov)
+	}
+}
+
+func TestViewportClickerStaysInImage(t *testing.T) {
+	img := imagegen.Cars()
+	click := ViewportClicker(rng.New(7), 600) // larger than the image: clamped
+	for i := 0; i < 200; i++ {
+		if p := click(img, 0); !img.Size.Contains(p) {
+			t.Fatalf("viewport click %v outside image", p)
+		}
+	}
+}
+
+func TestReplayClickerBeyondSequence(t *testing.T) {
+	img := imagegen.Cars()
+	click := ReplayClicker([]geom.Point{geom.Pt(5, 5)}, 0, 0)
+	if p := click(img, 3); p != geom.Pt(0, 0) {
+		t.Errorf("out-of-sequence replay = %v", p)
+	}
+}
+
+func TestRecordSerialization(t *testing.T) {
+	s := testSystem(t)
+	var clicked []geom.Point
+	rec, err := s.Enroll("ser", RecordingClicker(HotspotClicker(rng.New(4)), &clicked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Verify(back, ReplayClicker(clicked, 0, 0))
+	if err != nil || !ok {
+		t.Errorf("deserialized CCP record failed verification: %v %v", ok, err)
+	}
+	for name, junk := range map[string]string{
+		"bad json":  "{",
+		"no clears": `{"user":"x","start":0,"iterations":2,"digest":"aGk="}`,
+		"zero iter": `{"user":"x","start":0,"iterations":0,"digest":"aGk=","clears":[{}]}`,
+		"neg start": `{"user":"x","start":-1,"iterations":2,"digest":"aGk=","clears":[{}]}`,
+		"no digest": `{"user":"x","start":0,"iterations":2,"clears":[{}]}`,
+	} {
+		if _, err := UnmarshalRecord([]byte(junk)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

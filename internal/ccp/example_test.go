@@ -1,0 +1,46 @@
+package ccp_test
+
+import (
+	"fmt"
+	"log"
+
+	"clickpass/internal/ccp"
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/rng"
+)
+
+// A Cued Click-Points password is one click per image; each click's
+// grid square selects the next image, so wrong clicks derail the image
+// path instead of producing explicit feedback.
+func ExampleSystem() {
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := &ccp.System{
+		Images:     []*imagegen.Image{imagegen.Cars(), imagegen.Pool()},
+		Scheme:     scheme,
+		Clicks:     5,
+		Iterations: 100,
+	}
+	var clicked []geom.Point
+	rec, err := sys.Enroll("alice", ccp.RecordingClicker(ccp.HotspotClicker(rng.New(1)), &clicked))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := sys.Verify(rec, ccp.ReplayClicker(clicked, 5, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("5px off accepted:", ok)
+	ok, err = sys.Verify(rec, ccp.ReplayClicker(clicked, 8, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("8px off accepted:", ok)
+	// Output:
+	// 5px off accepted: true
+	// 8px off accepted: false
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"clickpass/internal/fixed"
+)
+
+// Centered1D performs Centered Discretization on a single axis with
+// tolerance R (sub-pixel units). The zero value is invalid; R must be
+// positive.
+type Centered1D struct {
+	R fixed.Sub
+}
+
+// SegLen returns the segment length 2r.
+func (c Centered1D) SegLen() fixed.Sub { return 2 * c.R }
+
+// Discretize splits an original coordinate x into its segment index i
+// (the secret, hashed part) and grid offset d in [0, 2r) (stored in the
+// clear). The original point lies exactly r from the left boundary of
+// segment i.
+func (c Centered1D) Discretize(x fixed.Sub) (i int64, d fixed.Sub) {
+	seg := int64(c.SegLen())
+	i = fixed.FloorDiv(int64(x-c.R), seg)
+	d = fixed.Sub(fixed.Mod(int64(x-c.R), seg))
+	return i, d
+}
+
+// Locate computes the segment index that contains a re-entered
+// coordinate x' under the offset d fixed at enrollment:
+// i' = floor((x'-d)/2r).
+func (c Centered1D) Locate(x fixed.Sub, d fixed.Sub) int64 {
+	return fixed.FloorDiv(int64(x-d), int64(c.SegLen()))
+}
+
+// Accepts reports whether re-entry x' falls in the same segment as the
+// original point with index i and offset d. Equivalent to
+// x' in [x-r, x+r) where x is the original coordinate.
+func (c Centered1D) Accepts(i int64, d fixed.Sub, x fixed.Sub) bool {
+	return c.Locate(x, d) == i
+}
+
+// Segment returns the half-open interval [lo, hi) of segment i under
+// offset d.
+func (c Centered1D) Segment(i int64, d fixed.Sub) (lo, hi fixed.Sub) {
+	lo = fixed.Sub(i*int64(c.SegLen())) + d
+	return lo, lo + c.SegLen()
+}
+
+// Center returns the reconstructed original coordinate: the midpoint of
+// segment i under offset d. Centering is the scheme's defining
+// property: Discretize(x) followed by Center yields x exactly.
+func (c Centered1D) Center(i int64, d fixed.Sub) fixed.Sub {
+	lo, _ := c.Segment(i, d)
+	return lo + c.R
+}
+
+// OffsetCount returns the number of distinct offsets d observable for
+// integer-pixel inputs — (2r) in pixel units — which determines the
+// information revealed by the clear-text grid identifier (paper §5.2).
+// It panics if 2r is not a whole number of pixels (the only deployable
+// configuration for pixel inputs).
+func (c Centered1D) OffsetCount() int64 {
+	seg := c.SegLen()
+	if !seg.IsWholePixels() {
+		panic(fmt.Sprintf("core: segment length %s is not a whole number of pixels", seg))
+	}
+	return int64(seg) / fixed.Scale
+}
+
+// CenteredND applies Centered Discretization independently to each of
+// Dims axes (paper §3.2): a 2-D click-point or a point in a 3-D scene
+// is discretized coordinate by coordinate.
+type CenteredND struct {
+	R    fixed.Sub
+	Dims int
+}
+
+// Validate returns an error if the configuration is unusable.
+func (c CenteredND) Validate() error {
+	if c.R <= 0 {
+		return fmt.Errorf("core: tolerance r=%s must be positive", c.R)
+	}
+	if c.Dims <= 0 {
+		return fmt.Errorf("core: dims=%d must be positive", c.Dims)
+	}
+	return nil
+}
+
+// Discretize maps an n-dimensional original point to per-axis segment
+// indices (secret) and offsets (clear). It panics if len(coords) does
+// not match Dims.
+func (c CenteredND) Discretize(coords []fixed.Sub) (idx []int64, off []fixed.Sub) {
+	c.checkLen(len(coords))
+	ax := Centered1D{R: c.R}
+	idx = make([]int64, c.Dims)
+	off = make([]fixed.Sub, c.Dims)
+	for k, x := range coords {
+		idx[k], off[k] = ax.Discretize(x)
+	}
+	return idx, off
+}
+
+// Locate maps a re-entered n-dimensional point to per-axis segment
+// indices under enrollment offsets off.
+func (c CenteredND) Locate(coords []fixed.Sub, off []fixed.Sub) []int64 {
+	c.checkLen(len(coords))
+	c.checkLen(len(off))
+	ax := Centered1D{R: c.R}
+	idx := make([]int64, c.Dims)
+	for k, x := range coords {
+		idx[k] = ax.Locate(x, off[k])
+	}
+	return idx
+}
+
+// Accepts reports whether every axis of the candidate falls in the
+// enrolled segment — i.e. the candidate is within the centered
+// tolerance box of the original point.
+func (c CenteredND) Accepts(idx []int64, off []fixed.Sub, coords []fixed.Sub) bool {
+	got := c.Locate(coords, off)
+	for k := range got {
+		if got[k] != idx[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c CenteredND) checkLen(n int) {
+	if n != c.Dims {
+		panic(fmt.Sprintf("core: got %d coordinates, want %d", n, c.Dims))
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clickpass/internal/fixed"
+)
+
+// TestPaperWorkedExample reproduces §3.1: x = 13, r = 5.5 gives i = 0,
+// d = 7.5; a login at x' = 10 maps to i' = 0 and is accepted.
+func TestPaperWorkedExample(t *testing.T) {
+	c := Centered1D{R: fixed.FromHalfPixels(11)} // r = 5.5
+	x := fixed.FromPixels(13)
+	i, d := c.Discretize(x)
+	if i != 0 {
+		t.Errorf("i = %d, want 0", i)
+	}
+	if d != fixed.FromHalfPixels(15) { // 7.5px
+		t.Errorf("d = %s, want 7.5", d)
+	}
+	if got := c.Locate(fixed.FromPixels(10), d); got != 0 {
+		t.Errorf("i' = %d, want 0", got)
+	}
+	if !c.Accepts(i, d, fixed.FromPixels(10)) {
+		t.Error("x' = 10 should be accepted")
+	}
+}
+
+// TestCenteredExactTolerance1D verifies the defining property: for
+// r = 6.5 (13-pixel segments) an integer-pixel re-entry is accepted iff
+// it is within 6 pixels of the original.
+func TestCenteredExactTolerance1D(t *testing.T) {
+	c := Centered1D{R: fixed.FromHalfPixels(13)}
+	for x := -30; x <= 30; x++ {
+		i, d := c.Discretize(fixed.FromPixels(x))
+		for dx := -10; dx <= 10; dx++ {
+			got := c.Accepts(i, d, fixed.FromPixels(x+dx))
+			want := dx >= -6 && dx <= 6
+			if got != want {
+				t.Fatalf("x=%d dx=%d: accepted=%v, want %v", x, dx, got, want)
+			}
+		}
+	}
+}
+
+// TestCenteredNoBoundaryPixels: with half-pixel r the acceptance
+// boundary falls between pixels, so the accepted set is symmetric even
+// though segments are half-open.
+func TestCenteredExactToleranceEvenSide(t *testing.T) {
+	// A 24-pixel segment (r = 12.0) has integer boundaries: the
+	// half-open interval accepts -12..+11. This asymmetry is why the
+	// paper prefers odd sides (2r+1 pixels).
+	c := Centered1D{R: fixed.FromPixels(12)}
+	i, d := c.Discretize(fixed.FromPixels(100))
+	for dx := -14; dx <= 14; dx++ {
+		got := c.Accepts(i, d, fixed.FromPixels(100+dx))
+		want := dx >= -12 && dx <= 11
+		if got != want {
+			t.Fatalf("dx=%d: accepted=%v, want %v", dx, got, want)
+		}
+	}
+}
+
+// Property: the original point is exactly centered in its segment.
+func TestCenteringProperty(t *testing.T) {
+	f := func(xRaw int32, rRaw uint16) bool {
+		r := fixed.Sub(int64(rRaw%600) + 1)
+		c := Centered1D{R: r}
+		x := fixed.Sub(xRaw)
+		i, d := c.Discretize(x)
+		if d < 0 || d >= c.SegLen() {
+			return false
+		}
+		lo, hi := c.Segment(i, d)
+		if x-lo != r || hi-x != r {
+			return false
+		}
+		return c.Center(i, d) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: acceptance is exactly the half-open interval [x-r, x+r) in
+// sub-pixel space, for arbitrary (not just pixel-aligned) coordinates.
+func TestCenteredHalfOpenInterval(t *testing.T) {
+	f := func(xRaw int32, rRaw uint16, dxRaw int16) bool {
+		r := fixed.Sub(int64(rRaw%600) + 1)
+		c := Centered1D{R: r}
+		x := fixed.Sub(xRaw)
+		dx := fixed.Sub(dxRaw)
+		i, d := c.Discretize(x)
+		got := c.Accepts(i, d, x+dx)
+		want := dx >= -r && dx < r
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: segment indices are monotone in x and adjacent segments
+// tile the line with no gaps.
+func TestCenteredSegmentsTile(t *testing.T) {
+	c := Centered1D{R: fixed.FromHalfPixels(13)}
+	_, d := c.Discretize(fixed.FromPixels(40))
+	prevHi := fixed.Sub(0)
+	for i := int64(-3); i <= 3; i++ {
+		lo, hi := c.Segment(i, d)
+		if hi-lo != c.SegLen() {
+			t.Fatalf("segment %d has length %v", i, hi-lo)
+		}
+		if i > -3 && lo != prevHi {
+			t.Fatalf("segment %d does not abut previous (lo=%v prevHi=%v)", i, lo, prevHi)
+		}
+		prevHi = hi
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	// The paper notes i = -1 occurs when x is within r of the origin.
+	c := Centered1D{R: fixed.FromHalfPixels(11)} // r = 5.5
+	i, d := c.Discretize(fixed.FromPixels(2))
+	if i != -1 {
+		t.Errorf("x=2, r=5.5: i = %d, want -1", i)
+	}
+	if d < 0 || d >= c.SegLen() {
+		t.Errorf("offset %v out of range", d)
+	}
+	if !c.Accepts(i, d, fixed.FromPixels(0)) {
+		t.Error("x'=0 within 5.5 of x=2 should be accepted")
+	}
+}
+
+func TestOffsetCount(t *testing.T) {
+	c := Centered1D{R: fixed.FromHalfPixels(19)} // r=9.5, segment 19px
+	if got := c.OffsetCount(); got != 19 {
+		t.Errorf("OffsetCount = %d, want 19 (paper: 19^2 = 361 grids)", got)
+	}
+}
+
+func TestOffsetCountPanicsOnFractionalSegment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-pixel segment length")
+		}
+	}()
+	Centered1D{R: fixed.Sub(10)}.OffsetCount() // segment 20/6 px
+}
+
+func TestCenteredNDRoundTrip(t *testing.T) {
+	c := CenteredND{R: fixed.FromHalfPixels(13), Dims: 3}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	coords := []fixed.Sub{
+		fixed.FromPixels(100), fixed.FromPixels(55), fixed.FromPixels(7),
+	}
+	idx, off := c.Discretize(coords)
+	if !c.Accepts(idx, off, coords) {
+		t.Fatal("original point must be accepted")
+	}
+	// Perturb one axis beyond tolerance.
+	far := append([]fixed.Sub(nil), coords...)
+	far[2] += fixed.FromPixels(7)
+	if c.Accepts(idx, off, far) {
+		t.Error("7px displacement with r=6.5 must be rejected")
+	}
+	near := append([]fixed.Sub(nil), coords...)
+	near[0] -= fixed.FromPixels(6)
+	near[1] += fixed.FromPixels(6)
+	if !c.Accepts(idx, off, near) {
+		t.Error("6px displacement with r=6.5 must be accepted")
+	}
+}
+
+func TestCenteredNDValidate(t *testing.T) {
+	if err := (CenteredND{R: 0, Dims: 2}).Validate(); err == nil {
+		t.Error("zero tolerance should fail validation")
+	}
+	if err := (CenteredND{R: 6, Dims: 0}).Validate(); err == nil {
+		t.Error("zero dims should fail validation")
+	}
+}
+
+func TestCenteredNDDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong dimensionality")
+		}
+	}()
+	c := CenteredND{R: fixed.FromPixels(5), Dims: 2}
+	c.Discretize([]fixed.Sub{1, 2, 3})
+}

@@ -1,0 +1,32 @@
+// Package core implements the paper's primary contribution — Centered
+// Discretization — together with the baseline it replaces, Robust
+// Discretization (Birget, Hong, Memon 2006).
+//
+// Both schemes answer the same question for click-based graphical
+// passwords: how can the system accept approximately-correct re-entries
+// of a click-point while storing only a cryptographic hash of it?
+//
+// Centered Discretization (Chiasson et al. 2008) discretizes each axis
+// into segments of length 2r, offset per original point so the point
+// sits exactly in the middle of its segment:
+//
+//	i = floor((x - r) / 2r)   segment index  (hashed)
+//	d = (x - r) mod 2r        grid offset    (stored in the clear)
+//
+// Re-entry x' maps to i' = floor((x' - d) / 2r); acceptance i' == i is
+// exactly equivalent to |x' - x| <= r (half-open on the +r side; with
+// half-pixel r and integer pixels the boundary is never hit, giving an
+// odd 2r+1-pixel square perfectly centered on the click).
+//
+// Robust Discretization overlays three static grids of 6r x 6r squares
+// diagonally offset by 2r, picking for each point a grid in which the
+// point is "r-safe" (at least r from every grid line). That guarantees
+// acceptance within r and rejection beyond rmax = 5r, but between r and
+// 5r behaviour depends on where the point happens to fall in its square
+// — the source of the false accepts and false rejects the paper
+// quantifies.
+//
+// All arithmetic is exact, in sixth-pixel integer units (package fixed).
+// Both schemes generalize to n dimensions; Robust uses n+1 grids with
+// squares of side 2r(n+1).
+package core

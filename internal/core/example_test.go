@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"clickpass/internal/core"
+	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
+)
+
+// The paper's §3.1 worked example: x = 13, r = 5.5 gives segment 0
+// with clear offset d = 7.5; a login at x' = 10 falls in the same
+// segment and is accepted.
+func ExampleCentered1D() {
+	ax := core.Centered1D{R: fixed.FromHalfPixels(11)} // r = 5.5px
+	i, d := ax.Discretize(fixed.FromPixels(13))
+	fmt.Printf("i=%d d=%s\n", i, d)
+	fmt.Println("x'=10 accepted:", ax.Accepts(i, d, fixed.FromPixels(10)))
+	fmt.Println("x'=19 accepted:", ax.Accepts(i, d, fixed.FromPixels(19)))
+	// Output:
+	// i=0 d=7.5
+	// x'=10 accepted: true
+	// x'=19 accepted: false
+}
+
+// A 13x13 Centered grid accepts exactly the 169 pixels centered on the
+// original click — no dependence on where the click falls relative to
+// any static grid.
+func ExampleCentered2D() {
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tok := scheme.Enroll(geom.Pt(100, 200))
+	fmt.Println("6px off accepted:", core.Accepts(scheme, tok, geom.Pt(106, 194)))
+	fmt.Println("7px off accepted:", core.Accepts(scheme, tok, geom.Pt(107, 200)))
+	fmt.Println("region centered on click:", scheme.Region(tok).Center() == geom.Pt(100, 200))
+	// Output:
+	// 6px off accepted: true
+	// 7px off accepted: false
+	// region centered on click: true
+}
+
+// Robust Discretization guarantees only r = side/6: a 36x36 square
+// always accepts 6px displacements but may accept up to 30px — and
+// where the extra slack lies depends on the click's position in its
+// grid square.
+func ExampleRobust2D() {
+	scheme, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tok := scheme.Enroll(geom.Pt(100, 200))
+	fmt.Println("6px off accepted:", core.Accepts(scheme, tok, geom.Pt(106, 200)))
+	fmt.Printf("guaranteed r: %spx, worst-case accepted: %spx\n",
+		scheme.GuaranteedR(), scheme.MaxAccepted())
+	// Output:
+	// 6px off accepted: true
+	// guaranteed r: 6px, worst-case accepted: 30px
+}

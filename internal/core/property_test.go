@@ -1,0 +1,176 @@
+package core
+
+// Randomized property tests complementing the exhaustive-window tests:
+// the same invariants over arbitrary coordinates anywhere on the line,
+// driven by testing/quick.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
+)
+
+// clampPt maps arbitrary int16 pairs onto a plausible click position.
+func clampPt(x, y int16) geom.Point {
+	return geom.Pt(int(uint16(x)%2000), int(uint16(y)%2000))
+}
+
+// Property: Centered2D acceptance equals the Chebyshev ball, for any
+// point and displacement.
+func TestPropertyCenteredEqualsChebyshev(t *testing.T) {
+	c, err := NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y, dx, dy int16) bool {
+		p := clampPt(x, y)
+		q := p.Add(geom.Pt(int(dx%40), int(dy%40)))
+		tok := c.Enroll(p)
+		return Accepts(c, tok, q) == (p.Chebyshev(q) <= c.MaxAccepted())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a Robust enrollment always yields an r-safe square that
+// contains the point with margin in [r, side/2].
+func TestPropertyRobustMarginBounds(t *testing.T) {
+	for _, policy := range []RobustPolicy{MostCentered, FirstSafe, RandomSafe} {
+		rb, err := NewRobust2D(19, policy, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(x, y int16) bool {
+			p := clampPt(x, y)
+			tok := rb.Enroll(p)
+			region := rb.Region(tok)
+			m := region.Margin(p)
+			return m >= rb.GuaranteedR() && m <= rb.SquareSide()/2 &&
+				region.W() == rb.SquareSide() && region.H() == rb.SquareSide()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("policy %v: %v", policy, err)
+		}
+	}
+}
+
+// Property: Robust guarantees hold for arbitrary points — acceptance
+// within r, rejection beyond 5r.
+func TestPropertyRobustGuarantees(t *testing.T) {
+	rb, err := NewRobust2D(24, MostCentered, 7) // r = 4px
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y int16, dxRaw, dyRaw uint8) bool {
+		p := clampPt(x, y)
+		tok := rb.Enroll(p)
+		// Within r: accept.
+		dxIn := int(dxRaw%9) - 4 // [-4, 4]
+		dyIn := int(dyRaw%9) - 4
+		if !Accepts(rb, tok, p.Add(geom.Pt(dxIn, dyIn))) {
+			return false
+		}
+		// Beyond 5r = 20 on one axis: reject.
+		dxOut := 21 + int(dxRaw%30)
+		return !Accepts(rb, tok, p.Add(geom.Pt(dxOut, 0)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Centered2D agrees with CenteredND(dims=2) on every input.
+func TestPropertyCentered2DMatchesND(t *testing.T) {
+	c2, err := NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := CenteredND{R: fixed.Sub(13) * fixed.Scale / 2, Dims: 2}
+	f := func(x, y, qx, qy int16) bool {
+		p := clampPt(x, y)
+		q := clampPt(qx, qy)
+		tok := c2.Enroll(p)
+		idx, off := nd.Discretize([]fixed.Sub{p.X, p.Y})
+		if idx[0] != tok.Secret.IX || idx[1] != tok.Secret.IY {
+			return false
+		}
+		if off[0] != tok.Clear.DX || off[1] != tok.Clear.DY {
+			return false
+		}
+		return Accepts(c2, tok, q) == nd.Accepts(idx, off, []fixed.Sub{q.X, q.Y})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokens are stable — re-enrolling the same point yields the
+// same token (determinism matters for MostCentered and FirstSafe; the
+// RandomSafe policy is exempt by design).
+func TestPropertyEnrollDeterministic(t *testing.T) {
+	c, err := NewCentered(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRobust2D(19, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{c, rb} {
+		f := func(x, y int16) bool {
+			p := clampPt(x, y)
+			return s.Enroll(p) == s.Enroll(p)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// Property: the clear offsets of Centered enrollment are always in
+// [0, 2r) and pixel-aligned remainders for pixel inputs (the grid
+// identifier count of §5.2 depends on this).
+func TestPropertyCenteredOffsetRange(t *testing.T) {
+	c, err := NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[fixed.Sub]bool)
+	f := func(x, y int16) bool {
+		p := clampPt(x, y)
+		tok := c.Enroll(p)
+		seen[tok.Clear.DX] = true
+		return tok.Clear.DX >= 0 && tok.Clear.DX < c.SquareSide() &&
+			tok.Clear.DY >= 0 && tok.Clear.DY < c.SquareSide()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+	// For integer-pixel inputs there are exactly side distinct offset
+	// values per axis (13 here -> 13^2 grids, §3.2's example logic).
+	if len(seen) > 13 {
+		t.Errorf("observed %d distinct x-offsets, want <= 13", len(seen))
+	}
+}
+
+// Property: Robust Locate is translation-consistent — shifting a point
+// by exactly one square side shifts its index by one.
+func TestPropertyRobustTranslation(t *testing.T) {
+	rb, err := NewRobust2D(13, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y int16, g uint8) bool {
+		p := clampPt(x, y)
+		grid := Clear{Grid: g % 3}
+		a := rb.Locate(p, grid)
+		b := rb.Locate(p.Add(geom.Pt(13, 0)), grid)
+		return b.IX == a.IX+1 && b.IY == a.IY
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

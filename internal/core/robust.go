@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"clickpass/internal/fixed"
+	"clickpass/internal/rng"
+)
+
+// RobustPolicy selects which grid to use when a click-point is r-safe
+// in more than one of the three Robust grids. The original paper left
+// this unspecified; Chiasson et al. implement "optimal" Robust
+// Discretization (MostCentered) to avoid misrepresenting the scheme.
+type RobustPolicy int
+
+const (
+	// MostCentered picks the safe grid whose square the point is
+	// deepest inside (maximum Chebyshev margin to the square's edges),
+	// minimizing false accepts/rejects. This is the paper's choice.
+	MostCentered RobustPolicy = iota
+	// FirstSafe picks the lowest-numbered safe grid, the most naive
+	// reading of Birget et al.
+	FirstSafe
+	// RandomSafe picks uniformly among safe grids, modelling an
+	// implementation with no preference. Deterministic given the
+	// scheme's seed.
+	RandomSafe
+)
+
+// String names the policy for reports and flags.
+func (p RobustPolicy) String() string {
+	switch p {
+	case MostCentered:
+		return "most-centered"
+	case FirstSafe:
+		return "first-safe"
+	case RandomSafe:
+		return "random-safe"
+	default:
+		return fmt.Sprintf("RobustPolicy(%d)", int(p))
+	}
+}
+
+// RobustND implements Robust Discretization in Dims dimensions with
+// guaranteed tolerance R. It uses Dims+1 grids of hypercubes with side
+// 2R(Dims+1), diagonally offset from each other by 2R — for the paper's
+// 2-D case: three grids of 6r x 6r squares offset by 2r.
+//
+// Construct with NewRobust; the zero value is invalid.
+type RobustND struct {
+	R      fixed.Sub
+	Dims   int
+	Policy RobustPolicy
+
+	rnd *rng.Source // used only by RandomSafe
+}
+
+// NewRobust returns a Robust Discretization scheme. seed is consumed
+// only by the RandomSafe policy.
+func NewRobust(r fixed.Sub, dims int, policy RobustPolicy, seed uint64) (*RobustND, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("core: tolerance r=%s must be positive", r)
+	}
+	if dims <= 0 {
+		return nil, fmt.Errorf("core: dims=%d must be positive", dims)
+	}
+	switch policy {
+	case MostCentered, FirstSafe, RandomSafe:
+	default:
+		return nil, fmt.Errorf("core: unknown policy %v", policy)
+	}
+	return &RobustND{R: r, Dims: dims, Policy: policy, rnd: rng.New(seed)}, nil
+}
+
+// GridCount returns the number of grids, Dims+1.
+func (rb *RobustND) GridCount() int { return rb.Dims + 1 }
+
+// Side returns the hypercube side length 2R(Dims+1); 6r in 2-D.
+func (rb *RobustND) Side() fixed.Sub { return 2 * rb.R * fixed.Sub(rb.Dims+1) }
+
+// RMax returns the largest accepted displacement: a re-entry farther
+// than RMax from the original point on any axis is guaranteed rejected.
+// In 2-D this is the paper's rmax = 5r (side - r).
+func (rb *RobustND) RMax() fixed.Sub { return rb.Side() - rb.R }
+
+// offset returns grid g's diagonal offset along every axis: g * 2R.
+func (rb *RobustND) offset(g int) fixed.Sub { return fixed.Sub(g) * 2 * rb.R }
+
+// axisMargin returns the distance from coordinate x to the nearest grid
+// line of grid g along one axis.
+func (rb *RobustND) axisMargin(x fixed.Sub, g int) fixed.Sub {
+	side := int64(rb.Side())
+	m := fixed.Mod(int64(x-rb.offset(g)), side)
+	return fixed.Sub(min64(m, side-m))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SafeIn reports whether the point is r-safe in grid g: the closed
+// ball of radius R around the point fits inside the point's (half-open)
+// hypercube on every axis. Concretely, the in-cube position m must
+// satisfy r <= m < side-r: closed on the low side, open on the high
+// side, so that a re-entry displaced exactly +R never lands on a grid
+// line. With this convention each axis has exactly one unsafe grid and
+// acceptance guarantee (1) holds with closed tolerance |dx| <= R.
+func (rb *RobustND) SafeIn(coords []fixed.Sub, g int) bool {
+	rb.checkLen(len(coords))
+	side := int64(rb.Side())
+	for _, x := range coords {
+		m := fixed.Mod(int64(x-rb.offset(g)), side)
+		if m < int64(rb.R) || m >= side-int64(rb.R) {
+			return false
+		}
+	}
+	return true
+}
+
+// Margin returns the minimum over axes of the distance from the point
+// to the nearest grid line of grid g — the Chebyshev margin the
+// MostCentered policy maximizes.
+func (rb *RobustND) Margin(coords []fixed.Sub, g int) fixed.Sub {
+	rb.checkLen(len(coords))
+	m := rb.axisMargin(coords[0], g)
+	for _, x := range coords[1:] {
+		m = fixed.Min(m, rb.axisMargin(x, g))
+	}
+	return m
+}
+
+// SafeGrids returns the grids in which the point is r-safe, in
+// ascending order. Birget et al.'s theorem guarantees the result is
+// non-empty; the property tests exercise this exhaustively.
+func (rb *RobustND) SafeGrids(coords []fixed.Sub) []int {
+	var safe []int
+	for g := 0; g < rb.GridCount(); g++ {
+		if rb.SafeIn(coords, g) {
+			safe = append(safe, g)
+		}
+	}
+	return safe
+}
+
+// ChooseGrid applies the configured policy to pick the enrollment grid.
+// It panics if no grid is safe, which the scheme's geometry rules out.
+func (rb *RobustND) ChooseGrid(coords []fixed.Sub) int {
+	safe := rb.SafeGrids(coords)
+	if len(safe) == 0 {
+		panic(fmt.Sprintf("core: no r-safe grid for %v — Robust invariant violated", coords))
+	}
+	switch rb.Policy {
+	case FirstSafe:
+		return safe[0]
+	case RandomSafe:
+		return safe[rb.rnd.Intn(len(safe))]
+	default: // MostCentered
+		best, bestMargin := safe[0], rb.Margin(coords, safe[0])
+		for _, g := range safe[1:] {
+			if m := rb.Margin(coords, g); m > bestMargin {
+				best, bestMargin = g, m
+			}
+		}
+		return best
+	}
+}
+
+// Discretize enrolls an original point: it chooses a grid and returns
+// the grid identifier (clear) together with the per-axis indices of the
+// hypercube containing the point (secret, hashed).
+func (rb *RobustND) Discretize(coords []fixed.Sub) (grid int, idx []int64) {
+	grid = rb.ChooseGrid(coords)
+	return grid, rb.Locate(coords, grid)
+}
+
+// Locate returns the per-axis hypercube indices of a point in grid g.
+func (rb *RobustND) Locate(coords []fixed.Sub, g int) []int64 {
+	rb.checkLen(len(coords))
+	side := int64(rb.Side())
+	idx := make([]int64, rb.Dims)
+	for k, x := range coords {
+		idx[k] = fixed.FloorDiv(int64(x-rb.offset(g)), side)
+	}
+	return idx
+}
+
+// Accepts reports whether a candidate point falls in the enrolled
+// hypercube (grid g, indices idx).
+func (rb *RobustND) Accepts(g int, idx []int64, coords []fixed.Sub) bool {
+	got := rb.Locate(coords, g)
+	for k := range got {
+		if got[k] != idx[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cube returns the half-open extent [lo, hi) of hypercube idx in grid g
+// along axis k.
+func (rb *RobustND) Cube(g int, idx []int64, k int) (lo, hi fixed.Sub) {
+	lo = fixed.Sub(idx[k]*int64(rb.Side())) + rb.offset(g)
+	return lo, lo + rb.Side()
+}
+
+func (rb *RobustND) checkLen(n int) {
+	if n != rb.Dims {
+		panic(fmt.Sprintf("core: got %d coordinates, want %d", n, rb.Dims))
+	}
+}

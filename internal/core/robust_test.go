@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+
+	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
+)
+
+func newRobust1D(t *testing.T, rPx int) *RobustND {
+	t.Helper()
+	rb, err := NewRobust(fixed.FromPixels(rPx), 1, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rb
+}
+
+func newRobust2DTest(t *testing.T, sidePx int, policy RobustPolicy) *Robust2D {
+	t.Helper()
+	rb, err := NewRobust2D(sidePx, policy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rb
+}
+
+func TestRobustGeometryConstants(t *testing.T) {
+	rb := newRobust2DTest(t, 36, MostCentered) // r = 6
+	if rb.GuaranteedR() != fixed.FromPixels(6) {
+		t.Errorf("r = %v, want 6px", rb.GuaranteedR())
+	}
+	if rb.SquareSide() != fixed.FromPixels(36) {
+		t.Errorf("side = %v, want 36px", rb.SquareSide())
+	}
+	if rb.MaxAccepted() != fixed.FromPixels(30) {
+		t.Errorf("rmax = %v, want 5r = 30px", rb.MaxAccepted())
+	}
+}
+
+// TestThreeGridsSufficient2D exhaustively verifies Birget et al.'s
+// theorem at sub-pixel resolution over one full period: every point has
+// at least one r-safe grid among the three.
+func TestThreeGridsSufficient2D(t *testing.T) {
+	rb, err := NewRobust(fixed.Sub(13), 2, MostCentered, 1) // side 78 sub
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := int64(rb.Side())
+	for x := int64(0); x < period; x++ {
+		for y := int64(0); y < period; y++ {
+			n := len(rb.SafeGrids([]fixed.Sub{fixed.Sub(x), fixed.Sub(y)}))
+			if n == 0 {
+				t.Fatalf("no safe grid at (%d,%d) sub", x, y)
+			}
+			// Each axis excludes exactly one grid, so 1 or 2 remain.
+			if n > 2 {
+				t.Fatalf("%d safe grids at (%d,%d) sub, want <= 2", n, x, y)
+			}
+		}
+	}
+}
+
+// TestSafeGridCount1D: the half-open unsafe bands of the GridCount
+// grids partition each axis's period, so in 1-D (2 grids) every point
+// is safe in exactly one grid.
+func TestSafeGridCount1D(t *testing.T) {
+	rb := newRobust1D(t, 2) // r = 12 sub, side 4r = 48 sub, 2 grids
+	if rb.GridCount() != 2 {
+		t.Fatalf("1-D Robust uses n+1 = 2 grids, got %d", rb.GridCount())
+	}
+	period := int64(rb.Side())
+	for x := int64(0); x < period; x++ {
+		n := len(rb.SafeGrids([]fixed.Sub{fixed.Sub(x)}))
+		if n != 1 {
+			t.Fatalf("x=%d: %d safe grids, want exactly 1", x, n)
+		}
+	}
+}
+
+// TestRobustGuaranteeAccept: any re-entry within r (Chebyshev) of the
+// original point is accepted — guarantee (1) of the scheme.
+func TestRobustGuaranteeAccept(t *testing.T) {
+	for _, policy := range []RobustPolicy{MostCentered, FirstSafe, RandomSafe} {
+		rb := newRobust2DTest(t, 18, policy) // r = 3px
+		for x := 0; x < 40; x++ {
+			for y := 0; y < 40; y += 7 {
+				p := geom.Pt(x, y)
+				tok := rb.Enroll(p)
+				for dx := -3; dx <= 3; dx++ {
+					for dy := -3; dy <= 3; dy++ {
+						q := geom.Pt(x+dx, y+dy)
+						if !Accepts(rb, tok, q) {
+							t.Fatalf("policy %v: (%d,%d)+(%d,%d) within r rejected", policy, x, y, dx, dy)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRobustGuaranteeReject: any re-entry farther than rmax = 5r on
+// some axis is rejected — guarantee (2).
+func TestRobustGuaranteeReject(t *testing.T) {
+	rb := newRobust2DTest(t, 18, MostCentered) // r=3, rmax=15
+	for x := 0; x < 60; x += 5 {
+		for y := 0; y < 60; y += 3 {
+			p := geom.Pt(x, y)
+			tok := rb.Enroll(p)
+			for _, d := range []int{16, 20, 33} {
+				if Accepts(rb, tok, geom.Pt(x+d, y)) {
+					t.Fatalf("(%d,%d)+%dpx beyond rmax accepted", x, y, d)
+				}
+				if Accepts(rb, tok, geom.Pt(x, y-d)) {
+					t.Fatalf("(%d,%d)-%dpx beyond rmax accepted", x, y, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRobustWorstCaseReachable: there exist points accepted at nearly
+// 5r and points rejected at just over r — the asymmetry of Figure 1.
+func TestRobustWorstCaseReachable(t *testing.T) {
+	rb := newRobust2DTest(t, 36, MostCentered) // r=6, rmax=30
+	var sawFarAccept, sawNearReject bool
+	for x := 0; x < 108 && !(sawFarAccept && sawNearReject); x++ {
+		for y := 0; y < 108; y++ {
+			p := geom.Pt(x, y)
+			tok := rb.Enroll(p)
+			// Displacement well beyond centered tolerance (side/2=18).
+			if Accepts(rb, tok, geom.Pt(x+25, y)) {
+				sawFarAccept = true
+			}
+			// Displacement barely beyond r.
+			if !Accepts(rb, tok, geom.Pt(x+7, y)) {
+				sawNearReject = true
+			}
+		}
+	}
+	if !sawFarAccept {
+		t.Error("no point accepted at 25px despite rmax=30 — worst case unreachable?")
+	}
+	if !sawNearReject {
+		t.Error("no point rejected at 7px despite r=6 — worst case unreachable?")
+	}
+}
+
+// TestChosenGridIsSafe: every policy must return an r-safe grid.
+func TestChosenGridIsSafe(t *testing.T) {
+	for _, policy := range []RobustPolicy{MostCentered, FirstSafe, RandomSafe} {
+		rb, err := NewRobust(fixed.Sub(13), 2, policy, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		period := int64(rb.Side())
+		for x := int64(0); x < period; x += 5 {
+			for y := int64(0); y < period; y += 3 {
+				coords := []fixed.Sub{fixed.Sub(x), fixed.Sub(y)}
+				g := rb.ChooseGrid(coords)
+				if !rb.SafeIn(coords, g) {
+					t.Fatalf("policy %v chose unsafe grid %d at (%d,%d)", policy, g, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestMostCenteredIsOptimal: the MostCentered margin dominates every
+// other safe grid's margin.
+func TestMostCenteredIsOptimal(t *testing.T) {
+	rb, err := NewRobust(fixed.Sub(13), 2, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := int64(rb.Side())
+	for x := int64(0); x < period; x += 7 {
+		for y := int64(0); y < period; y += 7 {
+			coords := []fixed.Sub{fixed.Sub(x), fixed.Sub(y)}
+			g := rb.ChooseGrid(coords)
+			m := rb.Margin(coords, g)
+			for _, other := range rb.SafeGrids(coords) {
+				if rb.Margin(coords, other) > m {
+					t.Fatalf("grid %d has larger margin than chosen %d at (%d,%d)", other, g, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestMarginAtLeastR: whatever grid is chosen, the original point keeps
+// at least margin r inside its square.
+func TestMarginAtLeastR(t *testing.T) {
+	rb := newRobust2DTest(t, 24, MostCentered)
+	for x := 0; x < 50; x++ {
+		for y := 0; y < 50; y += 11 {
+			p := geom.Pt(x, y)
+			tok := rb.Enroll(p)
+			if m := rb.Region(tok).Margin(p); m < rb.GuaranteedR() {
+				t.Fatalf("margin %v < r %v at %v", m, rb.GuaranteedR(), p)
+			}
+		}
+	}
+}
+
+// TestRegionMatchesAccepts: the Region rect and the Accepts predicate
+// agree exactly.
+func TestRegionMatchesAccepts(t *testing.T) {
+	rb := newRobust2DTest(t, 13, MostCentered)
+	cn, err := NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{rb, cn} {
+		p := geom.Pt(101, 57)
+		tok := s.Enroll(p)
+		region := s.Region(tok)
+		for dx := -15; dx <= 15; dx++ {
+			for dy := -15; dy <= 15; dy++ {
+				q := geom.Pt(101+dx, 57+dy)
+				if Accepts(s, tok, q) != region.Contains(q) {
+					t.Fatalf("%s: Accepts and Region disagree at offset (%d,%d)", s.Name(), dx, dy)
+				}
+			}
+		}
+		if !region.Contains(p) {
+			t.Fatalf("%s: region excludes original point", s.Name())
+		}
+	}
+}
+
+// TestRobustND3D: the n-D generalization needs n+1 grids; verify the
+// safety theorem in 3-D on a coarse lattice.
+func TestRobustND3D(t *testing.T) {
+	rb, err := NewRobust(fixed.Sub(6), 3, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.GridCount() != 4 {
+		t.Fatalf("3-D Robust needs 4 grids, got %d", rb.GridCount())
+	}
+	if rb.Side() != fixed.Sub(48) { // 2r(n+1) = 2*6*4
+		t.Fatalf("side = %v, want 48", rb.Side())
+	}
+	period := int64(rb.Side())
+	for x := int64(0); x < period; x += 2 {
+		for y := int64(0); y < period; y += 3 {
+			for z := int64(0); z < period; z += 5 {
+				coords := []fixed.Sub{fixed.Sub(x), fixed.Sub(y), fixed.Sub(z)}
+				if len(rb.SafeGrids(coords)) == 0 {
+					t.Fatalf("no safe grid at (%d,%d,%d)", x, y, z)
+				}
+				g, idx := rb.Discretize(coords)
+				if !rb.Accepts(g, idx, coords) {
+					t.Fatalf("original rejected at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestNewRobustValidation(t *testing.T) {
+	if _, err := NewRobust(0, 2, MostCentered, 1); err == nil {
+		t.Error("zero r should fail")
+	}
+	if _, err := NewRobust(6, 0, MostCentered, 1); err == nil {
+		t.Error("zero dims should fail")
+	}
+	if _, err := NewRobust(6, 2, RobustPolicy(99), 1); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := NewRobust2D(0, MostCentered, 1); err == nil {
+		t.Error("zero side should fail")
+	}
+	if _, err := NewRobustFromR(0, MostCentered, 1); err == nil {
+		t.Error("zero r should fail")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[RobustPolicy]string{
+		MostCentered:    "most-centered",
+		FirstSafe:       "first-safe",
+		RandomSafe:      "random-safe",
+		RobustPolicy(9): "RobustPolicy(9)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestRobustFromR(t *testing.T) {
+	rb, err := NewRobustFromR(6, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.SquareSide() != fixed.FromPixels(36) {
+		t.Errorf("r=6 gives side %v, want 36px", rb.SquareSide())
+	}
+}

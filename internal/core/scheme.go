@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
+)
+
+// Clear is the portion of a discretized click-point that a system
+// stores in clear text: the grid identifier. For Centered
+// Discretization it is the pair of per-axis offsets (DX, DY); for
+// Robust Discretization it is the index of the chosen grid.
+type Clear struct {
+	DX, DY fixed.Sub // Centered: offsets in [0, 2r); unused for Robust
+	Grid   uint8     // Robust: grid index 0..2; unused for Centered
+}
+
+// Secret is the hashed portion: the per-axis indices of the grid square
+// containing the click-point.
+type Secret struct {
+	IX, IY int64
+}
+
+// Token is the full discretized form of one click-point.
+type Token struct {
+	Clear  Clear
+	Secret Secret
+}
+
+// Scheme is a 2-D discretization scheme usable by a PassPoints-style
+// system. Implementations are immutable after construction and safe for
+// concurrent use except where noted (RandomSafe Robust policy mutates
+// its internal RNG during Enroll).
+type Scheme interface {
+	// Name identifies the scheme in reports ("centered", "robust").
+	Name() string
+	// SquareSide returns the grid-square side length.
+	SquareSide() fixed.Sub
+	// GuaranteedR returns the minimum tolerance guaranteed around any
+	// original click-point.
+	GuaranteedR() fixed.Sub
+	// MaxAccepted returns the largest displacement from the original
+	// point that can ever be accepted (r for Centered, 5r for Robust).
+	MaxAccepted() fixed.Sub
+	// Enroll discretizes an original click-point.
+	Enroll(p geom.Point) Token
+	// Locate computes the secret square indices for a candidate point
+	// given the clear grid identifier fixed at enrollment.
+	Locate(p geom.Point, c Clear) Secret
+	// Region returns the accepting region of an enrolled token: the
+	// grid square whose hash the system stored.
+	Region(t Token) geom.Rect
+	// ClearBits returns the information content of the clear grid
+	// identifier in bits (paper §5.2).
+	ClearBits() float64
+}
+
+// Accepts reports whether candidate p would be accepted against an
+// enrolled token under scheme s — i.e. whether its square indices (and
+// therefore its hash) match.
+func Accepts(s Scheme, t Token, p geom.Point) bool {
+	return s.Locate(p, t.Clear) == t.Secret
+}
+
+// Centered2D is the paper's scheme over a 2-D image: per-axis Centered
+// Discretization with grid squares of SidePx x SidePx pixels centered
+// on the original click-point.
+type Centered2D struct {
+	ax   Centered1D
+	side int // pixels
+}
+
+// NewCentered returns Centered Discretization with squares of
+// sidePx x sidePx pixels. The effective tolerance is sidePx/2 (e.g. a
+// 13x13 square gives r = 6.5: the click pixel plus 6 pixels each way).
+func NewCentered(sidePx int) (*Centered2D, error) {
+	if sidePx <= 0 {
+		return nil, fmt.Errorf("core: square side %d must be positive", sidePx)
+	}
+	r := fixed.Sub(sidePx) * fixed.Scale / 2 // sidePx/2 pixels, exact in sub units
+	return &Centered2D{ax: Centered1D{R: r}, side: sidePx}, nil
+}
+
+// Name implements Scheme.
+func (c *Centered2D) Name() string { return "centered" }
+
+// SquareSide implements Scheme.
+func (c *Centered2D) SquareSide() fixed.Sub { return fixed.FromPixels(c.side) }
+
+// GuaranteedR implements Scheme: (side-1)/2 pixels — the guaranteed
+// whole tolerance once the click's own pixel is accounted for (13x13
+// guarantees 6; 24x24 guarantees 11.5).
+func (c *Centered2D) GuaranteedR() fixed.Sub {
+	return fixed.Sub(c.side-1) * fixed.Scale / 2
+}
+
+// MaxAccepted implements Scheme. Centered tolerance is exact: the
+// farthest accepted displacement equals the guaranteed tolerance.
+func (c *Centered2D) MaxAccepted() fixed.Sub { return c.GuaranteedR() }
+
+// Enroll implements Scheme.
+func (c *Centered2D) Enroll(p geom.Point) Token {
+	ix, dx := c.ax.Discretize(p.X)
+	iy, dy := c.ax.Discretize(p.Y)
+	return Token{
+		Clear:  Clear{DX: dx, DY: dy},
+		Secret: Secret{IX: ix, IY: iy},
+	}
+}
+
+// Locate implements Scheme.
+func (c *Centered2D) Locate(p geom.Point, cl Clear) Secret {
+	return Secret{
+		IX: c.ax.Locate(p.X, cl.DX),
+		IY: c.ax.Locate(p.Y, cl.DY),
+	}
+}
+
+// Region implements Scheme.
+func (c *Centered2D) Region(t Token) geom.Rect {
+	loX, hiX := c.ax.Segment(t.Secret.IX, t.Clear.DX)
+	loY, hiY := c.ax.Segment(t.Secret.IY, t.Clear.DY)
+	return geom.Rect{MinX: loX, MinY: loY, MaxX: hiX, MaxY: hiY}
+}
+
+// Original reconstructs the exact original click-point from a token —
+// the centering property. (This is why leaking the offsets narrows the
+// candidate set to square centers, §5.2.)
+func (c *Centered2D) Original(t Token) geom.Point {
+	return geom.Point{
+		X: c.ax.Center(t.Secret.IX, t.Clear.DX),
+		Y: c.ax.Center(t.Secret.IY, t.Clear.DY),
+	}
+}
+
+// ClearBits implements Scheme: log2(side^2) — e.g. 8 bits for 16x16
+// squares (r = 8 in the paper's example).
+func (c *Centered2D) ClearBits() float64 {
+	return 2 * math.Log2(float64(c.side))
+}
+
+// Robust2D adapts RobustND to the 2-D Scheme interface.
+type Robust2D struct {
+	nd   *RobustND
+	side int // pixels
+}
+
+// NewRobust2D returns Robust Discretization with grid squares of
+// sidePx x sidePx pixels (so the guaranteed tolerance is sidePx/6) and
+// the given grid-selection policy.
+func NewRobust2D(sidePx int, policy RobustPolicy, seed uint64) (*Robust2D, error) {
+	if sidePx <= 0 {
+		return nil, fmt.Errorf("core: square side %d must be positive", sidePx)
+	}
+	// r = sidePx/6 pixels is exactly sidePx sub-pixel units.
+	nd, err := NewRobust(fixed.Sub(sidePx), 2, policy, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Robust2D{nd: nd, side: sidePx}, nil
+}
+
+// NewRobustFromR returns Robust Discretization with guaranteed
+// tolerance rPx whole pixels (squares of 6*rPx).
+func NewRobustFromR(rPx int, policy RobustPolicy, seed uint64) (*Robust2D, error) {
+	if rPx <= 0 {
+		return nil, fmt.Errorf("core: tolerance %d must be positive", rPx)
+	}
+	return NewRobust2D(6*rPx, policy, seed)
+}
+
+// Name implements Scheme.
+func (r *Robust2D) Name() string { return "robust" }
+
+// Policy returns the grid-selection policy.
+func (r *Robust2D) Policy() RobustPolicy { return r.nd.Policy }
+
+// SquareSide implements Scheme.
+func (r *Robust2D) SquareSide() fixed.Sub { return fixed.FromPixels(r.side) }
+
+// GuaranteedR implements Scheme: side/6.
+func (r *Robust2D) GuaranteedR() fixed.Sub { return r.nd.R }
+
+// MaxAccepted implements Scheme: rmax = 5r.
+func (r *Robust2D) MaxAccepted() fixed.Sub { return r.nd.RMax() }
+
+// Enroll implements Scheme.
+func (r *Robust2D) Enroll(p geom.Point) Token {
+	g, idx := r.nd.Discretize([]fixed.Sub{p.X, p.Y})
+	return Token{
+		Clear:  Clear{Grid: uint8(g)},
+		Secret: Secret{IX: idx[0], IY: idx[1]},
+	}
+}
+
+// Locate implements Scheme.
+func (r *Robust2D) Locate(p geom.Point, cl Clear) Secret {
+	idx := r.nd.Locate([]fixed.Sub{p.X, p.Y}, int(cl.Grid))
+	return Secret{IX: idx[0], IY: idx[1]}
+}
+
+// Region implements Scheme.
+func (r *Robust2D) Region(t Token) geom.Rect {
+	idx := []int64{t.Secret.IX, t.Secret.IY}
+	loX, hiX := r.nd.Cube(int(t.Clear.Grid), idx, 0)
+	loY, hiY := r.nd.Cube(int(t.Clear.Grid), idx, 1)
+	return geom.Rect{MinX: loX, MinY: loY, MaxX: hiX, MaxY: hiY}
+}
+
+// ClearBits implements Scheme: log2(3) ≈ 1.58 bits ("2 bits" stored).
+func (r *Robust2D) ClearBits() float64 { return math.Log2(3) }

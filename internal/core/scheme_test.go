@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
+)
+
+func TestCentered2DExactSquare(t *testing.T) {
+	c, err := NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Pt(200, 150)
+	tok := c.Enroll(p)
+	accepted := 0
+	for dx := -10; dx <= 10; dx++ {
+		for dy := -10; dy <= 10; dy++ {
+			q := geom.Pt(200+dx, 150+dy)
+			got := Accepts(c, tok, q)
+			want := dx >= -6 && dx <= 6 && dy >= -6 && dy <= 6
+			if got != want {
+				t.Fatalf("offset (%d,%d): accepted=%v want=%v", dx, dy, got, want)
+			}
+			if got {
+				accepted++
+			}
+		}
+	}
+	if accepted != 13*13 {
+		t.Errorf("accepted %d pixels, want 169 (13x13)", accepted)
+	}
+}
+
+func TestCentered2DNoFalseAcceptsRejects(t *testing.T) {
+	// The headline claim: acceptance == centered-tolerance membership,
+	// for every original point (no dependence on where the point falls
+	// relative to any static grid).
+	c, err := NewCentered(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.GuaranteedR()
+	for x := 0; x < 30; x++ {
+		for y := 0; y < 30; y += 4 {
+			p := geom.Pt(x, y)
+			tok := c.Enroll(p)
+			for dx := -6; dx <= 6; dx++ {
+				for dy := -6; dy <= 6; dy++ {
+					q := geom.Pt(x+dx, y+dy)
+					got := Accepts(c, tok, q)
+					want := p.Chebyshev(q) <= r
+					if got != want {
+						t.Fatalf("(%d,%d)+(%d,%d): got %v want %v", x, y, dx, dy, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCenteredOriginalReconstruction(t *testing.T) {
+	c, err := NewCentered(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 100; x += 7 {
+		for y := 3; y < 100; y += 13 {
+			p := geom.Pt(x, y)
+			if got := c.Original(c.Enroll(p)); got != p {
+				t.Fatalf("Original(Enroll(%v)) = %v", p, got)
+			}
+		}
+	}
+}
+
+func TestCenteredRegionCentered(t *testing.T) {
+	c, err := NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Pt(77, 31)
+	region := c.Region(c.Enroll(p))
+	if region.Center() != p {
+		t.Errorf("region center %v != original %v", region.Center(), p)
+	}
+	if region.W() != fixed.FromPixels(13) || region.H() != fixed.FromPixels(13) {
+		t.Errorf("region %vx%v, want 13x13", region.W(), region.H())
+	}
+}
+
+func TestRobustRegionNotAlwaysCentered(t *testing.T) {
+	// The contrast with Centered: Robust's region is usually offset
+	// from the click-point.
+	rb, err := NewRobust2D(36, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCenter := 0
+	total := 0
+	for x := 0; x < 72; x += 5 {
+		for y := 0; y < 72; y += 5 {
+			p := geom.Pt(x, y)
+			if rb.Region(rb.Enroll(p)).Center() != p {
+				offCenter++
+			}
+			total++
+		}
+	}
+	if offCenter == 0 {
+		t.Error("Robust regions were always centered — implausible")
+	}
+	t.Logf("Robust: %d/%d enrollments off-center", offCenter, total)
+}
+
+func TestClearBits(t *testing.T) {
+	// §5.2: r = 8 -> 2r = 16 -> log2(16^2) = 8 bits for Centered;
+	// Robust always log2(3).
+	c, err := NewCentered(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ClearBits(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("Centered ClearBits(16) = %f, want 8", got)
+	}
+	rb, err := NewRobust2D(36, MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rb.ClearBits(); math.Abs(got-math.Log2(3)) > 1e-9 {
+		t.Errorf("Robust ClearBits = %f, want log2(3)", got)
+	}
+}
+
+func TestGuaranteedToleranceColumns(t *testing.T) {
+	// Table 3's r columns: the guaranteed tolerance each scheme offers
+	// for a given square size.
+	cases := []struct {
+		side          int
+		centeredHalf  int // in half-pixels: (side-1)/2 px
+		robustSubUnit int // r in sub-pixel units = side
+	}{
+		{9, 8, 9}, {13, 12, 13}, {19, 18, 19}, {24, 23, 24}, {36, 35, 36}, {54, 53, 54},
+	}
+	for _, cse := range cases {
+		c, err := NewCentered(cse.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.GuaranteedR(); got != fixed.FromHalfPixels(cse.centeredHalf) {
+			t.Errorf("Centered %dx%d: r = %s, want %s", cse.side, cse.side,
+				got, fixed.FromHalfPixels(cse.centeredHalf))
+		}
+		rb, err := NewRobust2D(cse.side, MostCentered, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rb.GuaranteedR(); got != fixed.Sub(cse.robustSubUnit) {
+			t.Errorf("Robust %dx%d: r = %s, want side/6", cse.side, cse.side, got)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	c, _ := NewCentered(13)
+	rb, _ := NewRobust2D(13, MostCentered, 1)
+	if c.Name() != "centered" || rb.Name() != "robust" {
+		t.Errorf("names: %q, %q", c.Name(), rb.Name())
+	}
+	if rb.Policy() != MostCentered {
+		t.Errorf("policy accessor broken")
+	}
+}
+
+func TestNewCenteredValidation(t *testing.T) {
+	if _, err := NewCentered(0); err == nil {
+		t.Error("zero side should fail")
+	}
+	if _, err := NewCentered(-3); err == nil {
+		t.Error("negative side should fail")
+	}
+}
+
+// TestSchemesShareInterface sanity-checks polymorphic use.
+func TestSchemesShareInterface(t *testing.T) {
+	c, _ := NewCentered(19)
+	rb, _ := NewRobust2D(19, MostCentered, 1)
+	for _, s := range []Scheme{c, rb} {
+		p := geom.Pt(40, 40)
+		tok := s.Enroll(p)
+		if !Accepts(s, tok, p) {
+			t.Errorf("%s rejects its own enrollment point", s.Name())
+		}
+		// Within guaranteed tolerance must always be accepted.
+		rPx := int(s.GuaranteedR() / fixed.Scale)
+		if !Accepts(s, tok, geom.Pt(40+rPx, 40)) {
+			t.Errorf("%s rejects displacement %dpx within guaranteed r", s.Name(), rPx)
+		}
+		// Beyond MaxAccepted must always be rejected.
+		far := int(s.MaxAccepted()/fixed.Scale) + 1
+		if Accepts(s, tok, geom.Pt(40+far, 40)) {
+			t.Errorf("%s accepts displacement %dpx beyond max", s.Name(), far)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clickpass/internal/geom"
+)
+
+func sample() *Dataset {
+	return &Dataset{
+		Image: "cars", Width: 451, Height: 331,
+		Passwords: []Password{
+			{ID: 1, User: "p1", Image: "cars", Clicks: []Click{{10, 20}, {30, 40}}},
+			{ID: 2, User: "p2", Image: "cars", Clicks: []Click{{100, 200}, {300, 150}}},
+		},
+		Logins: []Login{
+			{PasswordID: 1, Attempt: 0, Clicks: []Click{{11, 19}, {29, 41}}},
+			{PasswordID: 2, Attempt: 0, Clicks: []Click{{99, 203}, {301, 149}}},
+		},
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	mutations := map[string]func(*Dataset){
+		"empty image":      func(d *Dataset) { d.Width = 0 },
+		"dup password id":  func(d *Dataset) { d.Passwords[1].ID = 1 },
+		"no clicks":        func(d *Dataset) { d.Passwords[0].Clicks = nil },
+		"click outside":    func(d *Dataset) { d.Passwords[0].Clicks[0].X = 500 },
+		"orphan login":     func(d *Dataset) { d.Logins[0].PasswordID = 99 },
+		"count mismatch":   func(d *Dataset) { d.Logins[0].Clicks = d.Logins[0].Clicks[:1] },
+		"login outside":    func(d *Dataset) { d.Logins[1].Clicks[0].Y = -1 },
+		"negative click x": func(d *Dataset) { d.Passwords[1].Clicks[1].X = -4 },
+	}
+	for name, mutate := range mutations {
+		d := sample()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Image != "cars" || len(back.Passwords) != 2 || len(back.Logins) != 2 {
+		t.Errorf("round trip mangled dataset: %+v", back)
+	}
+	if back.Passwords[0].Clicks[1] != (Click{30, 40}) {
+		t.Error("click coordinates mangled")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"image":"x","width":0}`)); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{`)); err == nil {
+		t.Error("bad json accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	d := sample()
+	var clicks, logins bytes.Buffer
+	if err := d.WriteClicksCSV(&clicks); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteLoginsCSV(&logins); err != nil {
+		t.Fatal(err)
+	}
+	wantClicks := 1 + 4 // header + 2 passwords x 2 clicks
+	if got := strings.Count(clicks.String(), "\n"); got != wantClicks {
+		t.Errorf("clicks csv has %d lines, want %d", got, wantClicks)
+	}
+	if !strings.Contains(clicks.String(), "1,p1,cars,0,10,20") {
+		t.Errorf("clicks csv missing expected row:\n%s", clicks.String())
+	}
+	if !strings.Contains(logins.String(), "2,0,1,301,149") {
+		t.Errorf("logins csv missing expected row:\n%s", logins.String())
+	}
+}
+
+func TestPasswordByID(t *testing.T) {
+	d := sample()
+	if p := d.PasswordByID(2); p == nil || p.User != "p2" {
+		t.Errorf("PasswordByID(2) = %v", p)
+	}
+	if p := d.PasswordByID(42); p != nil {
+		t.Error("missing ID should return nil")
+	}
+}
+
+func TestPointsConversion(t *testing.T) {
+	p := Password{Clicks: []Click{{3, 4}}}
+	if p.Points()[0] != geom.Pt(3, 4) {
+		t.Error("Password.Points broken")
+	}
+	l := Login{Clicks: []Click{{5, 6}}}
+	if l.Points()[0] != geom.Pt(5, 6) {
+		t.Error("Login.Points broken")
+	}
+	if FromPoint(geom.Pt(7, 8)) != (Click{7, 8}) {
+		t.Error("FromPoint broken")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sample()
+	b := &Dataset{
+		Image: "cars", Width: 451, Height: 331,
+		Passwords: []Password{
+			{ID: 3, User: "p3", Image: "cars", Clicks: []Click{{5, 5}}},
+		},
+		Logins: []Login{
+			{PasswordID: 3, Clicks: []Click{{6, 6}}},
+		},
+	}
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Passwords) != 3 || len(merged.Logins) != 3 {
+		t.Errorf("merge sizes wrong: %d passwords, %d logins",
+			len(merged.Passwords), len(merged.Logins))
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	c := sample()
+	c.Width = 640
+	if _, err := Merge(a, c); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Duplicate IDs across parts must fail validation.
+	if _, err := Merge(a, sample()); err == nil {
+		t.Error("duplicate password ids accepted")
+	}
+}
+
+func TestSize(t *testing.T) {
+	if sample().Size() != (geom.Size{W: 451, H: 331}) {
+		t.Error("Size() broken")
+	}
+}

@@ -1,0 +1,140 @@
+// Package fixed provides exact sub-pixel integer arithmetic for
+// discretization math.
+//
+// The paper's schemes need two awkward granularities:
+//
+//   - Centered Discretization adds 0.5 to the tolerance so an odd number
+//     of pixels is centered on the click-point (r = 6.5 for a 13x13
+//     square), i.e. half-pixel precision.
+//   - Robust Discretization offsets its three grids by 2r = s/3 and
+//     declares a point r-safe at distance r = s/6 from grid lines, i.e.
+//     sixth-pixel precision for integer square sizes s.
+//
+// Both are exact in units of one sixth of a pixel. Working in these
+// units removes every floating-point rounding question the original
+// Robust Discretization paper left open ("how to deal with rounding when
+// moving from real numbers to pixels"): all quantities below are int64
+// counts of sixth-pixels.
+package fixed
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scale is the number of sub-pixel units per pixel.
+const Scale = 6
+
+// Sub is a coordinate or length measured in sixth-pixel units.
+type Sub int64
+
+// FromPixels converts a whole-pixel quantity to sub-pixel units.
+func FromPixels(px int) Sub { return Sub(px) * Scale }
+
+// FromHalfPixels converts a quantity measured in half pixels (e.g. a
+// tolerance of 6.5 pixels is 13 half pixels) to sub-pixel units.
+func FromHalfPixels(hp int) Sub { return Sub(hp) * (Scale / 2) }
+
+// Pixels returns the value in whole pixels, truncated toward negative
+// infinity. Use only for display; computations should stay in Sub.
+func (s Sub) Pixels() int { return int(FloorDiv(int64(s), Scale)) }
+
+// Float returns the value in pixels as a float64. Display only.
+func (s Sub) Float() float64 { return float64(s) / Scale }
+
+// String formats the value in pixels, exactly, without trailing zeros.
+func (s Sub) String() string {
+	whole := FloorDiv(int64(s), Scale)
+	rem := Mod(int64(s), Scale)
+	if rem == 0 {
+		return strconv.FormatInt(whole, 10)
+	}
+	// Exact decimal expansion of rem/6 does not exist for 1/6, 1/3...
+	// so fall back to a fraction for non-half remainders.
+	if rem == 3 {
+		return fmt.Sprintf("%d.5", whole)
+	}
+	return fmt.Sprintf("%d+%d/6", whole, rem)
+}
+
+// FloorDiv returns floor(a/b) for b > 0. Unlike Go's native integer
+// division it rounds toward negative infinity, matching the paper's
+// floor semantics for segment indices of points left of the origin.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Mod returns a mod b in the Euclidean sense: the result is in [0, b)
+// for b > 0 regardless of the sign of a. The paper's offset
+// d = (x - r) mod 2r requires this convention so offsets are always
+// non-negative.
+func Mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// ParseTolerance parses a pixel tolerance that may have a .5 fractional
+// part ("6", "6.5", "9.5") into sub-pixel units. It rejects any other
+// fractional precision: the schemes are only defined at half-pixel
+// granularity.
+func ParseTolerance(s string) (Sub, error) {
+	s = strings.TrimSpace(s)
+	whole, frac, hasFrac := strings.Cut(s, ".")
+	w, err := strconv.ParseInt(whole, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("fixed: bad tolerance %q: %w", s, err)
+	}
+	if w < 0 {
+		return 0, fmt.Errorf("fixed: tolerance %q is negative", s)
+	}
+	v := Sub(w) * Scale
+	if hasFrac {
+		switch frac {
+		case "0", "00", "":
+		case "5", "50":
+			v += Scale / 2
+		default:
+			return 0, fmt.Errorf("fixed: tolerance %q: only .0 and .5 fractions are representable", s)
+		}
+	}
+	return v, nil
+}
+
+// IsWholePixels reports whether the value is a whole number of pixels.
+func (s Sub) IsWholePixels() bool { return Mod(int64(s), Scale) == 0 }
+
+// IsHalfPixels reports whether the value is a whole number of half
+// pixels (e.g. 6.5px).
+func (s Sub) IsHalfPixels() bool { return Mod(int64(s), Scale/2) == 0 }
+
+// Abs returns the absolute value.
+func (s Sub) Abs() Sub {
+	if s < 0 {
+		return -s
+	}
+	return s
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Sub) Sub {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Sub) Sub {
+	if a > b {
+		return a
+	}
+	return b
+}

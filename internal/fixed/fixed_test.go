@@ -1,0 +1,166 @@
+package fixed
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromPixels(t *testing.T) {
+	cases := []struct {
+		px   int
+		want Sub
+	}{
+		{0, 0}, {1, 6}, {-1, -6}, {451, 2706}, {640, 3840},
+	}
+	for _, c := range cases {
+		if got := FromPixels(c.px); got != c.want {
+			t.Errorf("FromPixels(%d) = %d, want %d", c.px, got, c.want)
+		}
+	}
+}
+
+func TestFromHalfPixels(t *testing.T) {
+	cases := []struct {
+		hp   int
+		want Sub
+	}{
+		{0, 0}, {1, 3}, {13, 39}, {-3, -9},
+	}
+	for _, c := range cases {
+		if got := FromHalfPixels(c.hp); got != c.want {
+			t.Errorf("FromHalfPixels(%d) = %d, want %d", c.hp, got, c.want)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+	}{
+		{7, 2, 3},
+		{-7, 2, -4},
+		{6, 3, 2},
+		{-6, 3, -2},
+		{0, 5, 0},
+		{-1, 11, -1},
+		{13, 11, 1},
+		{-13, 11, -2},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.want {
+			t.Errorf("FloorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+	}{
+		{7, 2, 1},
+		{-7, 2, 1},
+		{-1, 11, 10},
+		{0, 11, 0},
+		{22, 11, 0},
+		{-22, 11, 0},
+	}
+	for _, c := range cases {
+		if got := Mod(c.a, c.b); got != c.want {
+			t.Errorf("Mod(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: a == b*FloorDiv(a,b) + Mod(a,b) and 0 <= Mod(a,b) < b.
+func TestDivModIdentity(t *testing.T) {
+	f := func(a int32, bRaw uint8) bool {
+		b := int64(bRaw%200) + 1
+		q := FloorDiv(int64(a), b)
+		m := Mod(int64(a), b)
+		return int64(a) == b*q+m && m >= 0 && m < b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Sub
+		wantErr bool
+	}{
+		{"6", 36, false},
+		{"6.5", 39, false},
+		{"9.5", 57, false},
+		{"0", 0, false},
+		{" 4 ", 24, false},
+		{"6.25", 0, true},
+		{"-3", 0, true},
+		{"abc", 0, true},
+		{"6.333", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTolerance(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseTolerance(%q) err = %v, wantErr=%v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseTolerance(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Sub
+		want string
+	}{
+		{FromPixels(6), "6"},
+		{FromHalfPixels(13), "6.5"},
+		{FromPixels(-2), "-2"},
+		{Sub(13), "2+1/6"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !FromPixels(3).IsWholePixels() {
+		t.Error("3px should be whole")
+	}
+	if FromHalfPixels(7).IsWholePixels() {
+		t.Error("3.5px should not be whole")
+	}
+	if !FromHalfPixels(7).IsHalfPixels() {
+		t.Error("3.5px should be half-pixel aligned")
+	}
+	if Sub(1).IsHalfPixels() {
+		t.Error("1/6px should not be half-pixel aligned")
+	}
+}
+
+func TestAbsMinMax(t *testing.T) {
+	if Sub(-5).Abs() != 5 || Sub(5).Abs() != 5 {
+		t.Error("Abs broken")
+	}
+	if Min(2, 3) != 2 || Max(2, 3) != 3 {
+		t.Error("Min/Max broken")
+	}
+}
+
+func TestPixelsFloat(t *testing.T) {
+	if FromHalfPixels(13).Pixels() != 6 {
+		t.Errorf("6.5px truncates to 6, got %d", FromHalfPixels(13).Pixels())
+	}
+	if Sub(-1).Pixels() != -1 {
+		t.Errorf("-1/6px floors to -1, got %d", Sub(-1).Pixels())
+	}
+	if FromHalfPixels(13).Float() != 6.5 {
+		t.Error("Float conversion broken")
+	}
+}

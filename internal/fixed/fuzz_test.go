@@ -1,0 +1,47 @@
+package fixed
+
+import "testing"
+
+// FuzzParseTolerance: arbitrary strings must never panic, and accepted
+// values must round-trip sensibly.
+func FuzzParseTolerance(f *testing.F) {
+	for _, seed := range []string{"6", "6.5", "0", "-1", "9999999", "1.25", "x", "1e9", ".5", "6.", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseTolerance(s)
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			t.Fatalf("accepted negative tolerance %v from %q", v, s)
+		}
+		if !v.IsHalfPixels() {
+			t.Fatalf("accepted non-half-pixel tolerance %v from %q", v, s)
+		}
+	})
+}
+
+// FuzzDivMod: the Euclidean division identity must hold for all inputs.
+func FuzzDivMod(f *testing.F) {
+	f.Add(int64(7), int64(2))
+	f.Add(int64(-7), int64(2))
+	f.Add(int64(0), int64(1))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if b <= 0 {
+			b = -b + 1
+		}
+		q := FloorDiv(a, b)
+		m := Mod(a, b)
+		if m < 0 || m >= b {
+			t.Fatalf("Mod(%d,%d) = %d out of range", a, b, m)
+		}
+		// Guard against overflow in the identity check.
+		if q > 1<<40 || q < -(1<<40) || b > 1<<20 {
+			return
+		}
+		if b*q+m != a {
+			t.Fatalf("identity broken: %d*%d+%d != %d", b, q, m, a)
+		}
+	})
+}

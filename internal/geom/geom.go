@@ -1,0 +1,134 @@
+// Package geom provides the small geometric vocabulary shared by the
+// discretization schemes, the study simulator, and the attack engines:
+// points, rectangles and the Chebyshev (L-infinity) metric that square
+// tolerance regions induce.
+package geom
+
+import (
+	"fmt"
+
+	"clickpass/internal/fixed"
+)
+
+// Point is a 2-D location in sub-pixel units.
+type Point struct {
+	X, Y fixed.Sub
+}
+
+// Pt builds a Point from whole-pixel coordinates, the granularity at
+// which clicks arrive from real input devices.
+func Pt(xPx, yPx int) Point {
+	return Point{fixed.FromPixels(xPx), fixed.FromPixels(yPx)}
+}
+
+// String formats the point in pixels.
+func (p Point) String() string { return fmt.Sprintf("(%s,%s)", p.X, p.Y) }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Chebyshev returns the L-infinity distance between p and q. A square
+// tolerance of r around p accepts exactly the points with
+// Chebyshev(p,q) <= r, which is why this is the paper's implicit metric.
+func (p Point) Chebyshev(q Point) fixed.Sub {
+	return fixed.Max((p.X - q.X).Abs(), (p.Y - q.Y).Abs())
+}
+
+// Size is an image extent in whole pixels (e.g. 451x331).
+type Size struct {
+	W, H int
+}
+
+// String formats the size as WxH.
+func (s Size) String() string { return fmt.Sprintf("%dx%d", s.W, s.H) }
+
+// Contains reports whether the whole-pixel point (x, y) lies inside the
+// image: 0 <= x < W and 0 <= y < H.
+func (s Size) Contains(p Point) bool {
+	return p.X >= 0 && p.Y >= 0 &&
+		p.X < fixed.FromPixels(s.W) && p.Y < fixed.FromPixels(s.H)
+}
+
+// Clamp moves p to the nearest point inside the image.
+func (s Size) Clamp(p Point) Point {
+	maxX := fixed.FromPixels(s.W) - fixed.FromPixels(1)
+	maxY := fixed.FromPixels(s.H) - fixed.FromPixels(1)
+	if p.X < 0 {
+		p.X = 0
+	} else if p.X > maxX {
+		p.X = maxX
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	} else if p.Y > maxY {
+		p.Y = maxY
+	}
+	return p
+}
+
+// Rect is an axis-aligned, half-open rectangle [MinX,MaxX) x [MinY,MaxY)
+// in sub-pixel units. Grid squares are Rects.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY fixed.Sub
+}
+
+// RectAround returns the closed square tolerance region of radius r
+// centered on p, represented half-open on the high side so that integer
+// pixels at exactly +r with half-pixel r are included (the paper's
+// "2r+1 pixels wide, centered" square).
+func RectAround(p Point, r fixed.Sub) Rect {
+	return Rect{p.X - r, p.Y - r, p.X + r, p.Y + r}
+}
+
+// Contains reports whether q lies within the rectangle. Containment is
+// closed on the low edge and open on the high edge, matching the
+// floor-based segment arithmetic of the discretization schemes.
+func (rc Rect) Contains(q Point) bool {
+	return q.X >= rc.MinX && q.X < rc.MaxX && q.Y >= rc.MinY && q.Y < rc.MaxY
+}
+
+// W returns the rectangle width.
+func (rc Rect) W() fixed.Sub { return rc.MaxX - rc.MinX }
+
+// H returns the rectangle height.
+func (rc Rect) H() fixed.Sub { return rc.MaxY - rc.MinY }
+
+// Center returns the rectangle midpoint.
+func (rc Rect) Center() Point {
+	return Point{(rc.MinX + rc.MaxX) / 2, (rc.MinY + rc.MaxY) / 2}
+}
+
+// Margin returns the Chebyshev distance from p to the nearest edge of
+// the rectangle; negative if p is outside. This is the "how centered is
+// the point" measure used by the optimal Robust grid-selection policy.
+func (rc Rect) Margin(p Point) fixed.Sub {
+	dx := fixed.Min(p.X-rc.MinX, rc.MaxX-p.X)
+	dy := fixed.Min(p.Y-rc.MinY, rc.MaxY-p.Y)
+	return fixed.Min(dx, dy)
+}
+
+// Intersect returns the intersection of two rectangles; empty
+// rectangles have MaxX <= MinX or MaxY <= MinY.
+func (rc Rect) Intersect(o Rect) Rect {
+	return Rect{
+		MinX: fixed.Max(rc.MinX, o.MinX),
+		MinY: fixed.Max(rc.MinY, o.MinY),
+		MaxX: fixed.Min(rc.MaxX, o.MaxX),
+		MaxY: fixed.Min(rc.MaxY, o.MaxY),
+	}
+}
+
+// Empty reports whether the rectangle contains no points.
+func (rc Rect) Empty() bool { return rc.MaxX <= rc.MinX || rc.MaxY <= rc.MinY }
+
+// Area returns the rectangle's area in square sub-pixel units, 0 if
+// empty.
+func (rc Rect) Area() int64 {
+	if rc.Empty() {
+		return 0
+	}
+	return int64(rc.W()) * int64(rc.H())
+}

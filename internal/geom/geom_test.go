@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clickpass/internal/fixed"
+)
+
+func TestChebyshev(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want fixed.Sub
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), fixed.FromPixels(4)},
+		{Pt(10, 10), Pt(7, 10), fixed.FromPixels(3)},
+		{Pt(-2, 5), Pt(2, 5), fixed.FromPixels(4)},
+	}
+	for _, c := range cases {
+		if got := c.p.Chebyshev(c.q); got != c.want {
+			t.Errorf("Chebyshev(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestChebyshevSymmetric(t *testing.T) {
+	f := func(x1, y1, x2, y2 int16) bool {
+		p, q := Pt(int(x1), int(y1)), Pt(int(x2), int(y2))
+		return p.Chebyshev(q) == q.Chebyshev(p) && p.Chebyshev(q) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChebyshevTriangle(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3 int16) bool {
+		a, b, c := Pt(int(x1), int(y1)), Pt(int(x2), int(y2)), Pt(int(x3), int(y3))
+		return a.Chebyshev(c) <= a.Chebyshev(b)+b.Chebyshev(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeContains(t *testing.T) {
+	s := Size{451, 331}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(450, 330), true},
+		{Pt(451, 100), false},
+		{Pt(100, 331), false},
+		{Pt(-1, 0), false},
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	s := Size{100, 50}
+	cases := []struct {
+		in, want Point
+	}{
+		{Pt(-5, -5), Pt(0, 0)},
+		{Pt(200, 60), Pt(99, 49)},
+		{Pt(30, 20), Pt(30, 20)},
+	}
+	for _, c := range cases {
+		if got := s.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampAlwaysInside(t *testing.T) {
+	s := Size{451, 331}
+	f := func(x, y int16) bool {
+		return s.Contains(s.Clamp(Pt(int(x), int(y))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectAroundCentering(t *testing.T) {
+	// A 13x13 square (r = 6.5px) around an integer pixel contains
+	// exactly the 13 pixel columns x-6..x+6.
+	r := fixed.FromHalfPixels(13) // 6.5px
+	p := Pt(100, 100)
+	rect := RectAround(p, r)
+	for dx := -8; dx <= 8; dx++ {
+		q := Pt(100+dx, 100)
+		want := dx >= -6 && dx <= 6
+		if got := rect.Contains(q); got != want {
+			t.Errorf("13x13 square contains dx=%d: got %v want %v", dx, got, want)
+		}
+	}
+	if c := rect.Center(); c != p {
+		t.Errorf("center = %v, want %v", c, p)
+	}
+}
+
+func TestRectMargin(t *testing.T) {
+	rect := Rect{0, 0, fixed.FromPixels(12), fixed.FromPixels(12)}
+	cases := []struct {
+		p    Point
+		want fixed.Sub
+	}{
+		{Pt(6, 6), fixed.FromPixels(6)},
+		{Pt(1, 6), fixed.FromPixels(1)},
+		{Pt(6, 11), fixed.FromPixels(1)},
+		{Pt(0, 0), 0},
+	}
+	for _, c := range cases {
+		if got := rect.Margin(c.p); got != c.want {
+			t.Errorf("Margin(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 60, 60}
+	b := Rect{30, 30, 90, 90}
+	got := a.Intersect(b)
+	want := Rect{30, 30, 60, 60}
+	if got != want {
+		t.Errorf("Intersect = %+v, want %+v", got, want)
+	}
+	if got.Area() != 900 {
+		t.Errorf("Area = %d, want 900", got.Area())
+	}
+	c := Rect{100, 100, 200, 200}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint rects should intersect empty")
+	}
+	if a.Intersect(c).Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	p, q := Pt(3, 4), Pt(1, 2)
+	if p.Add(q) != Pt(4, 6) {
+		t.Error("Add broken")
+	}
+	if p.Sub(q) != Pt(2, 2) {
+		t.Error("Sub broken")
+	}
+}
+
+func TestRectWH(t *testing.T) {
+	rc := RectAround(Pt(10, 10), fixed.FromHalfPixels(13))
+	if rc.W() != fixed.FromPixels(13) || rc.H() != fixed.FromPixels(13) {
+		t.Errorf("13x13 rect has W=%v H=%v", rc.W(), rc.H())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Pt(3, 4).String() != "(3,4)" {
+		t.Errorf("Point string = %q", Pt(3, 4).String())
+	}
+	if (Size{451, 331}).String() != "451x331" {
+		t.Errorf("Size string = %q", Size{451, 331}.String())
+	}
+}

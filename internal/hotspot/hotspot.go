@@ -1,0 +1,197 @@
+// Package hotspot implements attacker-side hotspot analysis (paper
+// §2.1): estimating where users click from either harvested click data
+// (kernel density estimation — the Thorpe & van Oorschot human-seeded
+// style) or from the image itself (a saliency model — the Dirik et al.
+// automated image-processing style), then extracting ranked candidate
+// click-points for attack dictionaries.
+package hotspot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clickpass/internal/geom"
+	"clickpass/internal/imagegen"
+)
+
+// DensityMap is a click-probability estimate over an image, sampled on
+// a square cell grid.
+type DensityMap struct {
+	Size geom.Size
+	Cell int // cell side in pixels
+	cols int
+	rows int
+	vals []float64
+}
+
+func newDensityMap(size geom.Size, cell int) (*DensityMap, error) {
+	if size.W <= 0 || size.H <= 0 {
+		return nil, fmt.Errorf("hotspot: empty image %v", size)
+	}
+	if cell <= 0 {
+		return nil, fmt.Errorf("hotspot: cell %d must be positive", cell)
+	}
+	cols := (size.W + cell - 1) / cell
+	rows := (size.H + cell - 1) / cell
+	return &DensityMap{
+		Size: size, Cell: cell, cols: cols, rows: rows,
+		vals: make([]float64, cols*rows),
+	}, nil
+}
+
+func (m *DensityMap) cellCenter(cx, cy int) geom.Point {
+	x := cx*m.Cell + m.Cell/2
+	y := cy*m.Cell + m.Cell/2
+	return m.Size.Clamp(geom.Pt(x, y))
+}
+
+// At returns the estimated density at p (nearest cell), 0 outside the
+// image. Negative coordinates are checked before division because Go's
+// integer division truncates toward zero (-5/8 == 0 would alias the
+// first cell).
+func (m *DensityMap) At(p geom.Point) float64 {
+	if p.X < 0 || p.Y < 0 {
+		return 0
+	}
+	cx := p.X.Pixels() / m.Cell
+	cy := p.Y.Pixels() / m.Cell
+	if cx >= m.cols || cy >= m.rows {
+		return 0
+	}
+	return m.vals[cy*m.cols+cx]
+}
+
+// EstimateKDE builds a density map from harvested click-points using a
+// Gaussian kernel of the given bandwidth (pixels). This is what an
+// attacker does with a set of leaked or lab-collected passwords.
+func EstimateKDE(clicks []geom.Point, size geom.Size, cell int, bandwidth float64) (*DensityMap, error) {
+	if len(clicks) == 0 {
+		return nil, fmt.Errorf("hotspot: no clicks to estimate from")
+	}
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("hotspot: bandwidth %v must be positive", bandwidth)
+	}
+	m, err := newDensityMap(size, cell)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / (2 * bandwidth * bandwidth)
+	// Kernel support truncated at 3 bandwidths for tractability.
+	reach := int(math.Ceil(3*bandwidth)) / cell
+	if reach < 1 {
+		reach = 1
+	}
+	for _, c := range clicks {
+		ccx := c.X.Pixels() / cell
+		ccy := c.Y.Pixels() / cell
+		for cy := ccy - reach; cy <= ccy+reach; cy++ {
+			for cx := ccx - reach; cx <= ccx+reach; cx++ {
+				if cx < 0 || cy < 0 || cx >= m.cols || cy >= m.rows {
+					continue
+				}
+				ctr := m.cellCenter(cx, cy)
+				dx := ctr.X.Float() - c.X.Float()
+				dy := ctr.Y.Float() - c.Y.Float()
+				m.vals[cy*m.cols+cx] += math.Exp(-(dx*dx + dy*dy) * inv)
+			}
+		}
+	}
+	return m, nil
+}
+
+// FromSaliency builds a density map straight from an image's saliency
+// model — the automated attack that needs no harvested passwords.
+func FromSaliency(img *imagegen.Image, cell int) (*DensityMap, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := newDensityMap(img.Size, cell)
+	if err != nil {
+		return nil, err
+	}
+	for cy := 0; cy < m.rows; cy++ {
+		for cx := 0; cx < m.cols; cx++ {
+			m.vals[cy*m.cols+cx] = img.Saliency(m.cellCenter(cx, cy))
+		}
+	}
+	return m, nil
+}
+
+// TopK returns up to k cell-center points ranked by density, applying
+// non-maximum suppression with the given minimum separation so the
+// candidates spread over distinct hotspots rather than crowding the
+// single highest peak.
+func (m *DensityMap) TopK(k, minSepPx int) []geom.Point {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		p geom.Point
+		v float64
+	}
+	cands := make([]cand, 0, len(m.vals))
+	for cy := 0; cy < m.rows; cy++ {
+		for cx := 0; cx < m.cols; cx++ {
+			v := m.vals[cy*m.cols+cx]
+			if v > 0 {
+				cands = append(cands, cand{m.cellCenter(cx, cy), v})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].v != cands[j].v {
+			return cands[i].v > cands[j].v
+		}
+		// Deterministic tie-break by position.
+		if cands[i].p.Y != cands[j].p.Y {
+			return cands[i].p.Y < cands[j].p.Y
+		}
+		return cands[i].p.X < cands[j].p.X
+	})
+	sep := geom.Pt(minSepPx, 0).X
+	var out []geom.Point
+	for _, c := range cands {
+		if len(out) == k {
+			break
+		}
+		tooClose := false
+		for _, q := range out {
+			if c.p.Chebyshev(q) < sep {
+				tooClose = true
+				break
+			}
+		}
+		if !tooClose {
+			out = append(out, c.p)
+		}
+	}
+	return out
+}
+
+// Correlation computes the Pearson correlation between two density
+// maps on the same grid — how well the automated saliency model
+// predicts the harvested click density.
+func Correlation(a, b *DensityMap) (float64, error) {
+	if a.cols != b.cols || a.rows != b.rows {
+		return 0, fmt.Errorf("hotspot: grid mismatch %dx%d vs %dx%d", a.cols, a.rows, b.cols, b.rows)
+	}
+	n := float64(len(a.vals))
+	var sa, sb float64
+	for i := range a.vals {
+		sa += a.vals[i]
+		sb += b.vals[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a.vals {
+		da, db := a.vals[i]-ma, b.vals[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, fmt.Errorf("hotspot: degenerate density map")
+	}
+	return cov / math.Sqrt(va*vb), nil
+}

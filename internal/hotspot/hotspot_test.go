@@ -1,0 +1,163 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+
+	"clickpass/internal/geom"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/rng"
+)
+
+func TestKDEPeaksAtCluster(t *testing.T) {
+	size := geom.Size{W: 200, H: 200}
+	var clicks []geom.Point
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		clicks = append(clicks, size.Clamp(geom.Pt(
+			60+int(r.NormalScaled(0, 4)), 60+int(r.NormalScaled(0, 4)))))
+	}
+	for i := 0; i < 20; i++ {
+		clicks = append(clicks, geom.Pt(r.Intn(200), r.Intn(200)))
+	}
+	m, err := EstimateKDE(clicks, size, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := m.At(geom.Pt(60, 60))
+	far := m.At(geom.Pt(170, 170))
+	if at <= 3*far {
+		t.Errorf("density at cluster %.2f not dominating far point %.2f", at, far)
+	}
+	top := m.TopK(1, 10)
+	if len(top) != 1 {
+		t.Fatal("TopK(1) returned nothing")
+	}
+	if top[0].Chebyshev(geom.Pt(60, 60)).Pixels() > 12 {
+		t.Errorf("top peak at %v, want near (60,60)", top[0])
+	}
+}
+
+func TestKDEValidation(t *testing.T) {
+	size := geom.Size{W: 100, H: 100}
+	pts := []geom.Point{geom.Pt(5, 5)}
+	if _, err := EstimateKDE(nil, size, 5, 6); err == nil {
+		t.Error("no clicks accepted")
+	}
+	if _, err := EstimateKDE(pts, size, 0, 6); err == nil {
+		t.Error("zero cell accepted")
+	}
+	if _, err := EstimateKDE(pts, size, 5, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := EstimateKDE(pts, geom.Size{}, 5, 6); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestFromSaliencyFindsDefinedHotspots(t *testing.T) {
+	img := imagegen.Pool()
+	m, err := FromSaliency(img, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopK(len(img.Hotspots), 20)
+	if len(top) != len(img.Hotspots) {
+		t.Fatalf("TopK returned %d points, want %d", len(top), len(img.Hotspots))
+	}
+	// Every extracted candidate must be near some true hotspot.
+	for _, p := range top {
+		best := math.Inf(1)
+		for _, h := range img.Hotspots {
+			d := math.Hypot(p.X.Float()-h.X, p.Y.Float()-h.Y)
+			if d < best {
+				best = d
+			}
+		}
+		if best > 15 {
+			t.Errorf("candidate %v is %.0fpx from the nearest true hotspot", p, best)
+		}
+	}
+}
+
+func TestTopKSeparation(t *testing.T) {
+	img := imagegen.Cars()
+	m, err := FromSaliency(img, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopK(20, 25)
+	for i := range top {
+		for j := i + 1; j < len(top); j++ {
+			if top[i].Chebyshev(top[j]).Pixels() < 25 {
+				t.Fatalf("candidates %v and %v violate separation", top[i], top[j])
+			}
+		}
+	}
+	if m.TopK(0, 10) != nil {
+		t.Error("TopK(0) should be empty")
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	img := imagegen.Cars()
+	m, _ := FromSaliency(img, 4)
+	a := m.TopK(10, 20)
+	b := m.TopK(10, 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TopK not deterministic")
+		}
+	}
+}
+
+// TestSaliencyPredictsClicks: the automated model must correlate with
+// where simulated users actually click — the premise of Dirik-style
+// attacks.
+func TestSaliencyPredictsClicks(t *testing.T) {
+	img := imagegen.Pool()
+	r := rng.New(9)
+	var clicks []geom.Point
+	for i := 0; i < 3000; i++ {
+		clicks = append(clicks, img.SampleClick(r))
+	}
+	kde, err := EstimateKDE(clicks, img.Size, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sal, err := FromSaliency(img, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := Correlation(kde, sal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.6 {
+		t.Errorf("saliency-click correlation %.2f — automated attack premise broken", corr)
+	}
+}
+
+func TestCorrelationValidation(t *testing.T) {
+	img := imagegen.Pool()
+	a, _ := FromSaliency(img, 8)
+	b, _ := FromSaliency(img, 16)
+	if _, err := Correlation(a, b); err == nil {
+		t.Error("grid mismatch accepted")
+	}
+	flat, _ := newDensityMap(img.Size, 8)
+	if _, err := Correlation(a, flat); err == nil {
+		t.Error("degenerate map accepted")
+	}
+	if c, err := Correlation(a, a); err != nil || math.Abs(c-1) > 1e-9 {
+		t.Errorf("self correlation = %v, %v", c, err)
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	img := imagegen.Cars()
+	m, _ := FromSaliency(img, 8)
+	if m.At(geom.Pt(-5, 10)) != 0 || m.At(geom.Pt(10, 4000)) != 0 {
+		t.Error("out-of-range At should be 0")
+	}
+}

@@ -1,0 +1,202 @@
+// Package imagegen provides the synthetic stand-in for the paper's two
+// background photos (Cars and Pool, both 451x331).
+//
+// The photos themselves are unavailable, and no experiment in the paper
+// consumes pixel content: what matters is where people click. Research
+// on PassPoints (Thorpe & van Oorschot 2007; Dirik et al. 2007 — both
+// cited by the paper) established that click-points concentrate on a
+// modest number of salient "hotspots" per image, and that this
+// clustering is what human-seeded dictionary attacks exploit. An image
+// here is therefore exactly that abstraction: a mixture of 2-D Gaussian
+// hotspots plus a uniform background over the image plane, with a
+// saliency density that attack engines may query for prioritization.
+//
+// The Cars proxy has more, looser hotspots (a parking lot offers many
+// comparable targets); the Pool proxy has fewer, tighter ones (a pool
+// scene has a handful of strong landmarks). These concentrations were
+// chosen so the simulated study reproduces the shape of the paper's
+// Figure 7/8 crack rates.
+package imagegen
+
+import (
+	"fmt"
+	"math"
+
+	"clickpass/internal/geom"
+	"clickpass/internal/rng"
+)
+
+// Hotspot is one salient region: clicks drawn from it are distributed
+// as a symmetric 2-D Gaussian around (X, Y), truncated to the image.
+type Hotspot struct {
+	X, Y   float64 // center, pixels
+	Sigma  float64 // standard deviation, pixels
+	Weight float64 // relative probability of choosing this hotspot
+}
+
+// Image is a hotspot field over an image plane.
+type Image struct {
+	Name string
+	Size geom.Size
+	// Hotspots are the salient regions.
+	Hotspots []Hotspot
+	// UniformWeight is the relative probability that a click ignores
+	// all hotspots and lands uniformly at random ("everything else in
+	// the photo").
+	UniformWeight float64
+}
+
+// Validate reports configuration errors.
+func (im *Image) Validate() error {
+	if im.Size.W <= 0 || im.Size.H <= 0 {
+		return fmt.Errorf("imagegen: image %q has empty size %v", im.Name, im.Size)
+	}
+	if len(im.Hotspots) == 0 && im.UniformWeight <= 0 {
+		return fmt.Errorf("imagegen: image %q has no click sources", im.Name)
+	}
+	for i, h := range im.Hotspots {
+		if h.Sigma <= 0 {
+			return fmt.Errorf("imagegen: hotspot %d has sigma %v", i, h.Sigma)
+		}
+		if h.Weight < 0 {
+			return fmt.Errorf("imagegen: hotspot %d has negative weight", i)
+		}
+		if h.X < 0 || h.X >= float64(im.Size.W) || h.Y < 0 || h.Y >= float64(im.Size.H) {
+			return fmt.Errorf("imagegen: hotspot %d center (%v,%v) outside image", i, h.X, h.Y)
+		}
+	}
+	if im.UniformWeight < 0 {
+		return fmt.Errorf("imagegen: negative uniform weight")
+	}
+	return nil
+}
+
+// SampleClick draws one click-point: a hotspot is chosen by weight
+// (or the uniform background), then Gaussian jitter is applied and the
+// result clamped to the image at whole-pixel granularity.
+func (im *Image) SampleClick(r *rng.Source) geom.Point {
+	weights := make([]float64, len(im.Hotspots)+1)
+	for i, h := range im.Hotspots {
+		weights[i] = h.Weight
+	}
+	weights[len(im.Hotspots)] = im.UniformWeight
+	k := r.Pick(weights)
+	if k == len(im.Hotspots) {
+		return geom.Pt(r.Intn(im.Size.W), r.Intn(im.Size.H))
+	}
+	h := im.Hotspots[k]
+	x := int(math.Round(r.NormalScaled(h.X, h.Sigma)))
+	y := int(math.Round(r.NormalScaled(h.Y, h.Sigma)))
+	return im.Size.Clamp(geom.Pt(x, y))
+}
+
+// Saliency returns the (unnormalized) click density at p: the mixture
+// density an automated attacker would estimate from the image. Larger
+// means more likely to be clicked.
+func (im *Image) Saliency(p geom.Point) float64 {
+	px, py := p.X.Float(), p.Y.Float()
+	area := float64(im.Size.W) * float64(im.Size.H)
+	var totalW float64
+	for _, h := range im.Hotspots {
+		totalW += h.Weight
+	}
+	totalW += im.UniformWeight
+	density := im.UniformWeight / totalW / area
+	for _, h := range im.Hotspots {
+		dx, dy := px-h.X, py-h.Y
+		norm := h.Weight / totalW / (2 * math.Pi * h.Sigma * h.Sigma)
+		density += norm * math.Exp(-(dx*dx+dy*dy)/(2*h.Sigma*h.Sigma))
+	}
+	return density
+}
+
+// StudySize is the paper's image size: 451x331 pixels.
+var StudySize = geom.Size{W: 451, H: 331}
+
+// Cars returns the proxy for the paper's Cars image (Figure 3): many
+// moderately diffuse hotspots — cars, wheels, signage in a parking-lot
+// photo.
+func Cars() *Image {
+	return &Image{
+		Name: "cars",
+		Size: StudySize,
+		Hotspots: []Hotspot{
+			{X: 52, Y: 70, Sigma: 7, Weight: 9},
+			{X: 118, Y: 63, Sigma: 8, Weight: 8},
+			{X: 180, Y: 90, Sigma: 7, Weight: 10},
+			{X: 246, Y: 74, Sigma: 8, Weight: 7},
+			{X: 317, Y: 95, Sigma: 7, Weight: 9},
+			{X: 396, Y: 72, Sigma: 8, Weight: 7},
+			{X: 74, Y: 168, Sigma: 8, Weight: 10},
+			{X: 152, Y: 182, Sigma: 7, Weight: 8},
+			{X: 231, Y: 170, Sigma: 8, Weight: 9},
+			{X: 308, Y: 188, Sigma: 7, Weight: 8},
+			{X: 385, Y: 172, Sigma: 8, Weight: 7},
+			{X: 96, Y: 262, Sigma: 8, Weight: 8},
+			{X: 205, Y: 276, Sigma: 7, Weight: 8},
+			{X: 330, Y: 268, Sigma: 8, Weight: 8},
+		},
+		UniformWeight: 22,
+	}
+}
+
+// Pool returns the proxy for the paper's Pool image (Figure 4): fewer,
+// tighter hotspots — ladder, lane markers, deck furniture.
+func Pool() *Image {
+	return &Image{
+		Name: "pool",
+		Size: StudySize,
+		Hotspots: []Hotspot{
+			{X: 65, Y: 55, Sigma: 5, Weight: 13},
+			{X: 172, Y: 48, Sigma: 5, Weight: 11},
+			{X: 300, Y: 66, Sigma: 6, Weight: 12},
+			{X: 402, Y: 88, Sigma: 5, Weight: 10},
+			{X: 110, Y: 165, Sigma: 6, Weight: 13},
+			{X: 238, Y: 150, Sigma: 5, Weight: 12},
+			{X: 356, Y: 184, Sigma: 6, Weight: 11},
+			{X: 88, Y: 272, Sigma: 5, Weight: 10},
+			{X: 255, Y: 284, Sigma: 6, Weight: 11},
+		},
+		UniformWeight: 14,
+	}
+}
+
+// Gallery returns the study images in the paper's order.
+func Gallery() []*Image { return []*Image{Cars(), Pool()} }
+
+// Parametric builds a synthetic study image whose hotspot
+// concentration is tunable, for sensitivity experiments: concentration
+// 0 is a uniform image (no hotspots), 1 matches the Cars/Pool regime,
+// and larger values concentrate nearly all clicks on a few tight
+// hotspots. The hotspot count shrinks and the weights grow as
+// concentration rises.
+func Parametric(name string, concentration float64) (*Image, error) {
+	if concentration < 0 {
+		return nil, fmt.Errorf("imagegen: negative concentration %v", concentration)
+	}
+	img := &Image{Name: name, Size: StudySize}
+	if concentration == 0 {
+		img.UniformWeight = 1
+		return img, nil
+	}
+	// Lay hotspots on a jittered grid; higher concentration keeps
+	// fewer, tighter, heavier spots.
+	count := int(16 - 6*concentration)
+	if count < 4 {
+		count = 4
+	}
+	sigma := 9.0 / (0.5 + concentration)
+	weight := 10 * concentration
+	positions := [][2]float64{
+		{52, 70}, {118, 63}, {180, 90}, {246, 74}, {317, 95}, {396, 72},
+		{74, 168}, {152, 182}, {231, 170}, {308, 188}, {385, 172},
+		{96, 262}, {205, 276}, {330, 268}, {260, 120}, {140, 120},
+	}
+	for i := 0; i < count && i < len(positions); i++ {
+		img.Hotspots = append(img.Hotspots, Hotspot{
+			X: positions[i][0], Y: positions[i][1], Sigma: sigma, Weight: weight,
+		})
+	}
+	img.UniformWeight = 20
+	return img, img.Validate()
+}

@@ -1,0 +1,188 @@
+package imagegen
+
+import (
+	"math"
+	"testing"
+
+	"clickpass/internal/geom"
+	"clickpass/internal/rng"
+)
+
+func TestProxiesValidate(t *testing.T) {
+	for _, im := range Gallery() {
+		if err := im.Validate(); err != nil {
+			t.Errorf("%s: %v", im.Name, err)
+		}
+		if im.Size != StudySize {
+			t.Errorf("%s: size %v, want %v", im.Name, im.Size, StudySize)
+		}
+	}
+}
+
+func TestValidateRejectsBadImages(t *testing.T) {
+	cases := map[string]*Image{
+		"empty size":     {Name: "x", Hotspots: []Hotspot{{X: 1, Y: 1, Sigma: 1, Weight: 1}}},
+		"no sources":     {Name: "x", Size: geom.Size{W: 10, H: 10}},
+		"zero sigma":     {Name: "x", Size: geom.Size{W: 10, H: 10}, Hotspots: []Hotspot{{X: 1, Y: 1, Weight: 1}}},
+		"neg weight":     {Name: "x", Size: geom.Size{W: 10, H: 10}, Hotspots: []Hotspot{{X: 1, Y: 1, Sigma: 1, Weight: -1}}},
+		"outside center": {Name: "x", Size: geom.Size{W: 10, H: 10}, Hotspots: []Hotspot{{X: 20, Y: 1, Sigma: 1, Weight: 1}}},
+		"neg uniform":    {Name: "x", Size: geom.Size{W: 10, H: 10}, UniformWeight: -1},
+	}
+	for name, im := range cases {
+		if err := im.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestSamplesInsideImage(t *testing.T) {
+	for _, im := range Gallery() {
+		r := rng.New(1)
+		for i := 0; i < 5000; i++ {
+			p := im.SampleClick(r)
+			if !im.Size.Contains(p) {
+				t.Fatalf("%s: sample %v outside image", im.Name, p)
+			}
+		}
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	im := Cars()
+	a, b := rng.New(42), rng.New(42)
+	for i := 0; i < 100; i++ {
+		if im.SampleClick(a) != im.SampleClick(b) {
+			t.Fatal("same seed produced different clicks")
+		}
+	}
+}
+
+// TestHotspotConcentration: most clicks land near some hotspot — the
+// property the dictionary attacks depend on — and Pool is more
+// concentrated than Cars.
+func TestHotspotConcentration(t *testing.T) {
+	frac := func(im *Image, radius float64) float64 {
+		r := rng.New(7)
+		const n = 20000
+		near := 0
+		for i := 0; i < n; i++ {
+			p := im.SampleClick(r)
+			px, py := p.X.Float(), p.Y.Float()
+			for _, h := range im.Hotspots {
+				if math.Hypot(px-h.X, py-h.Y) <= radius {
+					near++
+					break
+				}
+			}
+		}
+		return float64(near) / n
+	}
+	cars := frac(Cars(), 15)
+	pool := frac(Pool(), 15)
+	if cars < 0.5 {
+		t.Errorf("cars concentration %.2f < 0.5 — hotspots too weak for attacks", cars)
+	}
+	if pool <= cars {
+		t.Errorf("pool (%.2f) should be more concentrated than cars (%.2f)", pool, cars)
+	}
+}
+
+func TestSaliencyPeaksAtHotspots(t *testing.T) {
+	for _, im := range Gallery() {
+		h := im.Hotspots[0]
+		at := im.Saliency(geom.Pt(int(h.X), int(h.Y)))
+		// A far point that is not itself a hotspot center.
+		far := im.Saliency(geom.Pt(5, 320))
+		if at <= far {
+			t.Errorf("%s: saliency at hotspot %.3g <= far point %.3g", im.Name, at, far)
+		}
+		if far <= 0 {
+			t.Errorf("%s: uniform background should keep saliency positive", im.Name)
+		}
+	}
+}
+
+// TestSaliencyIntegratesToOne: summed over all pixels the density
+// should approximate 1 (it is a probability density over the image).
+func TestSaliencyIntegratesToOne(t *testing.T) {
+	im := Pool()
+	var total float64
+	for x := 0; x < im.Size.W; x += 2 {
+		for y := 0; y < im.Size.H; y += 2 {
+			total += im.Saliency(geom.Pt(x, y)) * 4 // 2x2 cell
+		}
+	}
+	if total < 0.9 || total > 1.1 {
+		t.Errorf("density integrates to %.3f, want ~1", total)
+	}
+}
+
+func TestUniformOnlyImage(t *testing.T) {
+	im := &Image{Name: "flat", Size: geom.Size{W: 100, H: 50}, UniformWeight: 1}
+	if err := im.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	seenLeft, seenRight := false, false
+	for i := 0; i < 1000; i++ {
+		p := im.SampleClick(r)
+		if !im.Size.Contains(p) {
+			t.Fatal("sample outside image")
+		}
+		if p.X.Pixels() < 50 {
+			seenLeft = true
+		} else {
+			seenRight = true
+		}
+	}
+	if !seenLeft || !seenRight {
+		t.Error("uniform sampling not covering the image")
+	}
+}
+
+func TestParametric(t *testing.T) {
+	flat, err := Parametric("flat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Hotspots) != 0 || flat.UniformWeight != 1 {
+		t.Error("concentration 0 should be uniform")
+	}
+	mid, err := Parametric("mid", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Parametric("hot", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot.Hotspots) >= len(mid.Hotspots) {
+		t.Errorf("higher concentration should mean fewer hotspots: %d vs %d",
+			len(hot.Hotspots), len(mid.Hotspots))
+	}
+	if hot.Hotspots[0].Sigma >= mid.Hotspots[0].Sigma {
+		t.Error("higher concentration should mean tighter hotspots")
+	}
+	if _, err := Parametric("x", -1); err == nil {
+		t.Error("negative concentration accepted")
+	}
+	// Sampling concentration: fraction of clicks within 12px of a
+	// hotspot center rises with concentration.
+	frac := func(im *Image) float64 {
+		r := rng.New(3)
+		near, n := 0, 5000
+		for i := 0; i < n; i++ {
+			p := im.SampleClick(r)
+			for _, h := range im.Hotspots {
+				if math.Hypot(p.X.Float()-h.X, p.Y.Float()-h.Y) <= 12 {
+					near++
+					break
+				}
+			}
+		}
+		return float64(near) / float64(n)
+	}
+	if frac(hot) <= frac(mid) {
+		t.Errorf("concentration did not raise clustering: %.2f vs %.2f", frac(hot), frac(mid))
+	}
+}

@@ -1,0 +1,225 @@
+package passhash
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clickpass/internal/core"
+	"clickpass/internal/fixed"
+)
+
+func tok(dx, dy int64, grid uint8, ix, iy int64) core.Token {
+	return core.Token{
+		Clear:  core.Clear{DX: fixed.Sub(dx), DY: fixed.Sub(dy), Grid: grid},
+		Secret: core.Secret{IX: ix, IY: iy},
+	}
+}
+
+func testParams() Params {
+	return Params{Iterations: 3, Salt: []byte("0123456789abcdef")}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	p := testParams()
+	tokens := []core.Token{tok(1, 2, 0, 3, 4), tok(5, 6, 1, 7, 8)}
+	d1, err := Digest(p, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(p, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Error("same input produced different digests")
+	}
+	if len(d1) != 32 {
+		t.Errorf("digest length %d, want 32", len(d1))
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	p := testParams()
+	base := []core.Token{tok(1, 2, 0, 3, 4), tok(5, 6, 1, 7, 8)}
+	variants := map[string][]core.Token{
+		"dx changed":     {tok(9, 2, 0, 3, 4), tok(5, 6, 1, 7, 8)},
+		"grid changed":   {tok(1, 2, 2, 3, 4), tok(5, 6, 1, 7, 8)},
+		"index changed":  {tok(1, 2, 0, 3, 5), tok(5, 6, 1, 7, 8)},
+		"order swapped":  {tok(5, 6, 1, 7, 8), tok(1, 2, 0, 3, 4)},
+		"click dropped":  {tok(1, 2, 0, 3, 4)},
+		"negative index": {tok(1, 2, 0, -3, 4), tok(5, 6, 1, 7, 8)},
+	}
+	want, err := Digest(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range variants {
+		got, err := Digest(p, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(want, got) {
+			t.Errorf("%s: digest collision", name)
+		}
+	}
+}
+
+func TestSaltChangesDigest(t *testing.T) {
+	tokens := []core.Token{tok(1, 2, 0, 3, 4)}
+	p1 := Params{Iterations: 2, Salt: []byte("salt-A-0123456789")}
+	p2 := Params{Iterations: 2, Salt: []byte("salt-B-0123456789")}
+	d1, _ := Digest(p1, tokens)
+	d2, _ := Digest(p2, tokens)
+	if bytes.Equal(d1, d2) {
+		t.Error("different salts produced the same digest")
+	}
+}
+
+func TestIterationsChangeDigest(t *testing.T) {
+	tokens := []core.Token{tok(1, 2, 0, 3, 4)}
+	p1 := Params{Iterations: 1, Salt: []byte("0123456789abcdef")}
+	p2 := Params{Iterations: 2, Salt: []byte("0123456789abcdef")}
+	d1, _ := Digest(p1, tokens)
+	d2, _ := Digest(p2, tokens)
+	if bytes.Equal(d1, d2) {
+		t.Error("different iteration counts produced the same digest")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	p := testParams()
+	tokens := []core.Token{tok(1, 2, 0, 3, 4), tok(5, 6, 1, 7, 8)}
+	stored, err := Digest(p, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Verify(p, stored, tokens)
+	if err != nil || !ok {
+		t.Errorf("Verify(correct) = %v, %v", ok, err)
+	}
+	wrong := []core.Token{tok(1, 2, 0, 3, 4), tok(5, 6, 1, 7, 9)}
+	ok, err = Verify(p, stored, wrong)
+	if err != nil || ok {
+		t.Errorf("Verify(wrong) = %v, %v", ok, err)
+	}
+	ok, err = Verify(p, stored[:31], tokens)
+	if err != nil || ok {
+		t.Errorf("Verify(truncated stored) = %v, %v", ok, err)
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	// quick.Check that distinct single tokens never encode equal.
+	f := func(a1, a2, b1, b2 int32, g1, g2 uint8) bool {
+		t1 := tok(int64(a1), int64(a2), g1, int64(b1), int64(b2))
+		t2 := tok(int64(a2), int64(a1), g2, int64(b2), int64(b1))
+		e1 := EncodeTokens([]core.Token{t1})
+		e2 := EncodeTokens([]core.Token{t2})
+		if t1 == t2 {
+			return bytes.Equal(e1, e2)
+		}
+		return !bytes.Equal(e1, e2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeLengthPrefix(t *testing.T) {
+	one := EncodeTokens([]core.Token{tok(0, 0, 0, 0, 0)})
+	two := EncodeTokens([]core.Token{tok(0, 0, 0, 0, 0), tok(0, 0, 0, 0, 0)})
+	if bytes.Equal(one, two[:len(one)]) && one[0] == two[0] && one[1] == two[1] {
+		t.Error("length prefix missing: one-token encoding is a prefix with same header")
+	}
+}
+
+func TestNewParams(t *testing.T) {
+	p, err := NewParams(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Iterations != 100 || len(p.Salt) != SaltLen {
+		t.Errorf("unexpected params: %+v", p)
+	}
+	p2, err := NewParams(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(p.Salt, p2.Salt) {
+		t.Error("two NewParams calls produced identical salts")
+	}
+	if _, err := NewParams(0); err == nil {
+		t.Error("NewParams(0) should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{Iterations: 1, Salt: []byte("x")}).Validate(); err != nil {
+		t.Errorf("minimal valid params rejected: %v", err)
+	}
+	if err := (Params{Iterations: 0, Salt: []byte("x")}).Validate(); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if err := (Params{Iterations: 1}).Validate(); err == nil {
+		t.Error("empty salt accepted")
+	}
+	if _, err := Digest(Params{}, nil); err == nil {
+		t.Error("Digest with invalid params should fail")
+	}
+	if _, err := Verify(Params{}, nil, nil); err == nil {
+		t.Error("Verify with invalid params should fail")
+	}
+}
+
+func TestAddedBits(t *testing.T) {
+	if got := AddedBits(1000); math.Abs(got-9.97) > 0.01 {
+		t.Errorf("AddedBits(1000) = %f, want ~9.97 (paper: ~10 bits)", got)
+	}
+	if AddedBits(1) != 0 {
+		t.Error("AddedBits(1) should be 0")
+	}
+	if AddedBits(0) != 0 {
+		t.Error("AddedBits(0) should be 0")
+	}
+}
+
+func TestEmptyTokenList(t *testing.T) {
+	p := testParams()
+	d, err := Digest(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 32 {
+		t.Error("empty token list should still digest")
+	}
+	dOne, _ := Digest(p, []core.Token{tok(0, 0, 0, 0, 0)})
+	if bytes.Equal(d, dOne) {
+		t.Error("empty and one-token digests collide")
+	}
+}
+
+// TestGoldenVector pins the wire format: if the canonical encoding or
+// the digest construction ever changes, stored password files in the
+// field would stop verifying. This test makes such a change loud.
+func TestGoldenVector(t *testing.T) {
+	p := Params{Iterations: 3, Salt: []byte("0123456789abcdef")}
+	tokens := []core.Token{
+		{Clear: core.Clear{DX: fixed.Sub(10), DY: fixed.Sub(20), Grid: 1}, Secret: core.Secret{IX: -2, IY: 7}},
+		{Clear: core.Clear{DX: fixed.Sub(0), DY: fixed.Sub(39), Grid: 0}, Secret: core.Secret{IX: 31, IY: 0}},
+	}
+	const wantEnc = "0002000000000000000a000000000000001401fffffffffffffffe00000000000000070000000000000000000000000000002700000000000000001f0000000000000000"
+	if got := hex.EncodeToString(EncodeTokens(tokens)); got != wantEnc {
+		t.Errorf("encoding changed:\n got %s\nwant %s", got, wantEnc)
+	}
+	const wantDigest = "b31338974a9577b0d14bb31db1850afd09e89f725a99ead137cc1e5fc51aedb6"
+	d, err := Digest(p, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(d); got != wantDigest {
+		t.Errorf("digest changed:\n got %s\nwant %s", got, wantDigest)
+	}
+}

@@ -1,0 +1,72 @@
+package passpoints
+
+import (
+	"testing"
+
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+)
+
+// FuzzUnmarshalRecord: arbitrary bytes must never panic the record
+// decoder, and any record it does accept must be structurally sound.
+func FuzzUnmarshalRecord(f *testing.F) {
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := Config{Image: geom.Size{W: 451, H: 331}, Clicks: 5, Scheme: scheme, Iterations: 2}
+	rec, err := Enroll(cfg, "seed", []geom.Point{
+		geom.Pt(30, 40), geom.Pt(120, 300), geom.Pt(222, 51),
+		geom.Pt(400, 200), geom.Pt(77, 160),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := rec.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"user":"x","square_side_px":-1,"iterations":5,"digest":"aGk="}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalRecord(data)
+		if err != nil {
+			return
+		}
+		if r.SquareSidePx <= 0 || r.Iterations <= 0 || len(r.Digest) == 0 {
+			t.Fatalf("decoder accepted malformed record: %+v", r)
+		}
+	})
+}
+
+// FuzzVerify: arbitrary click coordinates against a valid record must
+// never panic and never error for in-image clicks.
+func FuzzVerify(f *testing.F) {
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := Config{Image: geom.Size{W: 451, H: 331}, Clicks: 5, Scheme: scheme, Iterations: 2}
+	rec, err := Enroll(cfg, "seed", []geom.Point{
+		geom.Pt(30, 40), geom.Pt(120, 300), geom.Pt(222, 51),
+		geom.Pt(400, 200), geom.Pt(77, 160),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(30, 40, 120, 300, 222)
+	f.Add(0, 0, 0, 0, 0)
+	f.Add(450, 330, 450, 330, 450)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e int) {
+		size := geom.Size{W: 451, H: 331}
+		clicks := []geom.Point{
+			size.Clamp(geom.Pt(a, b)), size.Clamp(geom.Pt(b, c)), size.Clamp(geom.Pt(c, d)),
+			size.Clamp(geom.Pt(d, e)), size.Clamp(geom.Pt(e, a)),
+		}
+		if _, err := Verify(cfg, rec, clicks); err != nil {
+			t.Fatalf("in-image clicks errored: %v", err)
+		}
+	})
+}

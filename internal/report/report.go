@@ -1,0 +1,208 @@
+// Package report renders experiment results as aligned ASCII tables,
+// CSV files, and ASCII bar charts, so every table and figure of the
+// paper can be regenerated on a terminal and diffed as text.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a pre-formatted row.
+func (t *Table) AddRowf(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table as CSV (headers then rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// BarChart renders grouped horizontal bars: for each label one bar per
+// series, scaled to maxWidth characters at 100 (values are
+// percentages).
+func BarChart(w io.Writer, title string, series []Series, maxWidth int) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	n := len(series[0].Labels)
+	nameW := 0
+	for _, s := range series {
+		if len(s.Labels) != n || len(s.Values) != n {
+			return fmt.Errorf("report: series %q has mismatched lengths", s.Name)
+		}
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	labelW := 0
+	for _, l := range series[0].Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-*s\n", labelW, series[0].Labels[i])
+		for _, s := range series {
+			bar := int(s.Values[i] / 100 * float64(maxWidth))
+			if bar < 0 {
+				bar = 0
+			}
+			if bar > maxWidth {
+				bar = maxWidth
+			}
+			fmt.Fprintf(&b, "  %-*s |%s%s %5.1f%%\n", nameW, s.Name,
+				strings.Repeat("#", bar), strings.Repeat(" ", maxWidth-bar), s.Values[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SeriesCSV writes figure series as CSV: label,series1,series2,...
+func SeriesCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"label"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range series[0].Labels {
+		row := []string{series[0].Labels[i]}
+		for _, s := range series {
+			if i >= len(s.Values) {
+				return fmt.Errorf("report: series %q too short", s.Name)
+			}
+			row = append(row, fmt.Sprintf("%.2f", s.Values[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown table
+// (for EXPERIMENTS.md-style documents).
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("|")
+	for _, h := range t.Headers {
+		b.WriteString(" " + h + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Headers {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		b.WriteString("|")
+		for i := range t.Headers {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			b.WriteString(" " + cell + " |")
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

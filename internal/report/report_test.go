@@ -1,0 +1,143 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table X", "Grid", "False Accept", "False Reject")
+	tb.AddRow("9x9", 3.5, 21.8)
+	tb.AddRow("13x13", 1.7, 21.1)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table X", "Grid", "13x13", "21.1", "3.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "A", "LongHeader")
+	tb.AddRowf("xxxxxxx", "1")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Header and data row should be the same width.
+	if len(lines[0]) < len("xxxxxxx") {
+		t.Error("header row not padded to column width")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.5\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	series := []Series{
+		{Name: "centered", Labels: []string{"r=4", "r=6"}, Values: []float64{10, 15}},
+		{Name: "robust", Labels: []string{"r=4", "r=6"}, Values: []float64{35, 45}},
+	}
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "Figure 8", series, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 8", "r=4", "centered", "robust", "45.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// robust bar at 45% of width 40 = 18 hashes.
+	if !strings.Contains(out, strings.Repeat("#", 18)) {
+		t.Error("bar scaling wrong")
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if err := BarChart(&bytes.Buffer{}, "t", nil, 40); err == nil {
+		t.Error("empty series accepted")
+	}
+	bad := []Series{{Name: "x", Labels: []string{"a"}, Values: []float64{1, 2}}}
+	if err := BarChart(&bytes.Buffer{}, "t", bad, 40); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestBarChartClamping(t *testing.T) {
+	series := []Series{
+		{Name: "s", Labels: []string{"x"}, Values: []float64{150}},
+		{Name: "t", Labels: []string{"x"}, Values: []float64{-5}},
+	}
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "", series, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), strings.Repeat("#", 11)) {
+		t.Error("bar exceeded max width")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Name: "centered", Labels: []string{"9", "13"}, Values: []float64{1.5, 11.1}},
+		{Name: "robust", Labels: []string{"9", "13"}, Values: []float64{1.4, 6.8}},
+	}
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "label,centered,robust\n") {
+		t.Errorf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, "13,11.10,6.80") {
+		t.Errorf("csv rows wrong: %q", out)
+	}
+	if err := SeriesCSV(&buf, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	short := []Series{
+		{Name: "a", Labels: []string{"1", "2"}, Values: []float64{1, 2}},
+		{Name: "b", Labels: []string{"1", "2"}, Values: []float64{1}},
+	}
+	if err := SeriesCSV(&buf, short); err == nil {
+		t.Error("short series accepted")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := NewTable("Table 2", "r", "FA")
+	tb.AddRow(4, 32.1)
+	tb.AddRowf("6") // short row: padded
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**Table 2**", "| r | FA |", "|---|---|", "| 4 | 32.1 |", "| 6 |  |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

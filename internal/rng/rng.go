@@ -1,0 +1,171 @@
+// Package rng supplies a small, deterministic random source for the
+// study simulator and attack engines.
+//
+// Experiments must be exactly reproducible from a seed across runs and
+// platforms, and must not share mutable global state between goroutines,
+// so we implement an explicit generator (splitmix64 seeding a
+// xoshiro256**-style core) rather than reaching for math/rand's global
+// functions. Only integer and float64 primitives plus the distributions
+// the simulator needs are provided.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random generator. It is not safe for
+// concurrent use; create one per goroutine (Split derives independent
+// streams).
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, which
+// guarantees a well-mixed non-zero internal state for any seed.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Split derives a new independent generator from this one. The child's
+// stream is determined by the parent's state at the time of the call,
+// so a fixed call sequence yields fixed children.
+func (r *Source) Split() *Source { return New(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and cheap.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul128(v, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul128(v, un)
+		}
+	}
+	return int(hi)
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	c = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + (t >> 32)
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Normal returns a sample from the standard normal distribution using
+// the Box-Muller transform (polar variant avoided to keep call counts
+// deterministic: every call consumes exactly two Uint64s).
+func (r *Source) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NormalScaled returns mean + stddev*Normal().
+func (r *Source) NormalScaled(mean, stddev float64) float64 {
+	return mean + stddev*r.Normal()
+}
+
+// TruncNormal samples a normal with the given stddev, resampling until
+// the result lies within [-bound, bound]. bound must be positive.
+func (r *Source) TruncNormal(stddev, bound float64) float64 {
+	if bound <= 0 {
+		panic("rng: TruncNormal with non-positive bound")
+	}
+	for {
+		v := r.Normal() * stddev
+		if v >= -bound && v <= bound {
+			return v
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) via Fisher-Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap
+// function, matching the contract of sort.Slice-style callbacks.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a weighted choice: index i is selected with probability
+// weights[i]/sum(weights). Weights must be non-negative with a positive
+// sum.
+func (r *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: weights sum to zero")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,108 @@
+// Package space computes theoretical full password spaces for
+// click-based graphical passwords (paper §2.2.2 and Table 3) and the
+// text-password baselines they are compared against.
+package space
+
+import (
+	"fmt"
+	"math"
+
+	"clickpass/internal/geom"
+)
+
+// SquaresPerGrid returns the number of grid squares of side sidePx that
+// cover a W x H image: ceil(W/s) * ceil(H/s). Partial squares at the
+// right/bottom edges count, matching the paper's Table 3 (e.g. 640x480
+// with 36x36 squares gives 18*14 = 252).
+func SquaresPerGrid(img geom.Size, sidePx int) (int, error) {
+	if sidePx <= 0 {
+		return 0, fmt.Errorf("space: square side %d must be positive", sidePx)
+	}
+	if img.W <= 0 || img.H <= 0 {
+		return 0, fmt.Errorf("space: image %v is empty", img)
+	}
+	cols := (img.W + sidePx - 1) / sidePx
+	rows := (img.H + sidePx - 1) / sidePx
+	return cols * rows, nil
+}
+
+// PasswordSpaceBits returns the size in bits of the theoretical full
+// password space for clicks ordered click-points: clicks * log2(squares).
+func PasswordSpaceBits(img geom.Size, sidePx, clicks int) (float64, error) {
+	if clicks <= 0 {
+		return 0, fmt.Errorf("space: clicks %d must be positive", clicks)
+	}
+	n, err := SquaresPerGrid(img, sidePx)
+	if err != nil {
+		return 0, err
+	}
+	return float64(clicks) * math.Log2(float64(n)), nil
+}
+
+// TextPasswordBits returns the bit size of the space of random text
+// passwords of the given length over the given alphabet — the paper's
+// baseline: 95 printable characters, length 8, is 52.5 bits.
+func TextPasswordBits(alphabet, length int) (float64, error) {
+	if alphabet <= 1 || length <= 0 {
+		return 0, fmt.Errorf("space: alphabet %d / length %d invalid", alphabet, length)
+	}
+	return float64(length) * math.Log2(float64(alphabet)), nil
+}
+
+// Row is one line of Table 3 for a given image and square size.
+type Row struct {
+	Image          geom.Size
+	SidePx         int
+	CenteredRPx    float64 // guaranteed tolerance under Centered: (s-1)/2
+	RobustRPx      float64 // guaranteed tolerance under Robust: s/6
+	SquaresPerGrid int
+	Bits           float64 // password space for 5 clicks
+}
+
+// Table3Sizes are the square sides evaluated by the paper.
+var Table3Sizes = []int{9, 13, 19, 24, 36, 54}
+
+// Table3Images are the image sizes evaluated by the paper: the study
+// images (451x331) and a typical 640x480 image.
+var Table3Images = []geom.Size{{W: 451, H: 331}, {W: 640, H: 480}}
+
+// Table3 computes the full Table 3 for the given click count.
+func Table3(clicks int) ([]Row, error) {
+	var rows []Row
+	for _, img := range Table3Images {
+		for _, s := range Table3Sizes {
+			n, err := SquaresPerGrid(img, s)
+			if err != nil {
+				return nil, err
+			}
+			bits, err := PasswordSpaceBits(img, s, clicks)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Image:          img,
+				SidePx:         s,
+				CenteredRPx:    float64(s-1) / 2,
+				RobustRPx:      float64(s) / 6,
+				SquaresPerGrid: n,
+				Bits:           bits,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SpaceLossVsCentered returns how many bits Robust Discretization gives
+// up relative to Centered at equal guaranteed tolerance r (whole
+// pixels): Centered uses (2r+1)-pixel squares, Robust 6r-pixel squares.
+func SpaceLossVsCentered(img geom.Size, rPx, clicks int) (centeredBits, robustBits float64, err error) {
+	centeredBits, err = PasswordSpaceBits(img, 2*rPx+1, clicks)
+	if err != nil {
+		return 0, 0, err
+	}
+	robustBits, err = PasswordSpaceBits(img, 6*rPx, clicks)
+	if err != nil {
+		return 0, 0, err
+	}
+	return centeredBits, robustBits, nil
+}

@@ -1,0 +1,158 @@
+package space
+
+import (
+	"math"
+	"testing"
+
+	"clickpass/internal/geom"
+)
+
+var study = geom.Size{W: 451, H: 331}
+var vga = geom.Size{W: 640, H: 480}
+
+// TestTable3Exact checks every cell of the paper's Table 3: squares per
+// grid exactly, bit sizes to the paper's one-decimal precision.
+func TestTable3Exact(t *testing.T) {
+	cases := []struct {
+		img     geom.Size
+		side    int
+		squares int
+		bits    float64
+	}{
+		{study, 9, 1887, 54.4},
+		{study, 13, 910, 49.1},
+		{study, 19, 432, 43.8},
+		{study, 24, 266, 40.3},
+		{study, 36, 130, 35.1},
+		{study, 54, 63, 29.9},
+		{vga, 9, 3888, 59.6},
+		{vga, 13, 1850, 54.3},
+		{vga, 19, 884, 48.9},
+		{vga, 24, 540, 45.4},
+		{vga, 36, 252, 39.9},
+		{vga, 54, 108, 33.8},
+	}
+	for _, c := range cases {
+		n, err := SquaresPerGrid(c.img, c.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != c.squares {
+			t.Errorf("%v %dx%d: squares = %d, want %d", c.img, c.side, c.side, n, c.squares)
+		}
+		bits, err := PasswordSpaceBits(c.img, c.side, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bits-c.bits) > 0.05 {
+			t.Errorf("%v %dx%d: bits = %.2f, want %.1f", c.img, c.side, c.side, bits, c.bits)
+		}
+	}
+}
+
+// TestSection222Numbers: §2.2.2's in-text numbers — 640x480 with 36x36
+// squares: 252 squares, 39.9 bits; with 13x13 (r=6): 54.3 bits.
+func TestSection222Numbers(t *testing.T) {
+	n, _ := SquaresPerGrid(vga, 36)
+	if n != 252 {
+		t.Errorf("squares = %d, want 252", n)
+	}
+	b36, _ := PasswordSpaceBits(vga, 36, 5)
+	if math.Abs(b36-39.9) > 0.05 {
+		t.Errorf("bits(36) = %.2f, want 39.9", b36)
+	}
+	b13, _ := PasswordSpaceBits(vga, 13, 5)
+	if math.Abs(b13-54.3) > 0.05 {
+		t.Errorf("bits(13) = %.2f, want 54.3", b13)
+	}
+}
+
+func TestTextPasswordBaseline(t *testing.T) {
+	bits, err := TextPasswordBits(95, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8*log2(95) = 52.56; the paper truncates to 52.5.
+	if math.Abs(bits-52.5) > 0.1 {
+		t.Errorf("text bits = %.2f, want ~52.5", bits)
+	}
+}
+
+// TestSection51EqualR: §5 in-text comparison — on 640x480 at r=4,
+// Centered gives 59.6 bits vs Robust 45.4.
+func TestSection51EqualR(t *testing.T) {
+	c, r, err := SpaceLossVsCentered(vga, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-59.6) > 0.05 {
+		t.Errorf("centered bits = %.2f, want 59.6", c)
+	}
+	if math.Abs(r-45.4) > 0.05 {
+		t.Errorf("robust bits = %.2f, want 45.4", r)
+	}
+}
+
+func TestTable3Builder(t *testing.T) {
+	rows, err := Table3(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("Table3 has %d rows, want 12", len(rows))
+	}
+	// Spot-check tolerance columns.
+	for _, row := range rows {
+		if row.SidePx == 13 && row.CenteredRPx != 6 {
+			t.Errorf("13x13 centered r = %v, want 6", row.CenteredRPx)
+		}
+		if row.SidePx == 24 && row.CenteredRPx != 11.5 {
+			t.Errorf("24x24 centered r = %v, want 11.5", row.CenteredRPx)
+		}
+		if row.SidePx == 54 && row.RobustRPx != 9 {
+			t.Errorf("54x54 robust r = %v, want 9", row.RobustRPx)
+		}
+	}
+}
+
+// TestMonotonicity: smaller squares always give a larger space; larger
+// images always give a larger space.
+func TestMonotonicity(t *testing.T) {
+	prev := math.Inf(1)
+	for _, s := range Table3Sizes {
+		bits, err := PasswordSpaceBits(study, s, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits >= prev {
+			t.Errorf("bits not strictly decreasing at side %d", s)
+		}
+		prev = bits
+	}
+	small, _ := PasswordSpaceBits(study, 13, 5)
+	big, _ := PasswordSpaceBits(vga, 13, 5)
+	if big <= small {
+		t.Error("larger image should give larger space")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SquaresPerGrid(study, 0); err == nil {
+		t.Error("zero side accepted")
+	}
+	if _, err := SquaresPerGrid(geom.Size{}, 13); err == nil {
+		t.Error("empty image accepted")
+	}
+	if _, err := PasswordSpaceBits(study, 13, 0); err == nil {
+		t.Error("zero clicks accepted")
+	}
+	if _, err := TextPasswordBits(1, 8); err == nil {
+		t.Error("unary alphabet accepted")
+	}
+	if _, err := TextPasswordBits(95, 0); err == nil {
+		t.Error("empty password accepted")
+	}
+	if _, _, err := SpaceLossVsCentered(study, 0, 5); err == nil {
+		t.Error("r=0 accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: binomial proportion confidence intervals for the reported
+// rates, and summary statistics for calibration sweeps.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Proportion is an observed k-out-of-n rate.
+type Proportion struct {
+	K, N int
+}
+
+// Value returns the point estimate k/n (0 if n == 0).
+func (p Proportion) Value() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.K) / float64(p.N)
+}
+
+// Pct returns the point estimate in percent.
+func (p Proportion) Pct() float64 { return 100 * p.Value() }
+
+// Wilson returns the Wilson score interval at the given z (1.96 for
+// 95%). Unlike the normal approximation it behaves sensibly for rates
+// near 0 or 1 and for small n — both of which occur in Table 1.
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	if p.N == 0 {
+		return 0, 1
+	}
+	n := float64(p.N)
+	phat := p.Value()
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	margin := z / denom * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n))
+	lo, hi = center-margin, center+margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Wilson95 returns the 95% Wilson interval in percent.
+func (p Proportion) Wilson95Pct() (lo, hi float64) {
+	l, h := p.Wilson(1.959963984540054)
+	return 100 * l, 100 * h
+}
+
+// String formats the proportion with its 95% interval.
+func (p Proportion) String() string {
+	lo, hi := p.Wilson95Pct()
+	return fmt.Sprintf("%.1f%% [%.1f, %.1f]", p.Pct(), lo, hi)
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N           int
+	Mean, Std   float64
+	Min, Max    float64
+	Median, P90 float64
+}
+
+// Summarize computes summary statistics; it returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = quantile(sorted, 0.5)
+	s.P90 = quantile(sorted, 0.9)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// TwoProportionZ returns the z statistic for the difference between
+// two independent proportions (pooled). Used to check whether a
+// measured scheme gap is significant at study scale.
+func TwoProportionZ(a, b Proportion) float64 {
+	if a.N == 0 || b.N == 0 {
+		return 0
+	}
+	p := float64(a.K+b.K) / float64(a.N+b.N)
+	se := math.Sqrt(p * (1 - p) * (1/float64(a.N) + 1/float64(b.N)))
+	if se == 0 {
+		return 0
+	}
+	return (a.Value() - b.Value()) / se
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionBasics(t *testing.T) {
+	p := Proportion{K: 21, N: 100}
+	if p.Value() != 0.21 || p.Pct() != 21 {
+		t.Errorf("point estimate wrong: %v / %v", p.Value(), p.Pct())
+	}
+	if (Proportion{}).Value() != 0 {
+		t.Error("empty proportion should be 0")
+	}
+}
+
+func TestWilsonKnownValue(t *testing.T) {
+	// Classic check: 10/100 at 95% -> approximately [0.055, 0.174].
+	lo, hi := Proportion{K: 10, N: 100}.Wilson(1.96)
+	if math.Abs(lo-0.0552) > 0.003 || math.Abs(hi-0.1744) > 0.003 {
+		t.Errorf("Wilson(10/100) = [%.4f, %.4f], want ~[0.055, 0.174]", lo, hi)
+	}
+}
+
+func TestWilsonEdgeCases(t *testing.T) {
+	lo, hi := Proportion{K: 0, N: 50}.Wilson(1.96)
+	if lo != 0 {
+		t.Errorf("zero successes should pin lo to 0, got %f", lo)
+	}
+	if hi <= 0 || hi > 0.15 {
+		t.Errorf("0/50 upper bound %f implausible", hi)
+	}
+	lo, hi = Proportion{K: 50, N: 50}.Wilson(1.96)
+	if hi != 1 {
+		t.Errorf("all successes should pin hi to 1, got %f", hi)
+	}
+	if lo >= 1 || lo < 0.85 {
+		t.Errorf("50/50 lower bound %f implausible", lo)
+	}
+	lo, hi = Proportion{}.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Error("empty sample should give the vacuous interval")
+	}
+}
+
+// Property: the interval always contains the point estimate and is
+// within [0,1].
+func TestWilsonContainsEstimate(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw) % (n + 1)
+		p := Proportion{K: k, N: n}
+		lo, hi := p.Wilson(1.96)
+		v := p.Value()
+		return lo >= 0 && hi <= 1 && lo <= v && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more data shrinks the interval (same rate).
+func TestWilsonShrinksWithN(t *testing.T) {
+	lo1, hi1 := Proportion{K: 5, N: 25}.Wilson(1.96)
+	lo2, hi2 := Proportion{K: 50, N: 250}.Wilson(1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not shrink: %.3f vs %.3f", hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	s := Proportion{K: 21, N: 100}.String()
+	if !strings.HasPrefix(s, "21.0% [") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %f", s.Std)
+	}
+	if math.Abs(s.P90-4.6) > 1e-12 {
+		t.Errorf("p90 = %f, want 4.6", s.P90)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Median != 7 || one.Std != 0 || one.P90 != 7 {
+		t.Errorf("singleton summary wrong: %+v", one)
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	// Equal rates: z = 0.
+	if z := TwoProportionZ(Proportion{10, 100}, Proportion{10, 100}); z != 0 {
+		t.Errorf("equal rates z = %f", z)
+	}
+	// A large gap at study scale should be highly significant: the
+	// paper's 45.1% vs 14.8% over 162 passwords.
+	z := TwoProportionZ(Proportion{73, 162}, Proportion{24, 162})
+	if z < 5 {
+		t.Errorf("Figure 8 gap z = %f, expected >> 1.96", z)
+	}
+	// Degenerate inputs.
+	if TwoProportionZ(Proportion{}, Proportion{1, 10}) != 0 {
+		t.Error("empty sample should give z=0")
+	}
+	if TwoProportionZ(Proportion{0, 10}, Proportion{0, 20}) != 0 {
+		t.Error("0 pooled rate should give z=0")
+	}
+}

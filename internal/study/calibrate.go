@@ -1,0 +1,115 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"clickpass/internal/analysis"
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+)
+
+// Target is a set of paper rates an error model should reproduce.
+// Keys are grid sides (Table 1) or r values (Table 2); values are
+// percentages.
+type Target struct {
+	Table1FR map[int]float64
+	Table1FA map[int]float64
+	Table2FA map[int]float64
+}
+
+// PaperTargets returns the published Table 1 and Table 2 rates.
+func PaperTargets() Target {
+	return Target{
+		Table1FR: map[int]float64{9: 21.8, 13: 21.1, 19: 10.0},
+		Table1FA: map[int]float64{9: 3.5, 13: 1.7, 19: 0.5},
+		Table2FA: map[int]float64{4: 32.1, 6: 14.1, 9: 4.3},
+	}
+}
+
+// Score measures how far a simulated study lands from the target: the
+// root mean squared error over all table cells, in percentage points.
+// Lower is better.
+func (tg Target) Score(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64) (float64, error) {
+	t1, err := analysis.Table1(dsets, policy, seed)
+	if err != nil {
+		return 0, err
+	}
+	t2, err := analysis.Table2(dsets, policy, seed)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var n int
+	for _, row := range t1 {
+		if want, ok := tg.Table1FR[row.RobustSide]; ok {
+			d := row.FalseRejectPct() - want
+			sum += d * d
+			n++
+		}
+		if want, ok := tg.Table1FA[row.RobustSide]; ok {
+			d := row.FalseAcceptPct() - want
+			sum += d * d
+			n++
+		}
+	}
+	for _, row := range t2 {
+		if want, ok := tg.Table2FA[int(row.RobustRPx)]; ok {
+			d := row.FalseAcceptPct() - want
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("study: target matched no table cells")
+	}
+	return math.Sqrt(sum / float64(n)), nil
+}
+
+// CalibrationResult pairs a candidate model with its score.
+type CalibrationResult struct {
+	Model ErrorModel
+	RMSE  float64
+}
+
+// Calibrate simulates the field study under each candidate error model
+// and ranks the candidates by RMSE against the target. This is the
+// sweep that produced DefaultErrorModel.
+func Calibrate(candidates []ErrorModel, target Target, seed uint64) ([]CalibrationResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("study: no candidate models")
+	}
+	results := make([]CalibrationResult, 0, len(candidates))
+	for _, model := range candidates {
+		if err := model.Validate(); err != nil {
+			return nil, err
+		}
+		var dsets []*dataset.Dataset
+		for i, img := range imagegen.Gallery() {
+			cfg := FieldConfig(img, seed+uint64(i))
+			cfg.Error = model
+			d, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			dsets = append(dsets, d)
+		}
+		score, err := target.Score(dsets, core.MostCentered, seed)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, CalibrationResult{Model: model, RMSE: score})
+	}
+	// Selection sort by RMSE: tiny n, stability wanted.
+	for i := range results {
+		best := i
+		for j := i + 1; j < len(results); j++ {
+			if results[j].RMSE < results[best].RMSE {
+				best = j
+			}
+		}
+		results[i], results[best] = results[best], results[i]
+	}
+	return results, nil
+}

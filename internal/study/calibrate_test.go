@@ -1,0 +1,67 @@
+package study
+
+import (
+	"testing"
+
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+)
+
+func TestCalibrateRanksModels(t *testing.T) {
+	// The calibrated default must beat a deliberately bad model.
+	candidates := []ErrorModel{
+		{MotorSigma: 8, MaxError: 20}, // hopeless: everything misses
+		DefaultErrorModel(),
+	}
+	results, err := Calibrate(candidates, PaperTargets(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].RMSE > results[1].RMSE {
+		t.Error("results not sorted by RMSE")
+	}
+	if results[0].Model.MotorSigma != DefaultErrorModel().MotorSigma {
+		t.Errorf("calibrated default (RMSE %.2f) lost to sigma-8 (RMSE %.2f)",
+			results[1].RMSE, results[0].RMSE)
+	}
+	// The default should land within a few percentage points RMS of
+	// the paper across all 9 table cells.
+	if results[0].RMSE > 6 {
+		t.Errorf("default model RMSE %.2f — calibration has drifted", results[0].RMSE)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(nil, PaperTargets(), 1); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+	bad := []ErrorModel{{MotorSigma: -1, MaxError: 10}}
+	if _, err := Calibrate(bad, PaperTargets(), 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestTargetScoreValidation(t *testing.T) {
+	var empty Target
+	d, err := Run(FieldConfig(imagegen.Cars(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Score([]*dataset.Dataset{d}, core.MostCentered, 1); err == nil {
+		t.Error("target with no cells accepted")
+	}
+}
+
+func TestPaperTargetsComplete(t *testing.T) {
+	tg := PaperTargets()
+	if len(tg.Table1FR) != 3 || len(tg.Table1FA) != 3 || len(tg.Table2FA) != 3 {
+		t.Error("paper targets incomplete")
+	}
+	if tg.Table1FR[13] != 21.1 || tg.Table2FA[4] != 32.1 {
+		t.Error("paper target values wrong")
+	}
+}

@@ -1,0 +1,180 @@
+package study
+
+import (
+	"testing"
+
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+)
+
+func runBothCohorts(t *testing.T, seed uint64) []*dataset.Dataset {
+	t.Helper()
+	var out []*dataset.Dataset
+	for i, img := range imagegen.Gallery() {
+		d, err := RunCohort(DefaultCohort(img, seed+uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestCohortMatchesPaperScale: the default cohort reproduces the
+// paper's header numbers — 191 participants, ~481 passwords, ~3339
+// logins across both images.
+func TestCohortMatchesPaperScale(t *testing.T) {
+	dsets := runBothCohorts(t, 11)
+	users := map[string]bool{}
+	passwords, logins := 0, 0
+	for _, d := range dsets {
+		passwords += len(d.Passwords)
+		logins += len(d.Logins)
+		for i := range d.Passwords {
+			users[d.Passwords[i].User] = true
+		}
+	}
+	if len(users) != 191 {
+		t.Errorf("participants = %d, want 191", len(users))
+	}
+	if passwords < 430 || passwords > 540 {
+		t.Errorf("passwords = %d, want ~481", passwords)
+	}
+	if logins < 2900 || logins > 3800 {
+		t.Errorf("logins = %d, want ~3339", logins)
+	}
+	t.Logf("cohort: %d participants, %d passwords, %d logins", len(users), passwords, logins)
+}
+
+// TestCohortDeterministic: same seed, same cohort.
+func TestCohortDeterministic(t *testing.T) {
+	a, err := RunCohort(DefaultCohort(imagegen.Cars(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCohort(DefaultCohort(imagegen.Cars(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Passwords) != len(b.Passwords) || len(a.Logins) != len(b.Logins) {
+		t.Fatal("same seed produced different cohort sizes")
+	}
+	for i := range a.Logins {
+		for j := range a.Logins[i].Clicks {
+			if a.Logins[i].Clicks[j] != b.Logins[i].Clicks[j] {
+				t.Fatal("same seed produced different logins")
+			}
+		}
+	}
+}
+
+// TestCohortSkillHeterogeneity: with skill spread on, per-participant
+// login accuracy varies more than with it off.
+func TestCohortSkillHeterogeneity(t *testing.T) {
+	errRate := func(d *dataset.Dataset) map[string]float64 {
+		misses := map[string]int{}
+		total := map[string]int{}
+		for i := range d.Logins {
+			l := &d.Logins[i]
+			pw := d.PasswordByID(l.PasswordID)
+			for j := range l.Clicks {
+				total[pw.User]++
+				if pw.Clicks[j].Point().Chebyshev(l.Clicks[j].Point()).Pixels() > 6 {
+					misses[pw.User]++
+				}
+			}
+		}
+		out := map[string]float64{}
+		for u, n := range total {
+			out[u] = float64(misses[u]) / float64(n)
+		}
+		return out
+	}
+	variance := func(rates map[string]float64) float64 {
+		var sum, sq float64
+		for _, v := range rates {
+			sum += v
+		}
+		mean := sum / float64(len(rates))
+		for _, v := range rates {
+			d := v - mean
+			sq += d * d
+		}
+		return sq / float64(len(rates))
+	}
+	spread := DefaultCohort(imagegen.Cars(), 7)
+	spread.SkillSpread = 0.5
+	flat := DefaultCohort(imagegen.Cars(), 7)
+	flat.SkillSpread = 0
+	flat.PracticeRate = 1
+	dSpread, err := RunCohort(spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFlat, err := RunCohort(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vS, vF := variance(errRate(dSpread)), variance(errRate(dFlat))
+	if vS <= vF {
+		t.Errorf("skill spread did not raise per-user variance: %.5f vs %.5f", vS, vF)
+	}
+}
+
+// TestCohortPractice: with a strong practice effect, late attempts are
+// more accurate than first attempts.
+func TestCohortPractice(t *testing.T) {
+	cfg := DefaultCohort(imagegen.Cars(), 13)
+	cfg.PracticeRate = 0.9
+	cfg.SkillSpread = 0
+	cfg.LoginsPerPassword = 8
+	d, err := RunCohort(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missRateAt := func(attempt int) float64 {
+		misses, total := 0, 0
+		for i := range d.Logins {
+			l := &d.Logins[i]
+			if l.Attempt != attempt {
+				continue
+			}
+			pw := d.PasswordByID(l.PasswordID)
+			for j := range l.Clicks {
+				total++
+				if pw.Clicks[j].Point().Chebyshev(l.Clicks[j].Point()).Pixels() > 3 {
+					misses++
+				}
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(misses) / float64(total)
+	}
+	early := missRateAt(0)
+	late := missRateAt(7)
+	if late >= early {
+		t.Errorf("practice effect missing: attempt 0 missed %.3f, attempt 7 missed %.3f", early, late)
+	}
+}
+
+func TestCohortValidation(t *testing.T) {
+	mutations := map[string]func(*CohortConfig){
+		"nil image":       func(c *CohortConfig) { c.Image = nil },
+		"no participants": func(c *CohortConfig) { c.Participants = 0 },
+		"zero pw/pp":      func(c *CohortConfig) { c.PasswordsPerParticipant = 0 },
+		"neg logins":      func(c *CohortConfig) { c.LoginsPerPassword = -1 },
+		"no clicks":       func(c *CohortConfig) { c.Clicks = 0 },
+		"wild skill":      func(c *CohortConfig) { c.SkillSpread = 5 },
+		"zero practice":   func(c *CohortConfig) { c.PracticeRate = 0 },
+		"bad error":       func(c *CohortConfig) { c.Error.MotorSigma = -1 },
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultCohort(imagegen.Cars(), 1)
+		mutate(&cfg)
+		if _, err := RunCohort(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package study synthesizes PassPoints user-study datasets with the
+// shape of the paper's field and lab studies.
+//
+// The paper analyzed data it could not publish: a 191-participant field
+// study (481 passwords, 3339 login attempts, two 451x331 images) and a
+// 30-password-per-image lab study used to seed attack dictionaries.
+// This package substitutes a behavioural model with the two properties
+// those datasets contribute to the experiments:
+//
+//  1. Password choice concentrates on image hotspots (package
+//     imagegen), which is what makes human-seeded dictionaries
+//     effective (§5.1).
+//  2. Re-entry is accurate but imperfect: per-coordinate Gaussian motor
+//     error with occasional larger "slips", matching the paper's
+//     observation that users "were very accurate in targeting their
+//     click-points" yet still produced double-digit false-reject rates
+//     under Robust Discretization (§4.1, footnote 3).
+//
+// All generation is deterministic in the seed.
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/rng"
+)
+
+// ErrorModel describes re-entry inaccuracy for one click.
+type ErrorModel struct {
+	// MotorSigma is the per-coordinate standard deviation (pixels) of
+	// ordinary re-entry error.
+	MotorSigma float64
+	// SlipProb is the probability that a click is a "slip" with larger
+	// error (hurried click, double-click drift, tremor).
+	SlipProb float64
+	// SlipSigma is the per-coordinate standard deviation for slips.
+	SlipSigma float64
+	// Slip2Prob is the probability of a rarer, larger slip (mis-aimed
+	// click that still targets the right feature).
+	Slip2Prob float64
+	// Slip2Sigma is the per-coordinate standard deviation for large
+	// slips.
+	Slip2Sigma float64
+	// MaxError truncates each coordinate's error (pixels): re-entries
+	// are always aimed at the right target, never at a different one.
+	MaxError float64
+}
+
+// DefaultErrorModel is calibrated so the replayed Tables 1 and 2 land
+// near the paper's rates (see EXPERIMENTS.md for the comparison). The
+// shape is trimodal: precise motor control most of the time, frequent
+// small slips of a few pixels, and rare larger slips. A single
+// Gaussian cannot reproduce the paper's flat false-reject curve
+// (21.8% at 9x9 vs 21.1% at 13x13) together with its false-accept
+// column; the calibration sweep lives in the study benchmarks.
+func DefaultErrorModel() ErrorModel {
+	return ErrorModel{
+		MotorSigma: 0.70,
+		SlipProb:   0.35,
+		SlipSigma:  2.7,
+		Slip2Prob:  0.045,
+		Slip2Sigma: 6.0,
+		MaxError:   20,
+	}
+}
+
+// Validate reports configuration errors.
+func (e ErrorModel) Validate() error {
+	if e.MotorSigma <= 0 {
+		return fmt.Errorf("study: motor sigma %v must be positive", e.MotorSigma)
+	}
+	if e.SlipProb < 0 || e.Slip2Prob < 0 || e.SlipProb+e.Slip2Prob > 1 {
+		return fmt.Errorf("study: slip probabilities %v + %v outside [0,1]", e.SlipProb, e.Slip2Prob)
+	}
+	if e.SlipProb > 0 && e.SlipSigma <= 0 {
+		return fmt.Errorf("study: slip sigma %v must be positive", e.SlipSigma)
+	}
+	if e.Slip2Prob > 0 && e.Slip2Sigma <= 0 {
+		return fmt.Errorf("study: large-slip sigma %v must be positive", e.Slip2Sigma)
+	}
+	if e.MaxError <= 0 {
+		return fmt.Errorf("study: max error %v must be positive", e.MaxError)
+	}
+	return nil
+}
+
+// perturb applies re-entry error to one original click.
+func (e ErrorModel) perturb(r *rng.Source, p geom.Point, size geom.Size) geom.Point {
+	sigma := e.MotorSigma
+	switch u := r.Float64(); {
+	case u < e.SlipProb:
+		sigma = e.SlipSigma
+	case u < e.SlipProb+e.Slip2Prob:
+		sigma = e.Slip2Sigma
+	}
+	dx := int(math.Round(r.TruncNormal(sigma, e.MaxError)))
+	dy := int(math.Round(r.TruncNormal(sigma, e.MaxError)))
+	return size.Clamp(p.Add(geom.Pt(dx, dy)))
+}
+
+// Config describes one simulated study on one image.
+type Config struct {
+	// Image is the hotspot field clicks are drawn from.
+	Image *imagegen.Image
+	// Passwords is the number of passwords to create.
+	Passwords int
+	// LoginsPerPassword is the number of login attempts recorded per
+	// password (the field study averaged ~7).
+	LoginsPerPassword int
+	// Clicks per password (PassPoints uses 5).
+	Clicks int
+	// MinSeparation is the minimum Chebyshev distance (pixels) between
+	// click-points within one password; PassPoints required visibly
+	// distinct points.
+	MinSeparation int
+	// Error is the re-entry error model.
+	Error ErrorModel
+	// FirstPasswordID numbers the generated passwords sequentially
+	// from this ID (so per-image datasets can be merged).
+	FirstPasswordID int
+	// Seed fixes the generation stream.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Image == nil {
+		return fmt.Errorf("study: nil image")
+	}
+	if err := c.Image.Validate(); err != nil {
+		return err
+	}
+	if c.Passwords <= 0 {
+		return fmt.Errorf("study: passwords %d must be positive", c.Passwords)
+	}
+	if c.LoginsPerPassword < 0 {
+		return fmt.Errorf("study: negative logins per password")
+	}
+	if c.Clicks <= 0 {
+		return fmt.Errorf("study: clicks %d must be positive", c.Clicks)
+	}
+	if c.MinSeparation < 0 {
+		return fmt.Errorf("study: negative separation")
+	}
+	return c.Error.Validate()
+}
+
+// Run simulates the study: Passwords password creations, each followed
+// by LoginsPerPassword re-entry attempts.
+func Run(cfg Config) (*dataset.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	size := cfg.Image.Size
+	d := &dataset.Dataset{
+		Image:  cfg.Image.Name,
+		Width:  size.W,
+		Height: size.H,
+	}
+	for i := 0; i < cfg.Passwords; i++ {
+		id := cfg.FirstPasswordID + i
+		clicks := samplePassword(r, cfg)
+		pw := dataset.Password{
+			ID:    id,
+			User:  fmt.Sprintf("%s-p%03d", cfg.Image.Name, i),
+			Image: cfg.Image.Name,
+		}
+		for _, p := range clicks {
+			pw.Clicks = append(pw.Clicks, dataset.FromPoint(p))
+		}
+		d.Passwords = append(d.Passwords, pw)
+		for a := 0; a < cfg.LoginsPerPassword; a++ {
+			login := dataset.Login{PasswordID: id, Attempt: a}
+			for _, p := range clicks {
+				login.Clicks = append(login.Clicks, dataset.FromPoint(cfg.Error.perturb(r, p, size)))
+			}
+			d.Logins = append(d.Logins, login)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("study: generated invalid dataset: %w", err)
+	}
+	return d, nil
+}
+
+// samplePassword draws an ordered click sequence respecting the
+// minimum separation (resampling a point that crowds an earlier one;
+// after repeated failures the separation constraint is relaxed so
+// generation always terminates).
+func samplePassword(r *rng.Source, cfg Config) []geom.Point {
+	pts := make([]geom.Point, 0, cfg.Clicks)
+	minSep := cfg.MinSeparation
+	for len(pts) < cfg.Clicks {
+		const triesPerPoint = 64
+		placed := false
+		for try := 0; try < triesPerPoint; try++ {
+			cand := cfg.Image.SampleClick(r)
+			if separated(cand, pts, minSep) {
+				pts = append(pts, cand)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Image too crowded for this separation; relax it rather
+			// than loop forever.
+			minSep /= 2
+		}
+	}
+	return pts
+}
+
+func separated(p geom.Point, prev []geom.Point, minSepPx int) bool {
+	for _, q := range prev {
+		if p.Chebyshev(q).Pixels() < minSepPx {
+			return false
+		}
+	}
+	return true
+}
+
+// FieldConfig returns the configuration mirroring the paper's field
+// study on one image: the paper's attack section used 162 Cars and 187
+// Pool passwords; login volume averaged 3339/481 ≈ 7 attempts per
+// password.
+func FieldConfig(img *imagegen.Image, seed uint64) Config {
+	passwords := 162
+	firstID := 0
+	if img.Name == "pool" {
+		passwords = 187
+		firstID = 10000
+	}
+	return Config{
+		Image:             img,
+		Passwords:         passwords,
+		LoginsPerPassword: 7,
+		Clicks:            5,
+		MinSeparation:     15,
+		Error:             DefaultErrorModel(),
+		FirstPasswordID:   firstID,
+		Seed:              seed,
+	}
+}
+
+// LabConfig returns the configuration mirroring the paper's lab study
+// used to seed attack dictionaries: 30 passwords per image, no logins.
+func LabConfig(img *imagegen.Image, seed uint64) Config {
+	firstID := 20000
+	if img.Name == "pool" {
+		firstID = 30000
+	}
+	return Config{
+		Image:           img,
+		Passwords:       30,
+		Clicks:          5,
+		MinSeparation:   15,
+		Error:           DefaultErrorModel(),
+		FirstPasswordID: firstID,
+		Seed:            seed,
+	}
+}

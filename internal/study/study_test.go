@@ -1,0 +1,233 @@
+package study
+
+import (
+	"testing"
+
+	"clickpass/internal/geom"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/rng"
+)
+
+func smallConfig() Config {
+	return Config{
+		Image:             imagegen.Cars(),
+		Passwords:         20,
+		LoginsPerPassword: 4,
+		Clicks:            5,
+		MinSeparation:     15,
+		Error:             DefaultErrorModel(),
+		Seed:              1,
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	d, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Passwords) != 20 {
+		t.Errorf("passwords = %d, want 20", len(d.Passwords))
+	}
+	if len(d.Logins) != 80 {
+		t.Errorf("logins = %d, want 80", len(d.Logins))
+	}
+	for _, p := range d.Passwords {
+		if len(p.Clicks) != 5 {
+			t.Fatalf("password %d has %d clicks", p.ID, len(p.Clicks))
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("generated dataset invalid: %v", err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	d1, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Passwords {
+		for j := range d1.Passwords[i].Clicks {
+			if d1.Passwords[i].Clicks[j] != d2.Passwords[i].Clicks[j] {
+				t.Fatal("same seed produced different passwords")
+			}
+		}
+	}
+	for i := range d1.Logins {
+		for j := range d1.Logins[i].Clicks {
+			if d1.Logins[i].Clicks[j] != d2.Logins[i].Clicks[j] {
+				t.Fatal("same seed produced different logins")
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	cfg2 := smallConfig()
+	cfg2.Seed = 2
+	d1, _ := Run(smallConfig())
+	d2, _ := Run(cfg2)
+	same := true
+	for i := range d1.Passwords {
+		for j := range d1.Passwords[i].Clicks {
+			if d1.Passwords[i].Clicks[j] != d2.Passwords[i].Clicks[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical studies")
+	}
+}
+
+func TestMinSeparationRespected(t *testing.T) {
+	d, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Passwords {
+		pts := p.Points()
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				if pts[i].Chebyshev(pts[j]).Pixels() < 15 {
+					t.Fatalf("password %d: clicks %d and %d closer than 15px", p.ID, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestLoginAccuracy: with the default error model, most login clicks
+// stay within a centered 13x13 tolerance of the original — the paper's
+// "users were very accurate" footnote.
+func TestLoginAccuracy(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Passwords = 100
+	d, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within6, total := 0, 0
+	for _, l := range d.Logins {
+		orig := d.PasswordByID(l.PasswordID)
+		for j := range l.Clicks {
+			total++
+			if orig.Clicks[j].Point().Chebyshev(l.Clicks[j].Point()) <= geom.Pt(6, 0).X {
+				within6++
+			}
+		}
+	}
+	frac := float64(within6) / float64(total)
+	if frac < 0.9 {
+		t.Errorf("only %.1f%% of login clicks within 6px — model too sloppy", 100*frac)
+	}
+	if frac > 0.999 {
+		t.Errorf("%.2f%% of login clicks within 6px — model implausibly perfect", 100*frac)
+	}
+}
+
+func TestErrorModelValidate(t *testing.T) {
+	bad := []ErrorModel{
+		{MotorSigma: 0, SlipProb: 0, SlipSigma: 1, MaxError: 10},
+		{MotorSigma: 1, SlipProb: -0.1, SlipSigma: 1, MaxError: 10},
+		{MotorSigma: 1, SlipProb: 1.5, SlipSigma: 1, MaxError: 10},
+		{MotorSigma: 1, SlipProb: 0.1, SlipSigma: 0, MaxError: 10},
+		{MotorSigma: 1, SlipProb: 0.1, SlipSigma: 3, MaxError: 0},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("model %d should fail validation", i)
+		}
+	}
+	if err := DefaultErrorModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"nil image":    func(c *Config) { c.Image = nil },
+		"no passwords": func(c *Config) { c.Passwords = 0 },
+		"neg logins":   func(c *Config) { c.LoginsPerPassword = -1 },
+		"no clicks":    func(c *Config) { c.Clicks = 0 },
+		"neg sep":      func(c *Config) { c.MinSeparation = -1 },
+		"bad error":    func(c *Config) { c.Error.MotorSigma = -1 },
+	}
+	for name, mutate := range mutations {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFieldConfigScale(t *testing.T) {
+	cars := FieldConfig(imagegen.Cars(), 1)
+	pool := FieldConfig(imagegen.Pool(), 1)
+	if cars.Passwords != 162 || pool.Passwords != 187 {
+		t.Errorf("field sizes %d/%d, want 162/187", cars.Passwords, pool.Passwords)
+	}
+	if cars.Passwords*cars.LoginsPerPassword+pool.Passwords*pool.LoginsPerPassword < 2000 {
+		t.Error("login volume far below the field study's 3339")
+	}
+	// IDs must not collide across images so datasets can be merged.
+	if cars.FirstPasswordID == pool.FirstPasswordID {
+		t.Error("cars and pool share password ID ranges")
+	}
+}
+
+func TestLabConfigScale(t *testing.T) {
+	lab := LabConfig(imagegen.Pool(), 1)
+	if lab.Passwords != 30 {
+		t.Errorf("lab passwords = %d, want 30", lab.Passwords)
+	}
+	if lab.LoginsPerPassword != 0 {
+		t.Errorf("lab study should not record logins")
+	}
+	d, err := Run(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Logins) != 0 {
+		t.Error("lab run produced logins")
+	}
+}
+
+// TestSeparationRelaxes: a pathologically crowded configuration (huge
+// separation on a small image) must still terminate.
+func TestSeparationRelaxes(t *testing.T) {
+	img := &imagegen.Image{
+		Name: "tiny", Size: geom.Size{W: 40, H: 40}, UniformWeight: 1,
+	}
+	cfg := Config{
+		Image: img, Passwords: 3, LoginsPerPassword: 1, Clicks: 5,
+		MinSeparation: 60, Error: DefaultErrorModel(), Seed: 1,
+	}
+	d, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Passwords) != 3 {
+		t.Error("crowded generation did not complete")
+	}
+}
+
+// TestPerturbStaysInImage: error application never escapes the image.
+func TestPerturbStaysInImage(t *testing.T) {
+	e := DefaultErrorModel()
+	r := rng.New(5)
+	size := geom.Size{W: 50, H: 50}
+	corners := []geom.Point{geom.Pt(0, 0), geom.Pt(49, 49), geom.Pt(0, 49), geom.Pt(49, 0)}
+	for _, c := range corners {
+		for i := 0; i < 500; i++ {
+			if !size.Contains(e.perturb(r, c, size)) {
+				t.Fatalf("perturb escaped image from %v", c)
+			}
+		}
+	}
+}

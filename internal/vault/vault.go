@@ -1,0 +1,177 @@
+// Package vault is the server-side "password file": a store of
+// PassPoints records keyed by user name, with an atomic file-backed
+// implementation. Stealing this file is the offline-attack scenario of
+// the paper's §5.1 — it exposes salts, iteration counts, clear grid
+// identifiers and digests, but no click-points.
+package vault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"clickpass/internal/passpoints"
+)
+
+// ErrNotFound is returned when a user has no record.
+var ErrNotFound = fmt.Errorf("vault: user not found")
+
+// ErrExists is returned when creating a record for an existing user.
+var ErrExists = fmt.Errorf("vault: user already exists")
+
+// Vault is an in-memory store of password records, optionally backed
+// by a JSON file. It is safe for concurrent use.
+type Vault struct {
+	mu      sync.RWMutex
+	records map[string]*passpoints.Record
+	path    string // empty for purely in-memory vaults
+}
+
+// New returns an empty in-memory vault.
+func New() *Vault {
+	return &Vault{records: make(map[string]*passpoints.Record)}
+}
+
+// Open loads a vault from path, creating an empty one if the file does
+// not exist. Saves write back to the same path.
+func Open(path string) (*Vault, error) {
+	v := New()
+	v.path = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return v, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("vault: reading %s: %w", path, err)
+	}
+	var recs []*passpoints.Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("vault: parsing %s: %w", path, err)
+	}
+	for _, r := range recs {
+		if r.User == "" {
+			return nil, fmt.Errorf("vault: %s contains a record without a user", path)
+		}
+		if _, dup := v.records[r.User]; dup {
+			return nil, fmt.Errorf("vault: %s contains duplicate user %q", path, r.User)
+		}
+		v.records[r.User] = r
+	}
+	return v, nil
+}
+
+// Put stores a record for a new user.
+func (v *Vault) Put(rec *passpoints.Record) error {
+	if rec == nil || rec.User == "" {
+		return fmt.Errorf("vault: record must have a user")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.records[rec.User]; ok {
+		return ErrExists
+	}
+	v.records[rec.User] = rec
+	return nil
+}
+
+// Replace stores a record, overwriting any existing one (password
+// change).
+func (v *Vault) Replace(rec *passpoints.Record) error {
+	if rec == nil || rec.User == "" {
+		return fmt.Errorf("vault: record must have a user")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.records[rec.User] = rec
+	return nil
+}
+
+// Get returns the record for user, or ErrNotFound.
+func (v *Vault) Get(user string) (*passpoints.Record, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	rec, ok := v.records[user]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return rec, nil
+}
+
+// Delete removes a user's record; deleting a missing user is not an
+// error.
+func (v *Vault) Delete(user string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.records, user)
+}
+
+// Users returns all user names in sorted order.
+func (v *Vault) Users() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	users := make([]string, 0, len(v.records))
+	for u := range v.records {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// Len returns the number of records.
+func (v *Vault) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.records)
+}
+
+// All returns every record sorted by user — the attacker's view after
+// a password-file compromise.
+func (v *Vault) All() []*passpoints.Record {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	recs := make([]*passpoints.Record, 0, len(v.records))
+	for _, r := range v.records {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
+	return recs
+}
+
+// Save writes the vault to its backing file atomically (write to a
+// temp file in the same directory, then rename). It fails for purely
+// in-memory vaults.
+func (v *Vault) Save() error {
+	if v.path == "" {
+		return fmt.Errorf("vault: no backing file configured")
+	}
+	return v.SaveTo(v.path)
+}
+
+// SaveTo writes the vault to the given path atomically.
+func (v *Vault) SaveTo(path string) error {
+	data, err := json.MarshalIndent(v.All(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("vault: encoding: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".vault-*")
+	if err != nil {
+		return fmt.Errorf("vault: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("vault: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("vault: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("vault: committing %s: %w", path, err)
+	}
+	return nil
+}

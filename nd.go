@@ -1,0 +1,175 @@
+package clickpass
+
+import (
+	"fmt"
+
+	"clickpass/internal/core"
+	"clickpass/internal/fixed"
+	"clickpass/internal/passhash"
+)
+
+// NDAuthenticator applies Centered Discretization in n dimensions
+// (paper §3.2): passwords are sequences of points in an n-dimensional
+// space (e.g. positions in a 3-D scene), each accepted within an exact
+// per-axis tolerance. Coordinates are integers in scene units; the
+// tolerance is expressed in half-units so odd cells center exactly.
+type NDAuthenticator struct {
+	scheme     core.CenteredND
+	dims       int
+	points     int
+	iterations int
+}
+
+// NDOptions configures an NDAuthenticator.
+type NDOptions struct {
+	// Dims is the dimensionality (3 for a 3-D scene).
+	Dims int
+	// ToleranceHalfUnits is the per-axis tolerance in half units: 9
+	// means ±4.5 units.
+	ToleranceHalfUnits int
+	// Points is the number of selected points per password (default 3).
+	Points int
+	// HashIterations is the iterated-hash count (default 1000).
+	HashIterations int
+}
+
+// NDRecord is the stored verifier for an n-D password.
+type NDRecord struct {
+	Dims       int       `json:"dims"`
+	Offsets    [][]int64 `json:"offsets"` // clear, per point per axis, sub-units
+	Salt       []byte    `json:"salt"`
+	Iterations int       `json:"iterations"`
+	Digest     []byte    `json:"digest"`
+}
+
+// NewND validates options and builds an n-dimensional authenticator.
+func NewND(opts NDOptions) (*NDAuthenticator, error) {
+	if opts.Points == 0 {
+		opts.Points = 3
+	}
+	if opts.HashIterations == 0 {
+		opts.HashIterations = passhash.DefaultIterations
+	}
+	if opts.HashIterations < 0 {
+		return nil, fmt.Errorf("clickpass: negative hash iterations")
+	}
+	if opts.ToleranceHalfUnits <= 0 {
+		return nil, fmt.Errorf("clickpass: tolerance %d half-units must be positive", opts.ToleranceHalfUnits)
+	}
+	scheme := core.CenteredND{
+		R:    fixed.FromHalfPixels(opts.ToleranceHalfUnits),
+		Dims: opts.Dims,
+	}
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Points <= 0 {
+		return nil, fmt.Errorf("clickpass: points %d must be positive", opts.Points)
+	}
+	return &NDAuthenticator{
+		scheme:     scheme,
+		dims:       opts.Dims,
+		points:     opts.Points,
+		iterations: opts.HashIterations,
+	}, nil
+}
+
+// EnrollND creates a record from a password of points, each an n-tuple
+// of integer scene coordinates.
+func (a *NDAuthenticator) EnrollND(points [][]int) (*NDRecord, error) {
+	if err := a.checkShape(points); err != nil {
+		return nil, err
+	}
+	params, err := passhash.NewParams(a.iterations)
+	if err != nil {
+		return nil, err
+	}
+	tokens, offsets := a.tokenize(points, nil)
+	digest, err := passhash.Digest(params, tokens)
+	if err != nil {
+		return nil, err
+	}
+	return &NDRecord{
+		Dims:       a.dims,
+		Offsets:    offsets,
+		Salt:       params.Salt,
+		Iterations: params.Iterations,
+		Digest:     digest,
+	}, nil
+}
+
+// VerifyND checks a re-entered password against a record.
+func (a *NDAuthenticator) VerifyND(rec *NDRecord, points [][]int) (bool, error) {
+	if rec == nil {
+		return false, fmt.Errorf("clickpass: nil record")
+	}
+	if rec.Dims != a.dims {
+		return false, fmt.Errorf("clickpass: record has %d dims, authenticator %d", rec.Dims, a.dims)
+	}
+	if err := a.checkShape(points); err != nil {
+		return false, err
+	}
+	if len(rec.Offsets) != len(points) {
+		return false, nil
+	}
+	tokens, _ := a.tokenize(points, rec.Offsets)
+	params := passhash.Params{Iterations: rec.Iterations, Salt: rec.Salt}
+	return passhash.Verify(params, rec.Digest, tokens)
+}
+
+// tokenize maps points to hashable tokens. With storedOffsets nil this
+// is enrollment (offsets computed from the points); otherwise the
+// stored offsets locate each point's cell. n-D tokens are folded into
+// the 2-D token encoding by emitting one token per coordinate pair,
+// padding odd dimensionality with a zero axis — injective because the
+// dimension count is fixed by configuration.
+func (a *NDAuthenticator) tokenize(points [][]int, storedOffsets [][]int64) (tokens []core.Token, offsets [][]int64) {
+	for pi, p := range points {
+		coords := make([]fixed.Sub, a.dims)
+		for k, v := range p {
+			coords[k] = fixed.FromPixels(v)
+		}
+		var idx []int64
+		var off []fixed.Sub
+		if storedOffsets == nil {
+			idx, off = a.scheme.Discretize(coords)
+		} else {
+			off = make([]fixed.Sub, a.dims)
+			for k, v := range storedOffsets[pi] {
+				if k < a.dims {
+					off[k] = fixed.Sub(v)
+				}
+			}
+			idx = a.scheme.Locate(coords, off)
+		}
+		rawOff := make([]int64, a.dims)
+		for k := range off {
+			rawOff[k] = int64(off[k])
+		}
+		offsets = append(offsets, rawOff)
+		for k := 0; k < a.dims; k += 2 {
+			tok := core.Token{
+				Clear:  core.Clear{DX: off[k]},
+				Secret: core.Secret{IX: idx[k]},
+			}
+			if k+1 < a.dims {
+				tok.Clear.DY = off[k+1]
+				tok.Secret.IY = idx[k+1]
+			}
+			tokens = append(tokens, tok)
+		}
+	}
+	return tokens, offsets
+}
+
+func (a *NDAuthenticator) checkShape(points [][]int) error {
+	if len(points) != a.points {
+		return fmt.Errorf("clickpass: got %d points, want %d", len(points), a.points)
+	}
+	for i, p := range points {
+		if len(p) != a.dims {
+			return fmt.Errorf("clickpass: point %d has %d coordinates, want %d", i, len(p), a.dims)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package clickpass
+
+import "testing"
+
+func nd3(t *testing.T) *NDAuthenticator {
+	t.Helper()
+	a, err := NewND(NDOptions{
+		Dims: 3, ToleranceHalfUnits: 9, Points: 3, HashIterations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func scenePassword() [][]int {
+	return [][]int{
+		{120, 305, 64},
+		{402, 77, 130},
+		{256, 256, 32},
+	}
+}
+
+func TestNDEnrollVerify(t *testing.T) {
+	a := nd3(t)
+	rec, err := a.EnrollND(scenePassword())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.VerifyND(rec, scenePassword())
+	if err != nil || !ok {
+		t.Fatalf("exact re-entry: %v, %v", ok, err)
+	}
+	// ±4 units on every axis is inside the ±4.5 tolerance.
+	near := scenePassword()
+	for _, p := range near {
+		p[0] += 4
+		p[1] -= 4
+		p[2] += 4
+	}
+	ok, err = a.VerifyND(rec, near)
+	if err != nil || !ok {
+		t.Errorf("4-unit displacement rejected: %v, %v", ok, err)
+	}
+	// 5 units on one axis of one point is outside.
+	far := scenePassword()
+	far[1][2] += 5
+	ok, err = a.VerifyND(rec, far)
+	if err != nil || ok {
+		t.Errorf("5-unit displacement accepted: %v, %v", ok, err)
+	}
+}
+
+func TestNDOrderAndCountMatter(t *testing.T) {
+	a := nd3(t)
+	rec, err := a.EnrollND(scenePassword())
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := scenePassword()
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	ok, err := a.VerifyND(rec, swapped)
+	if err != nil || ok {
+		t.Error("point order must matter")
+	}
+	if _, err := a.VerifyND(rec, scenePassword()[:2]); err == nil {
+		t.Error("wrong point count should be a shape error")
+	}
+}
+
+func TestNDValidation(t *testing.T) {
+	bad := []NDOptions{
+		{Dims: 0, ToleranceHalfUnits: 9},
+		{Dims: 3, ToleranceHalfUnits: 0},
+		{Dims: 3, ToleranceHalfUnits: 9, Points: -1},
+		{Dims: 3, ToleranceHalfUnits: 9, HashIterations: -5},
+	}
+	for i, opts := range bad {
+		if _, err := NewND(opts); err == nil {
+			t.Errorf("options %d accepted: %+v", i, opts)
+		}
+	}
+	a := nd3(t)
+	if _, err := a.EnrollND([][]int{{1, 2}}); err == nil {
+		t.Error("wrong shape accepted")
+	}
+	if _, err := a.EnrollND([][]int{{1, 2}, {3, 4}, {5, 6}}); err == nil {
+		t.Error("2-coordinate points accepted by 3-D authenticator")
+	}
+	if _, err := a.VerifyND(nil, scenePassword()); err == nil {
+		t.Error("nil record accepted")
+	}
+	rec, err := a.EnrollND(scenePassword())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := *rec
+	rec2.Dims = 2
+	if _, err := a.VerifyND(&rec2, scenePassword()); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+}
+
+func TestND2DMatchesAuthenticator(t *testing.T) {
+	// Sanity: a 2-D NDAuthenticator behaves like the 2-D Authenticator
+	// for the same square size (13x13 -> tolerance 13 half-units).
+	nd, err := NewND(NDOptions{Dims: 2, ToleranceHalfUnits: 13, Points: 5, HashIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][]int{{30, 40}, {120, 300}, {222, 51}, {400, 200}, {77, 160}}
+	rec, err := nd.EnrollND(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := make([][]int, len(pts))
+	far := make([][]int, len(pts))
+	for i, p := range pts {
+		near[i] = []int{p[0] + 6, p[1] - 6}
+		far[i] = []int{p[0] + 7, p[1]}
+	}
+	ok, err := nd.VerifyND(rec, near)
+	if err != nil || !ok {
+		t.Errorf("6px accepted? %v, %v", ok, err)
+	}
+	ok, err = nd.VerifyND(rec, far)
+	if err != nil || ok {
+		t.Errorf("7px rejected? %v, %v", ok, err)
+	}
+}
+
+func TestND5D(t *testing.T) {
+	// Odd, high dimensionality exercises the token folding path.
+	a, err := NewND(NDOptions{Dims: 5, ToleranceHalfUnits: 7, Points: 2, HashIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][]int{{10, 20, 30, 40, 50}, {60, 70, 80, 90, 100}}
+	rec, err := a.EnrollND(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.VerifyND(rec, pts)
+	if err != nil || !ok {
+		t.Fatalf("5-D round trip failed: %v, %v", ok, err)
+	}
+	off := [][]int{{10, 20, 30, 40, 54}, {60, 70, 80, 90, 100}}
+	ok, err = a.VerifyND(rec, off)
+	if err != nil || ok {
+		t.Error("4-unit displacement with ±3.5 tolerance accepted")
+	}
+}
