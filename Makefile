@@ -1,0 +1,28 @@
+# Build/test entry points, mirrored by .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test vet race bench ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the parallel study/analysis/attack engines under the
+# race detector; the par determinism tests run at workers 1/2/8.
+race:
+	$(GO) test -race ./...
+
+# bench runs the headline speedup and allocation benchmarks recorded
+# in PERFORMANCE.md (serial vs parallel sub-benchmarks).
+bench:
+	$(GO) test -run NONE -bench 'StudyGeneration|Figure7|Table1|CrackPassword|Digest' -benchmem .
+
+ci: build vet test race

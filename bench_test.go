@@ -63,36 +63,55 @@ func benchFieldAll(b *testing.B) []*dataset.Dataset {
 	return out
 }
 
+// benchWorkers names the serial baseline and the full-machine fan-out
+// for the speedup benchmarks: every parallelized path is benchmarked
+// at both so `benchstat serial parallel` is a one-liner.
+var benchWorkers = []struct {
+	name    string
+	workers int
+}{
+	{"serial", 1},
+	{"parallel", 0}, // one worker per CPU
+}
+
 // BenchmarkTable1 regenerates Table 1 (false accept/reject at equal
 // grid-square sizes) and reports the 13x13 rates.
 func BenchmarkTable1(b *testing.B) {
 	dsets := benchFieldAll(b)
-	var rows []analysis.Row
-	for i := 0; i < b.N; i++ {
-		var err error
-		rows, err = analysis.Table1(dsets, core.MostCentered, 42)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			var rows []analysis.Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = analysis.Table1(dsets, core.MostCentered, 42, w.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[1].FalseRejectPct(), "FR13@%")
+			b.ReportMetric(rows[1].FalseAcceptPct(), "FA13@%")
+		})
 	}
-	b.ReportMetric(rows[1].FalseRejectPct(), "FR13@%")
-	b.ReportMetric(rows[1].FalseAcceptPct(), "FA13@%")
 }
 
 // BenchmarkTable2 regenerates Table 2 (false accepts at equal r) and
 // reports the r=4 false-accept rate (paper: 32.1%).
 func BenchmarkTable2(b *testing.B) {
 	dsets := benchFieldAll(b)
-	var rows []analysis.Row
-	for i := 0; i < b.N; i++ {
-		var err error
-		rows, err = analysis.Table2(dsets, core.MostCentered, 42)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			var rows []analysis.Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = analysis.Table2(dsets, core.MostCentered, 42, w.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[0].FalseAcceptPct(), "FA_r4@%")
+			b.ReportMetric(rows[2].FalseAcceptPct(), "FA_r9@%")
+		})
 	}
-	b.ReportMetric(rows[0].FalseAcceptPct(), "FA_r4@%")
-	b.ReportMetric(rows[2].FalseAcceptPct(), "FA_r9@%")
 }
 
 // BenchmarkTable3 regenerates the password-space table and reports the
@@ -113,32 +132,40 @@ func BenchmarkTable3(b *testing.B) {
 // (Cars) and reports the 13x13 crack rates for both schemes.
 func BenchmarkFigure7(b *testing.B) {
 	field, lab := benchData(b)
-	var cSeries, rSeries []attack.SeriesPoint
-	for i := 0; i < b.N; i++ {
-		var err error
-		cSeries, rSeries, err = attack.Figure7(field["cars"], lab["cars"], core.MostCentered, 42)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			var cSeries, rSeries []attack.SeriesPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				cSeries, rSeries, err = attack.Figure7(field["cars"], lab["cars"], core.MostCentered, 42, w.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cSeries[1].Cracked, "centered13@%")
+			b.ReportMetric(rSeries[1].Cracked, "robust13@%")
+		})
 	}
-	b.ReportMetric(cSeries[1].Cracked, "centered13@%")
-	b.ReportMetric(rSeries[1].Cracked, "robust13@%")
 }
 
 // BenchmarkFigure8 regenerates the equal-r dictionary attack (Cars)
 // and reports the r=6 crack rates (paper: 14.8% vs 45.1%).
 func BenchmarkFigure8(b *testing.B) {
 	field, lab := benchData(b)
-	var cSeries, rSeries []attack.SeriesPoint
-	for i := 0; i < b.N; i++ {
-		var err error
-		cSeries, rSeries, err = attack.Figure8(field["cars"], lab["cars"], core.MostCentered, 42)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			var cSeries, rSeries []attack.SeriesPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				cSeries, rSeries, err = attack.Figure8(field["cars"], lab["cars"], core.MostCentered, 42, w.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cSeries[1].Cracked, "centered_r6@%")
+			b.ReportMetric(rSeries[1].Cracked, "robust_r6@%")
+		})
 	}
-	b.ReportMetric(cSeries[1].Cracked, "centered_r6@%")
-	b.ReportMetric(rSeries[1].Cracked, "robust_r6@%")
 }
 
 // BenchmarkFigure1WorstCase regenerates the worst-case geometry scan
@@ -175,15 +202,21 @@ func BenchmarkOnlineAttack(b *testing.B) {
 }
 
 // BenchmarkStudyGeneration measures the simulator (162 passwords, 7
-// logins each).
+// logins each). The serial and parallel runs produce byte-identical
+// datasets; only the wall clock differs.
 func BenchmarkStudyGeneration(b *testing.B) {
-	cfg := study.FieldConfig(imagegen.Cars(), 1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i)
-		if _, err := study.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			cfg := study.FieldConfig(imagegen.Cars(), 1)
+			cfg.Workers = w.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := study.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -253,9 +286,33 @@ func BenchmarkVerify1000(b *testing.B) {
 	}
 }
 
-// BenchmarkDigest measures the raw iterated hash (the unit of offline
-// attack cost).
+// BenchmarkDigest measures the raw iterated hash as attack and verify
+// loops consume it: a reusable Hasher with a caller-provided output
+// buffer (alloc-free steady state).
 func BenchmarkDigest(b *testing.B) {
+	params := passhash.Params{Iterations: 1000, Salt: []byte("0123456789abcdef")}
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := make([]core.Token, 5)
+	for i := range tokens {
+		tokens[i] = scheme.Enroll(geom.Pt(40*i+17, 30*i+11))
+	}
+	hasher, err := passhash.NewHasher(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sum []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum = hasher.DigestInto(sum[:0], tokens)
+	}
+}
+
+// BenchmarkDigestOneShot measures the unbatched Digest path (fresh
+// HMAC and buffers per call) for comparison with BenchmarkDigest.
+func BenchmarkDigestOneShot(b *testing.B) {
 	params := passhash.Params{Iterations: 1000, Salt: []byte("0123456789abcdef")}
 	scheme, err := core.NewCentered(13)
 	if err != nil {
@@ -274,8 +331,30 @@ func BenchmarkDigest(b *testing.B) {
 }
 
 // BenchmarkCrackPassword measures the analytic dictionary attack per
-// password (matching against 150 points).
+// password (matching against 150 points) the way the sweeps run it: a
+// long-lived Cracker amortizing the pool index and matching scratch.
 func BenchmarkCrackPassword(b *testing.B) {
+	field, lab := benchData(b)
+	dict, err := attack.BuildDictionary(lab["cars"], 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := core.NewRobust2D(36, core.MostCentered, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw := &field["cars"].Passwords[0]
+	pts := pw.Points()
+	cracker := attack.NewCracker(dict.Points)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = cracker.Witness(pts, scheme)
+	}
+}
+
+// BenchmarkCrackPasswordOneShot is the pre-index baseline shape: a
+// fresh scan of the whole pool per password.
+func BenchmarkCrackPasswordOneShot(b *testing.B) {
 	field, lab := benchData(b)
 	dict, err := attack.BuildDictionary(lab["cars"], 5)
 	if err != nil {
@@ -305,7 +384,7 @@ func BenchmarkAblationPolicy(b *testing.B) {
 			var row analysis.Row
 			for i := 0; i < b.N; i++ {
 				var err error
-				row, err = analysis.Compare(dsets, 13, 13, policy, 42)
+				row, err = analysis.Compare(dsets, 13, 13, policy, 42, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -380,7 +459,7 @@ func BenchmarkAblationErrorModel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				row, err = analysis.Compare([]*dataset.Dataset{d}, 13, 13, core.MostCentered, 42)
+				row, err = analysis.Compare([]*dataset.Dataset{d}, 13, 13, core.MostCentered, 42, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -412,7 +491,7 @@ func BenchmarkAutomatedDictionary(b *testing.B) {
 	}
 	var res attack.Result
 	for i := 0; i < b.N; i++ {
-		res, err = attack.OfflineKnownGrids(field["pool"], dict, scheme)
+		res, err = attack.OfflineKnownGrids(field["pool"], dict, scheme, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,6 +26,7 @@ import (
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
 	"clickpass/internal/imagegen"
+	"clickpass/internal/par"
 	"clickpass/internal/passpoints"
 	"clickpass/internal/study"
 )
@@ -37,6 +38,7 @@ func main() {
 		schemeArg = flag.String("scheme", "robust", "discretization scheme: centered or robust")
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		iter      = flag.Int("iterations", 100, "hash iterations for the demo vault")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = one per CPU, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -65,11 +67,15 @@ func main() {
 		fatal(err)
 	}
 
-	field, err := study.Run(study.FieldConfig(img, *seed))
+	fieldCfg := study.FieldConfig(img, *seed)
+	fieldCfg.Workers = *workers
+	field, err := study.Run(fieldCfg)
 	if err != nil {
 		fatal(err)
 	}
-	lab, err := study.Run(study.LabConfig(img, *seed+100))
+	labCfg := study.LabConfig(img, *seed+100)
+	labCfg.Workers = *workers
+	lab, err := study.Run(labCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,14 +87,14 @@ func main() {
 		img.Name, len(field.Passwords), len(dict.Points), dict.Bits())
 
 	start := time.Now()
-	res, err := attack.OfflineKnownGrids(field, dict, scheme)
+	res, err := attack.OfflineKnownGrids(field, dict, scheme, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("offline attack (%s %dx%d, known grid identifiers): %d/%d cracked (%.1f%%) in %v\n",
 		res.Scheme, *side, *side, res.Cracked, res.Passwords, res.CrackedPct(), time.Since(start).Round(time.Millisecond))
 
-	validateAgainstRealHashes(field, dict, scheme, img, *iter, res.Cracked)
+	validateAgainstRealHashes(field, dict, scheme, img, *iter, res.Cracked, *workers)
 
 	fmt.Printf("\nwithout grid identifiers the dictionary must grow by %.1f bits (%s)\n",
 		attack.UnknownGridBits(scheme, 5), scheme.Name())
@@ -96,35 +102,57 @@ func main() {
 
 // validateAgainstRealHashes enrolls every field password with real
 // salted iterated hashing and confirms each analytic crack with a
-// concrete dictionary entry accepted by the production verifier.
-func validateAgainstRealHashes(field *dataset.Dataset, dict *attack.Dictionary, scheme core.Scheme, img *imagegen.Image, iterations, expected int) {
+// concrete dictionary entry accepted by the production verifier. The
+// per-password checks fan out across workers, each with its own attack
+// scratch (the hashing dominates, so this scales near-linearly).
+func validateAgainstRealHashes(field *dataset.Dataset, dict *attack.Dictionary, scheme core.Scheme, img *imagegen.Image, iterations, expected, workers int) {
 	cfg := passpoints.Config{
 		Image:      geom.Size{W: img.Size.W, H: img.Size.H},
 		Clicks:     5,
 		Scheme:     scheme,
 		Iterations: iterations,
 	}
-	validated, hashChecks := 0, 0
+	if !core.ConcurrencySafe(scheme) {
+		workers = 1
+	}
 	start := time.Now()
-	for i := range field.Passwords {
-		pw := &field.Passwords[i]
-		rec, err := passpoints.Enroll(cfg, pw.User, pw.Points())
-		if err != nil {
-			fatal(err)
-		}
-		entry, ok := attack.Witness(pw.Points(), dict.Points, scheme)
-		if !ok {
+	base := attack.NewCracker(dict.Points)
+	type check struct {
+		attempted, hit bool
+		user           string
+	}
+	checks, err := par.MapWith(workers, len(field.Passwords), base.Fork,
+		func(c *attack.Cracker, i int) (check, error) {
+			pw := &field.Passwords[i]
+			// Witness first: enrollment costs a full iterated hash, so
+			// only pay it for passwords the model claims to crack.
+			entry, ok := c.Witness(pw.Points(), scheme)
+			if !ok {
+				return check{}, nil
+			}
+			rec, err := passpoints.Enroll(cfg, pw.User, pw.Points())
+			if err != nil {
+				return check{}, err
+			}
+			hit, err := passpoints.Verify(cfg, rec, entry)
+			if err != nil {
+				return check{}, err
+			}
+			return check{attempted: true, hit: hit, user: pw.User}, nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+	validated, hashChecks := 0, 0
+	for _, c := range checks {
+		if !c.attempted {
 			continue
 		}
-		hit, err := passpoints.Verify(cfg, rec, entry)
-		if err != nil {
-			fatal(err)
-		}
 		hashChecks++
-		if hit {
+		if c.hit {
 			validated++
 		} else {
-			fmt.Printf("  MODEL MISMATCH: witness for %q rejected by real verifier\n", pw.User)
+			fmt.Printf("  MODEL MISMATCH: witness for %q rejected by real verifier\n", c.user)
 		}
 	}
 	fmt.Printf("end-to-end validation: %d/%d analytic cracks confirmed against real %d-iteration hashes (%d verifications, %v)\n",

@@ -56,6 +56,7 @@ func main() {
 		beyond      = flag.Bool("beyond", false, "run the extension experiments (automated dictionaries, PCCP)")
 		all         = flag.Bool("all", false, "run everything")
 		seed        = flag.Uint64("seed", 42, "simulation seed")
+		workers     = flag.Int("workers", 0, "worker goroutines for generation/analysis/attacks (0 = one per CPU, 1 = serial; results are identical)")
 		csvDir      = flag.String("csv", "", "write CSV outputs to this directory")
 		mdDir       = flag.String("md", "", "write Markdown tables to this directory")
 		dumpDir     = flag.String("dump", "", "write simulated datasets (JSON) to this directory")
@@ -70,7 +71,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	env, err := newEnv(*seed, policy)
+	env, err := newEnv(*seed, policy, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -165,27 +166,33 @@ func parsePolicy(name string) (core.RobustPolicy, error) {
 
 // env holds the simulated studies shared by all experiments.
 type env struct {
-	seed   uint64
-	policy core.RobustPolicy
-	images []*imagegen.Image
-	field  map[string]*dataset.Dataset
-	lab    map[string]*dataset.Dataset
+	seed    uint64
+	policy  core.RobustPolicy
+	workers int
+	images  []*imagegen.Image
+	field   map[string]*dataset.Dataset
+	lab     map[string]*dataset.Dataset
 }
 
-func newEnv(seed uint64, policy core.RobustPolicy) (*env, error) {
+func newEnv(seed uint64, policy core.RobustPolicy, workers int) (*env, error) {
 	e := &env{
-		seed:   seed,
-		policy: policy,
-		images: imagegen.Gallery(),
-		field:  make(map[string]*dataset.Dataset),
-		lab:    make(map[string]*dataset.Dataset),
+		seed:    seed,
+		policy:  policy,
+		workers: workers,
+		images:  imagegen.Gallery(),
+		field:   make(map[string]*dataset.Dataset),
+		lab:     make(map[string]*dataset.Dataset),
 	}
 	for i, img := range e.images {
-		f, err := study.Run(study.FieldConfig(img, seed+uint64(i)))
+		fieldCfg := study.FieldConfig(img, seed+uint64(i))
+		fieldCfg.Workers = workers
+		f, err := study.Run(fieldCfg)
 		if err != nil {
 			return nil, err
 		}
-		l, err := study.Run(study.LabConfig(img, seed+100+uint64(i)))
+		labCfg := study.LabConfig(img, seed+100+uint64(i))
+		labCfg.Workers = workers
+		l, err := study.Run(labCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +257,7 @@ func maybeCSV(dir, name string, write func(f io.Writer) error) error {
 }
 
 func (e *env) table1(csvDir string) error {
-	rows, err := analysis.Table1(e.fieldAll(), e.policy, e.seed)
+	rows, err := analysis.Table1(e.fieldAll(), e.policy, e.seed, e.workers)
 	if err != nil {
 		return err
 	}
@@ -280,7 +287,7 @@ func (e *env) table1(csvDir string) error {
 }
 
 func (e *env) table2(csvDir string) error {
-	rows, err := analysis.Table2(e.fieldAll(), e.policy, e.seed)
+	rows, err := analysis.Table2(e.fieldAll(), e.policy, e.seed, e.workers)
 	if err != nil {
 		return err
 	}
@@ -424,9 +431,9 @@ func (e *env) figure78(which int, csvDir string) error {
 		var cSeries, rSeries []attack.SeriesPoint
 		var err error
 		if which == 7 {
-			cSeries, rSeries, err = attack.Figure7(e.field[img.Name], e.lab[img.Name], e.policy, e.seed)
+			cSeries, rSeries, err = attack.Figure7(e.field[img.Name], e.lab[img.Name], e.policy, e.seed, e.workers)
 		} else {
-			cSeries, rSeries, err = attack.Figure8(e.field[img.Name], e.lab[img.Name], e.policy, e.seed)
+			cSeries, rSeries, err = attack.Figure8(e.field[img.Name], e.lab[img.Name], e.policy, e.seed, e.workers)
 		}
 		if err != nil {
 			return err
@@ -563,7 +570,7 @@ func (e *env) beyond() error {
 		}
 		row := []string{img.Name}
 		for _, dict := range []*attack.Dictionary{human, auto, blind} {
-			res, err := attack.OfflineKnownGrids(e.field[img.Name], dict, scheme)
+			res, err := attack.OfflineKnownGrids(e.field[img.Name], dict, scheme, e.workers)
 			if err != nil {
 				return err
 			}
@@ -748,11 +755,11 @@ func (e *env) cohort() error {
 	}
 	fmt.Printf("Cohort robustness check: %d participants, %d passwords, %d logins (paper: 191/481/3339)\n",
 		len(participants), passwords, logins)
-	t1, err := analysis.Table1(dsets, e.policy, e.seed)
+	t1, err := analysis.Table1(dsets, e.policy, e.seed, e.workers)
 	if err != nil {
 		return err
 	}
-	t2, err := analysis.Table2(dsets, e.policy, e.seed)
+	t2, err := analysis.Table2(dsets, e.policy, e.seed, e.workers)
 	if err != nil {
 		return err
 	}
@@ -796,11 +803,14 @@ func (e *env) sensitivity() error {
 		}
 		fieldCfg := study.FieldConfig(img, e.seed+7)
 		fieldCfg.Passwords = 150
+		fieldCfg.Workers = e.workers
 		field, err := study.Run(fieldCfg)
 		if err != nil {
 			return err
 		}
-		lab, err := study.Run(study.LabConfig(img, e.seed+107))
+		labCfg := study.LabConfig(img, e.seed+107)
+		labCfg.Workers = e.workers
+		lab, err := study.Run(labCfg)
 		if err != nil {
 			return err
 		}
@@ -816,11 +826,11 @@ func (e *env) sensitivity() error {
 		if err != nil {
 			return err
 		}
-		cRes, err := attack.OfflineKnownGrids(field, dict, centered)
+		cRes, err := attack.OfflineKnownGrids(field, dict, centered, e.workers)
 		if err != nil {
 			return err
 		}
-		rRes, err := attack.OfflineKnownGrids(field, dict, robust)
+		rRes, err := attack.OfflineKnownGrids(field, dict, robust, e.workers)
 		if err != nil {
 			return err
 		}

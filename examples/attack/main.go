@@ -51,11 +51,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			cRes, err := attack.OfflineKnownGrids(field, dict, centered)
+			cRes, err := attack.OfflineKnownGrids(field, dict, centered, 0)
 			if err != nil {
 				log.Fatal(err)
 			}
-			rRes, err := attack.OfflineKnownGrids(field, dict, robust)
+			rRes, err := attack.OfflineKnownGrids(field, dict, robust, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

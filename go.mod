@@ -1,0 +1,3 @@
+module clickpass
+
+go 1.24

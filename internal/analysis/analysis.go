@@ -18,6 +18,7 @@ import (
 	"clickpass/internal/core"
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
+	"clickpass/internal/par"
 	"clickpass/internal/stats"
 )
 
@@ -63,10 +64,21 @@ func pct(n, total int) float64 {
 
 // Compare replays every login in the datasets against Robust squares
 // of robustSide and centered tolerance squares of centeredSide.
-func Compare(dsets []*dataset.Dataset, robustSide, centeredSide int, policy core.RobustPolicy, seed uint64) (Row, error) {
-	if len(dsets) == 0 {
-		return Row{}, fmt.Errorf("analysis: no datasets")
+// Replay fans out across datasets (workers: 0 = one per CPU, 1 =
+// serial); each dataset gets its own scheme pair seeded seed+index, so
+// the merged row is identical for every worker count — including under
+// the stateful RandomSafe policy, whose RNG stream is per-dataset
+// rather than shared.
+func Compare(dsets []*dataset.Dataset, robustSide, centeredSide int, policy core.RobustPolicy, seed uint64, workers int) (Row, error) {
+	rows, err := tableRows(dsets, [][2]int{{robustSide, centeredSide}}, policy, seed, workers)
+	if err != nil {
+		return Row{}, err
 	}
+	return rows[0], nil
+}
+
+// cellRow replays one dataset against one scheme pair.
+func cellRow(d *dataset.Dataset, robustSide, centeredSide int, policy core.RobustPolicy, seed uint64) (Row, error) {
 	robust, err := core.NewRobust2D(robustSide, policy, seed)
 	if err != nil {
 		return Row{}, err
@@ -81,12 +93,47 @@ func Compare(dsets []*dataset.Dataset, robustSide, centeredSide int, policy core
 		RobustRPx:    float64(robustSide) / 6,
 		CenteredRPx:  float64(centeredSide-1) / 2,
 	}
-	for _, d := range dsets {
-		if err := replay(d, robust, centered, &row); err != nil {
-			return Row{}, err
-		}
+	if err := replay(d, robust, centered, &row); err != nil {
+		return Row{}, err
 	}
 	return row, nil
+}
+
+// add accumulates another cell's counts into r.
+func (r *Row) add(o Row) {
+	r.Logins += o.Logins
+	r.FalseAccepts += o.FalseAccepts
+	r.FalseRejects += o.FalseRejects
+	r.ClickFalseAccepts += o.ClickFalseAccepts
+	r.ClickFalseRejects += o.ClickFalseRejects
+	r.Clicks += o.Clicks
+}
+
+// tableRows evaluates every (size pair, dataset) cell of a table on
+// the worker pool and merges the per-dataset cells into one row per
+// size pair, in order. Flattening both axes into a single task list
+// keeps all workers busy even when datasets differ in size.
+func tableRows(dsets []*dataset.Dataset, pairs [][2]int, policy core.RobustPolicy, seed uint64, workers int) ([]Row, error) {
+	if len(dsets) == 0 {
+		return nil, fmt.Errorf("analysis: no datasets")
+	}
+	nd := len(dsets)
+	cells, err := par.Map(workers, len(pairs)*nd, func(k int) (Row, error) {
+		pi, di := k/nd, k%nd
+		return cellRow(dsets[di], pairs[pi][0], pairs[pi][1], policy, seed+uint64(di))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(pairs))
+	for pi := range pairs {
+		row := cells[pi*nd]
+		for _, cell := range cells[pi*nd+1 : (pi+1)*nd] {
+			row.add(cell)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 func replay(d *dataset.Dataset, robust, centered core.Scheme, row *Row) error {
@@ -153,17 +200,14 @@ var Table1Sizes = []int{9, 13, 19}
 
 // Table1 keeps the grid-square size equal for both schemes (Figure 5):
 // Robust trades its whole square for a smaller guaranteed r, producing
-// both false accepts and false rejects.
-func Table1(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64) ([]Row, error) {
-	rows := make([]Row, 0, len(Table1Sizes))
-	for _, s := range Table1Sizes {
-		row, err := Compare(dsets, s, s, policy, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+// both false accepts and false rejects. Cells (size x dataset) are
+// evaluated on the worker pool; 0 workers means one per CPU.
+func Table1(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64, workers int) ([]Row, error) {
+	pairs := make([][2]int, len(Table1Sizes))
+	for i, s := range Table1Sizes {
+		pairs[i] = [2]int{s, s}
 	}
-	return rows, nil
+	return tableRows(dsets, pairs, policy, seed, workers)
 }
 
 // Table2Rs are the equal-r comparisons of Table 2 (pixels).
@@ -171,16 +215,13 @@ var Table2Rs = []int{4, 6, 9}
 
 // Table2 keeps the guaranteed tolerance r equal (Figure 6): Robust
 // squares grow to 6r so false rejects vanish but false accepts remain.
-func Table2(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64) ([]Row, error) {
-	rows := make([]Row, 0, len(Table2Rs))
-	for _, r := range Table2Rs {
-		row, err := Compare(dsets, 6*r, 2*r+1, policy, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+// Cells (r x dataset) are evaluated on the worker pool.
+func Table2(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64, workers int) ([]Row, error) {
+	pairs := make([][2]int, len(Table2Rs))
+	for i, r := range Table2Rs {
+		pairs[i] = [2]int{6 * r, 2*r + 1}
 	}
-	return rows, nil
+	return tableRows(dsets, pairs, policy, seed, workers)
 }
 
 // WorstCase demonstrates Figure 1's geometry for a given Robust square

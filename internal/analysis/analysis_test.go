@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -56,7 +57,7 @@ func handBuilt() *dataset.Dataset {
 }
 
 func TestHandBuiltOutcomes(t *testing.T) {
-	row, err := analysis.Compare([]*dataset.Dataset{handBuilt()}, 36, 13, core.MostCentered, 1)
+	row, err := analysis.Compare([]*dataset.Dataset{handBuilt()}, 36, 13, core.MostCentered, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestHandBuiltFalseReject(t *testing.T) {
 			{PasswordID: 1, Attempt: 0, Clicks: []dataset.Click{{X: 12, Y: 18}}},
 		},
 	}
-	row, err := analysis.Compare([]*dataset.Dataset{d}, 13, 13, core.MostCentered, 1)
+	row, err := analysis.Compare([]*dataset.Dataset{d}, 13, 13, core.MostCentered, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestHandBuiltFalseReject(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	rows, err := analysis.Table1(fieldDatasets(t), core.MostCentered, 1)
+	rows, err := analysis.Table1(fieldDatasets(t), core.MostCentered, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	rows, err := analysis.Table2(fieldDatasets(t), core.MostCentered, 1)
+	rows, err := analysis.Table2(fieldDatasets(t), core.MostCentered, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,11 +191,11 @@ func TestTable2Shape(t *testing.T) {
 // TestPolicyAblation: the naive FirstSafe policy must be no better
 // (and typically worse) than the paper's MostCentered on false rejects.
 func TestPolicyAblation(t *testing.T) {
-	best, err := analysis.Compare(fieldDatasets(t), 13, 13, core.MostCentered, 1)
+	best, err := analysis.Compare(fieldDatasets(t), 13, 13, core.MostCentered, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := analysis.Compare(fieldDatasets(t), 13, 13, core.FirstSafe, 1)
+	naive, err := analysis.Compare(fieldDatasets(t), 13, 13, core.FirstSafe, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,19 +206,19 @@ func TestPolicyAblation(t *testing.T) {
 }
 
 func TestCompareValidation(t *testing.T) {
-	if _, err := analysis.Compare(nil, 13, 13, core.MostCentered, 1); err == nil {
+	if _, err := analysis.Compare(nil, 13, 13, core.MostCentered, 1, 1); err == nil {
 		t.Error("no datasets accepted")
 	}
 	d := handBuilt()
-	if _, err := analysis.Compare([]*dataset.Dataset{d}, 0, 13, core.MostCentered, 1); err == nil {
+	if _, err := analysis.Compare([]*dataset.Dataset{d}, 0, 13, core.MostCentered, 1, 1); err == nil {
 		t.Error("zero robust side accepted")
 	}
-	if _, err := analysis.Compare([]*dataset.Dataset{d}, 13, 0, core.MostCentered, 1); err == nil {
+	if _, err := analysis.Compare([]*dataset.Dataset{d}, 13, 0, core.MostCentered, 1, 1); err == nil {
 		t.Error("zero centered side accepted")
 	}
 	orphan := handBuilt()
 	orphan.Logins[0].PasswordID = 99
-	if _, err := analysis.Compare([]*dataset.Dataset{orphan}, 13, 13, core.MostCentered, 1); err == nil {
+	if _, err := analysis.Compare([]*dataset.Dataset{orphan}, 13, 13, core.MostCentered, 1, 1); err == nil {
 		t.Error("orphan login accepted")
 	}
 }
@@ -317,5 +318,32 @@ func TestRowConfidenceIntervals(t *testing.T) {
 	}
 	if hi-lo > 4 {
 		t.Errorf("FR CI [%.2f, %.2f] implausibly wide at n=1000", lo, hi)
+	}
+}
+
+// TestTablesParallelDeterministic: table rows must be identical for
+// every worker count.
+func TestTablesParallelDeterministic(t *testing.T) {
+	dsets := fieldDatasets(t)
+	t1, err := analysis.Table1(dsets, core.MostCentered, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := analysis.Table2(dsets, core.MostCentered, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		p1, err := analysis.Table1(dsets, core.MostCentered, 1, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		p2, err := analysis.Table2(dsets, core.MostCentered, 1, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(t1, p1) || !reflect.DeepEqual(t2, p2) {
+			t.Errorf("workers=%d produced different tables than serial", workers)
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
 	"clickpass/internal/imagegen"
+	"clickpass/internal/par"
 )
 
 // Dictionary is the harvested click-point pool seeding the attack.
@@ -114,9 +115,12 @@ func (r Result) CrackedPct() float64 {
 // the victim's stored grid identifiers before hashing. A password
 // counts as cracked if any dictionary permutation hashes equal — i.e.
 // if the harvested points admit a matching into the password's
-// accepting squares.
-func OfflineKnownGrids(field *dataset.Dataset, dict *Dictionary, scheme core.Scheme) (Result, error) {
-	if err := field.Validate(); err != nil {
+// accepting squares. Evaluation fans out across workers goroutines
+// (0 = one per CPU, 1 = serial); schemes with mutable state
+// (RandomSafe) are evaluated serially regardless, so results are
+// always identical to a serial run.
+func OfflineKnownGrids(field *dataset.Dataset, dict *Dictionary, scheme core.Scheme, workers int) (Result, error) {
+	if err := checkFieldAgainstDict(field, dict); err != nil {
 		return Result{}, err
 	}
 	res := Result{
@@ -125,124 +129,38 @@ func OfflineKnownGrids(field *dataset.Dataset, dict *Dictionary, scheme core.Sch
 		SidePx:         int(scheme.SquareSide().Pixels()),
 		DictionaryBits: dict.Bits(),
 	}
-	for i := range field.Passwords {
-		pw := &field.Passwords[i]
-		if len(pw.Clicks) != dict.ClicksPerGuess {
-			return Result{}, fmt.Errorf("attack: password %d has %d clicks, dictionary guesses %d",
-				pw.ID, len(pw.Clicks), dict.ClicksPerGuess)
-		}
+	if !core.ConcurrencySafe(scheme) {
+		workers = 1
+	}
+	base := NewCracker(dict.Points)
+	hits, err := par.MapWith(workers, len(field.Passwords), base.Fork,
+		func(c *Cracker, i int) (bool, error) {
+			return c.Crackable(field.Passwords[i].Points(), scheme), nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, hit := range hits {
 		res.Passwords++
-		if crackable(pw.Points(), dict.Points, scheme) {
+		if hit {
 			res.Cracked++
 		}
 	}
 	return res, nil
 }
 
-// Witness returns a concrete dictionary entry (one pool point per
-// click, all distinct) that cracks the password, or ok=false if none
-// exists. It is the constructive counterpart of the matching test:
-// feeding the witness to the real PassPoints verifier must succeed,
-// which cmd/pwattack uses to validate the analytic attack end to end.
+// Witness returns a concrete dictionary entry that cracks the
+// password, or ok=false if none exists. One-shot wrapper around
+// Cracker.Witness; loops over many passwords should hold a Cracker to
+// amortize the pool index and matching scratch.
 func Witness(clicks []geom.Point, pool []geom.Point, scheme core.Scheme) (entry []geom.Point, ok bool) {
-	adj := make([][]int, len(clicks))
-	for i, c := range clicks {
-		rg := scheme.Region(scheme.Enroll(c))
-		for j, p := range pool {
-			if rg.Contains(p) {
-				adj[i] = append(adj[i], j)
-			}
-		}
-		if len(adj[i]) == 0 {
-			return nil, false
-		}
-	}
-	matchRight := make([]int, len(pool))
-	for i := range matchRight {
-		matchRight[i] = -1
-	}
-	var seen []bool
-	var try func(i int) bool
-	try = func(i int) bool {
-		for _, j := range adj[i] {
-			if seen[j] {
-				continue
-			}
-			seen[j] = true
-			if matchRight[j] == -1 || try(matchRight[j]) {
-				matchRight[j] = i
-				return true
-			}
-		}
-		return false
-	}
-	for i := range adj {
-		seen = make([]bool, len(pool))
-		if !try(i) {
-			return nil, false
-		}
-	}
-	entry = make([]geom.Point, len(clicks))
-	for j, i := range matchRight {
-		if i >= 0 {
-			entry[i] = pool[j]
-		}
-	}
-	return entry, true
+	return NewCracker(pool).Witness(clicks, scheme)
 }
 
-// crackable reports whether some permutation of dictionary points hits
-// every accepting square: bipartite matching between clicks and points.
+// crackable is the one-shot wrapper around Cracker.Crackable, kept for
+// tests and callers outside the batched sweeps.
 func crackable(clicks []geom.Point, pool []geom.Point, scheme core.Scheme) bool {
-	regions := make([]geom.Rect, len(clicks))
-	for i, c := range clicks {
-		regions[i] = scheme.Region(scheme.Enroll(c))
-	}
-	// adj[i] lists pool indices usable for click i.
-	adj := make([][]int, len(clicks))
-	for i, rg := range regions {
-		for j, p := range pool {
-			if rg.Contains(p) {
-				adj[i] = append(adj[i], j)
-			}
-		}
-		if len(adj[i]) == 0 {
-			return false
-		}
-	}
-	return maxMatching(adj, len(pool)) == len(clicks)
-}
-
-// maxMatching is Kuhn's augmenting-path algorithm for bipartite
-// matching; left side is the clicks, right side the pool points.
-func maxMatching(adj [][]int, poolSize int) int {
-	matchRight := make([]int, poolSize)
-	for i := range matchRight {
-		matchRight[i] = -1
-	}
-	var seen []bool
-	var try func(i int) bool
-	try = func(i int) bool {
-		for _, j := range adj[i] {
-			if seen[j] {
-				continue
-			}
-			seen[j] = true
-			if matchRight[j] == -1 || try(matchRight[j]) {
-				matchRight[j] = i
-				return true
-			}
-		}
-		return false
-	}
-	matched := 0
-	for i := range adj {
-		seen = make([]bool, poolSize)
-		if try(i) {
-			matched++
-		}
-	}
-	return matched
+	return NewCracker(pool).Crackable(clicks, scheme)
 }
 
 // UnknownGridBits returns the extra work (in bits per dictionary
@@ -359,61 +277,87 @@ type SeriesPoint struct {
 // Figure7 runs the equal-square-size offline attack for one image:
 // both schemes use the same square sides, so their crack rates should
 // be close (the paper's Figure 7).
-func Figure7(field, lab *dataset.Dataset, policy core.RobustPolicy, seed uint64) (centered, robust []SeriesPoint, err error) {
-	dict, err := BuildDictionary(lab, clicksOf(field))
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, side := range Figure7Sizes {
-		c, err := core.NewCentered(side)
-		if err != nil {
-			return nil, nil, err
-		}
-		rb, err := core.NewRobust2D(side, policy, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		cr, err := OfflineKnownGrids(field, dict, c)
-		if err != nil {
-			return nil, nil, err
-		}
-		rr, err := OfflineKnownGrids(field, dict, rb)
-		if err != nil {
-			return nil, nil, err
-		}
-		centered = append(centered, SeriesPoint{X: side, Result: cr, Cracked: cr.CrackedPct()})
-		robust = append(robust, SeriesPoint{X: side, Result: rr, Cracked: rr.CrackedPct()})
-	}
-	return centered, robust, nil
+func Figure7(field, lab *dataset.Dataset, policy core.RobustPolicy, seed uint64, workers int) (centered, robust []SeriesPoint, err error) {
+	return sweepOffline(field, lab, policy, seed, workers, Figure7Sizes,
+		func(side int) int { return side },
+		func(side int) int { return side })
 }
 
 // Figure8 runs the equal-r offline attack for one image: Centered uses
 // (2r+1)-pixel squares, Robust 6r-pixel squares, so Robust should be
 // cracked far more often (the paper's Figure 8).
-func Figure8(field, lab *dataset.Dataset, policy core.RobustPolicy, seed uint64) (centered, robust []SeriesPoint, err error) {
+func Figure8(field, lab *dataset.Dataset, policy core.RobustPolicy, seed uint64, workers int) (centered, robust []SeriesPoint, err error) {
+	return sweepOffline(field, lab, policy, seed, workers, Figure8Rs,
+		func(r int) int { return 2*r + 1 },
+		func(r int) int { return 6 * r })
+}
+
+// sweepOffline evaluates the offline attack over every (sweep point,
+// scheme) cell of a figure. All cell × password pairs are flattened
+// into one task list, so the fan-out keeps every worker busy even when
+// cells have very different costs (large squares admit many more
+// candidate points than small ones). The dictionary's spatial index is
+// built once and shared read-only; each worker forks its own scratch.
+func sweepOffline(field, lab *dataset.Dataset, policy core.RobustPolicy, seed uint64, workers int,
+	xs []int, centeredSide, robustSide func(x int) int) (centered, robust []SeriesPoint, err error) {
 	dict, err := BuildDictionary(lab, clicksOf(field))
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, r := range Figure8Rs {
-		c, err := core.NewCentered(2*r + 1)
+	if err := checkFieldAgainstDict(field, dict); err != nil {
+		return nil, nil, err
+	}
+	// Schemes are built serially so RandomSafe's RNG consumption stays
+	// fixed; cells alternate centered/robust per sweep point.
+	schemes := make([]core.Scheme, 0, 2*len(xs))
+	safe := true
+	for _, x := range xs {
+		c, err := core.NewCentered(centeredSide(x))
 		if err != nil {
 			return nil, nil, err
 		}
-		rb, err := core.NewRobust2D(6*r, policy, seed)
+		rb, err := core.NewRobust2D(robustSide(x), policy, seed)
 		if err != nil {
 			return nil, nil, err
 		}
-		cr, err := OfflineKnownGrids(field, dict, c)
-		if err != nil {
-			return nil, nil, err
+		schemes = append(schemes, c, rb)
+		safe = safe && core.ConcurrencySafe(rb)
+	}
+	if !safe {
+		workers = 1
+	}
+	nPw := len(field.Passwords)
+	pts := make([][]geom.Point, nPw)
+	for i := range pts {
+		pts[i] = field.Passwords[i].Points()
+	}
+	base := NewCracker(dict.Points)
+	hits, err := par.MapWith(workers, len(schemes)*nPw, base.Fork,
+		func(c *Cracker, k int) (bool, error) {
+			return c.Crackable(pts[k%nPw], schemes[k/nPw]), nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	for ci, scheme := range schemes {
+		res := Result{
+			Image:          field.Image,
+			Scheme:         scheme.Name(),
+			SidePx:         int(scheme.SquareSide().Pixels()),
+			Passwords:      nPw,
+			DictionaryBits: dict.Bits(),
 		}
-		rr, err := OfflineKnownGrids(field, dict, rb)
-		if err != nil {
-			return nil, nil, err
+		for _, hit := range hits[ci*nPw : (ci+1)*nPw] {
+			if hit {
+				res.Cracked++
+			}
 		}
-		centered = append(centered, SeriesPoint{X: r, Result: cr, Cracked: cr.CrackedPct()})
-		robust = append(robust, SeriesPoint{X: r, Result: rr, Cracked: rr.CrackedPct()})
+		sp := SeriesPoint{X: xs[ci/2], Result: res, Cracked: res.CrackedPct()}
+		if ci%2 == 0 {
+			centered = append(centered, sp)
+		} else {
+			robust = append(robust, sp)
+		}
 	}
 	return centered, robust, nil
 }
@@ -423,4 +367,19 @@ func clicksOf(d *dataset.Dataset) int {
 		return 0
 	}
 	return len(d.Passwords[0].Clicks)
+}
+
+// checkFieldAgainstDict validates the victim dataset and confirms
+// every password's click count matches the dictionary's guess length.
+func checkFieldAgainstDict(field *dataset.Dataset, dict *Dictionary) error {
+	if err := field.Validate(); err != nil {
+		return err
+	}
+	for i := range field.Passwords {
+		if n := len(field.Passwords[i].Clicks); n != dict.ClicksPerGuess {
+			return fmt.Errorf("attack: password %d has %d clicks, dictionary guesses %d",
+				field.Passwords[i].ID, n, dict.ClicksPerGuess)
+		}
+	}
+	return nil
 }

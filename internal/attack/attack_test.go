@@ -121,7 +121,7 @@ func TestOfflineKnownGridsRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := OfflineKnownGrids(pair.field, dict, c)
+		res, err := OfflineKnownGrids(pair.field, dict, c, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,16 +143,19 @@ func TestOfflineKnownGridsRuns(t *testing.T) {
 // condition").
 func TestFigure7Parity(t *testing.T) {
 	pair := studyPairs(t)[0]
-	centered, robust, err := Figure7(pair.field, pair.lab, core.MostCentered, 1)
+	centered, robust, err := Figure7(pair.field, pair.lab, core.MostCentered, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(centered) != len(Figure7Sizes) || len(robust) != len(Figure7Sizes) {
 		t.Fatal("series length mismatch")
 	}
+	// "Close" allows ~2.5 standard errors: each rate is a proportion
+	// over 162 passwords (SE up to ~4pp), so the difference has SE
+	// ~5.5pp. The structural Figure 8 gaps are 30+pp.
 	for i := range centered {
 		diff := math.Abs(centered[i].Cracked - robust[i].Cracked)
-		if diff > 12 {
+		if diff > 14 {
 			t.Errorf("size %d: |centered %.1f%% - robust %.1f%%| = %.1f — equal sizes should be close",
 				centered[i].X, centered[i].Cracked, robust[i].Cracked, diff)
 		}
@@ -170,7 +173,7 @@ func TestFigure7Parity(t *testing.T) {
 // (paper, Cars: r=6 gives 14.8% vs 45.1%; r=9 up to 79% vs 26%).
 func TestFigure8Gap(t *testing.T) {
 	for _, pair := range studyPairs(t) {
-		centered, robust, err := Figure8(pair.field, pair.lab, core.MostCentered, 1)
+		centered, robust, err := Figure8(pair.field, pair.lab, core.MostCentered, 1, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +198,7 @@ func TestFigure8CarsMagnitudes(t *testing.T) {
 	if pair.field.Image != "cars" {
 		t.Fatal("expected cars first")
 	}
-	centered, robust, err := Figure8(pair.field, pair.lab, core.MostCentered, 1)
+	centered, robust, err := Figure8(pair.field, pair.lab, core.MostCentered, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,15 +421,15 @@ func TestAutomatedDictionary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hRes, err := OfflineKnownGrids(pair.field, human, scheme)
+	hRes, err := OfflineKnownGrids(pair.field, human, scheme, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aRes, err := OfflineKnownGrids(pair.field, autoDict, scheme)
+	aRes, err := OfflineKnownGrids(pair.field, autoDict, scheme, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lRes, err := OfflineKnownGrids(pair.field, latticeDict, scheme)
+	lRes, err := OfflineKnownGrids(pair.field, latticeDict, scheme, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

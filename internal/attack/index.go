@@ -1,0 +1,187 @@
+package attack
+
+import (
+	"clickpass/internal/core"
+	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
+)
+
+// pointIndex is a grid-bucketed spatial index over a dictionary point
+// pool. The attack evaluation asks one query shape only — "which pool
+// points lie inside this accepting square?" — once per click per
+// password per scheme, and the old answer was a linear scan of the
+// whole pool (O(clicks × pool) per password). Bucketing the pool once
+// per sweep turns each query into a handful of bucket probes: squares
+// are at most 54px wide while the pool spreads over the whole image.
+//
+// The index is immutable after construction and safe to share across
+// goroutines.
+type pointIndex struct {
+	pts        []geom.Point
+	cell       fixed.Sub // bucket side
+	minX, minY fixed.Sub
+	cols, rows int
+	buckets    [][]int32
+}
+
+// indexCellPx is the bucket side in pixels. 32px keeps the per-bucket
+// population near one for the paper's 150-point pools on 451x331
+// images while a worst-case 54px query square touches at most 9
+// buckets.
+const indexCellPx = 32
+
+func newPointIndex(pts []geom.Point) *pointIndex {
+	ix := &pointIndex{pts: pts, cell: fixed.FromPixels(indexCellPx)}
+	if len(pts) == 0 {
+		ix.cols, ix.rows = 1, 1
+		ix.buckets = make([][]int32, 1)
+		return ix
+	}
+	ix.minX, ix.minY = pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts[1:] {
+		ix.minX = fixed.Min(ix.minX, p.X)
+		ix.minY = fixed.Min(ix.minY, p.Y)
+		maxX = fixed.Max(maxX, p.X)
+		maxY = fixed.Max(maxY, p.Y)
+	}
+	ix.cols = int((maxX-ix.minX)/ix.cell) + 1
+	ix.rows = int((maxY-ix.minY)/ix.cell) + 1
+	ix.buckets = make([][]int32, ix.cols*ix.rows)
+	for j, p := range pts {
+		b := ix.bucketOf(p)
+		ix.buckets[b] = append(ix.buckets[b], int32(j))
+	}
+	return ix
+}
+
+func (ix *pointIndex) bucketOf(p geom.Point) int {
+	cx := int((p.X - ix.minX) / ix.cell)
+	cy := int((p.Y - ix.minY) / ix.cell)
+	return cy*ix.cols + cx
+}
+
+// appendInRect appends (to out) the indices of every pool point inside
+// the half-open rectangle r, in ascending index order, and returns the
+// extended slice.
+func (ix *pointIndex) appendInRect(r geom.Rect, out []int) []int {
+	if len(ix.pts) == 0 {
+		return out
+	}
+	clampCol := func(c, hi int) int {
+		if c < 0 {
+			return 0
+		}
+		if c > hi {
+			return hi
+		}
+		return c
+	}
+	// The rectangle is open on its high edges, so the highest
+	// containable coordinate is MaxX-1 (sub-pixel units).
+	loCX := clampCol(int((r.MinX-ix.minX)/ix.cell), ix.cols-1)
+	hiCX := clampCol(int((r.MaxX-1-ix.minX)/ix.cell), ix.cols-1)
+	loCY := clampCol(int((r.MinY-ix.minY)/ix.cell), ix.rows-1)
+	hiCY := clampCol(int((r.MaxY-1-ix.minY)/ix.cell), ix.rows-1)
+	if r.MaxX <= ix.minX || r.MaxY <= ix.minY {
+		return out
+	}
+	before := len(out)
+	for cy := loCY; cy <= hiCY; cy++ {
+		for cx := loCX; cx <= hiCX; cx++ {
+			for _, j := range ix.buckets[cy*ix.cols+cx] {
+				if r.Contains(ix.pts[j]) {
+					out = append(out, int(j))
+				}
+			}
+		}
+	}
+	// Buckets are visited row-major, so restore the global index order
+	// the linear scan produced; downstream witnesses depend on it only
+	// for stability, but stability is the whole determinism contract.
+	// Insertion sort: the slices are tiny (points in one accepting
+	// square) and sort.Ints would allocate its interface header.
+	hits := out[before:]
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j] < hits[j-1]; j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	return out
+}
+
+// Cracker evaluates dictionary attacks against one pool: it owns the
+// pool's spatial index plus the reusable adjacency and matching
+// scratch. The index is shared and immutable; the scratch is not, so a
+// Cracker must not be used from multiple goroutines — parallel callers
+// give each worker its own via Fork.
+type Cracker struct {
+	pool []geom.Point
+	idx  *pointIndex
+	adj  [][]int
+	m    matcher
+}
+
+// NewCracker builds the pool index once; Crackable and Witness then
+// reuse it for every password and scheme in a sweep.
+func NewCracker(pool []geom.Point) *Cracker {
+	return &Cracker{pool: pool, idx: newPointIndex(pool)}
+}
+
+// Fork returns a Cracker sharing the immutable pool index but owning
+// fresh scratch — the per-worker state for parallel sweeps.
+func (c *Cracker) Fork() *Cracker {
+	return &Cracker{pool: c.pool, idx: c.idx}
+}
+
+// adjacency fills c.adj with, per click, the pool points inside the
+// click's accepting square. ok is false when some click has no
+// candidate (the password is uncrackable and matching is pointless).
+func (c *Cracker) adjacency(clicks []geom.Point, scheme core.Scheme) (adj [][]int, ok bool) {
+	if cap(c.adj) < len(clicks) {
+		c.adj = make([][]int, len(clicks))
+	}
+	adj = c.adj[:len(clicks)]
+	for i, click := range clicks {
+		rg := scheme.Region(scheme.Enroll(click))
+		adj[i] = c.idx.appendInRect(rg, adj[i][:0])
+		if len(adj[i]) == 0 {
+			return nil, false
+		}
+	}
+	return adj, true
+}
+
+// Crackable reports whether some permutation of pool points hits every
+// accepting square of the password: bipartite matching between clicks
+// and points.
+func (c *Cracker) Crackable(clicks []geom.Point, scheme core.Scheme) bool {
+	adj, ok := c.adjacency(clicks, scheme)
+	if !ok {
+		return false
+	}
+	_, complete := c.m.run(adj, len(c.pool))
+	return complete
+}
+
+// Witness returns a concrete dictionary entry (one pool point per
+// click, all distinct) that cracks the password, or ok=false if none
+// exists. It is the constructive counterpart of Crackable: feeding the
+// witness to the real PassPoints verifier must succeed, which
+// cmd/pwattack uses to validate the analytic attack end to end.
+func (c *Cracker) Witness(clicks []geom.Point, scheme core.Scheme) (entry []geom.Point, ok bool) {
+	adj, ok := c.adjacency(clicks, scheme)
+	if !ok {
+		return nil, false
+	}
+	if _, complete := c.m.run(adj, len(c.pool)); !complete {
+		return nil, false
+	}
+	entry = make([]geom.Point, len(clicks))
+	for j, i := range c.m.matchRight {
+		if i >= 0 {
+			entry[i] = c.pool[j]
+		}
+	}
+	return entry, true
+}

@@ -1,0 +1,189 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"clickpass/internal/core"
+	"clickpass/internal/geom"
+	"clickpass/internal/rng"
+)
+
+// naiveCrackable is the pre-index reference: a linear scan of the
+// whole pool per click, feeding the same shared matcher.
+func naiveCrackable(clicks []geom.Point, pool []geom.Point, scheme core.Scheme) bool {
+	adj := make([][]int, len(clicks))
+	for i, c := range clicks {
+		rg := scheme.Region(scheme.Enroll(c))
+		for j, p := range pool {
+			if rg.Contains(p) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		if len(adj[i]) == 0 {
+			return false
+		}
+	}
+	var m matcher
+	n, _ := m.run(adj, len(pool))
+	return n == len(clicks)
+}
+
+// TestIndexMatchesLinearScan: the grid-bucketed index must agree with
+// the brute-force region scan on random pools and clicks, across both
+// schemes and a spread of square sizes (including edge-hugging points).
+func TestIndexMatchesLinearScan(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		poolSize := 3 + r.Intn(200)
+		pool := make([]geom.Point, poolSize)
+		for i := range pool {
+			pool[i] = geom.Pt(r.Intn(451), r.Intn(331))
+		}
+		cracker := NewCracker(pool)
+		for _, side := range []int{9, 13, 24, 54} {
+			cs, err := core.NewCentered(side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := core.NewRobust2D(side, core.MostCentered, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scheme := range []core.Scheme{cs, rb} {
+				clicks := make([]geom.Point, 5)
+				for i := range clicks {
+					clicks[i] = geom.Pt(r.Intn(451), r.Intn(331))
+				}
+				got := cracker.Crackable(clicks, scheme)
+				want := naiveCrackable(clicks, pool, scheme)
+				if got != want {
+					t.Fatalf("trial %d side %d %s: index says %v, scan says %v",
+						trial, side, scheme.Name(), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendInRectOrder: queries return pool indices in ascending
+// order (the determinism contract for witness construction).
+func TestAppendInRectOrder(t *testing.T) {
+	r := rng.New(3)
+	pool := make([]geom.Point, 120)
+	for i := range pool {
+		pool[i] = geom.Pt(r.Intn(300), r.Intn(300))
+	}
+	ix := newPointIndex(pool)
+	for trial := 0; trial < 50; trial++ {
+		x, y := r.Intn(300), r.Intn(300)
+		rect := geom.Rect{
+			MinX: geom.Pt(x, 0).X, MinY: geom.Pt(0, y).Y,
+			MaxX: geom.Pt(x+60, 0).X, MaxY: geom.Pt(0, y+60).Y,
+		}
+		got := ix.appendInRect(rect, nil)
+		var want []int
+		for j, p := range pool {
+			if rect.Contains(p) {
+				want = append(want, j)
+			}
+		}
+		if !reflect.DeepEqual(got, append([]int{}, want...)) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+// TestEmptyPoolIndex: a degenerate pool must not panic.
+func TestEmptyPoolIndex(t *testing.T) {
+	c := NewCracker(nil)
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Crackable([]geom.Point{geom.Pt(10, 10)}, scheme) {
+		t.Error("empty pool cracked a password")
+	}
+}
+
+// TestOfflineParallelDeterministic: OfflineKnownGrids and the figure
+// sweeps must return identical results for every worker count.
+func TestOfflineParallelDeterministic(t *testing.T) {
+	pair := studyPairs(t)[0]
+	dict, err := BuildDictionary(pair.lab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := OfflineKnownGrids(pair.field, dict, scheme, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c7, r7, err := Figure7(pair.field, pair.lab, core.MostCentered, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := OfflineKnownGrids(pair.field, dict, scheme, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: offline result %+v != serial %+v", workers, got, want)
+		}
+		pc7, pr7, err := Figure7(pair.field, pair.lab, core.MostCentered, 1, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(c7, pc7) || !reflect.DeepEqual(r7, pr7) {
+			t.Errorf("workers=%d: Figure7 series differ from serial", workers)
+		}
+	}
+}
+
+// TestRandomSafeStaysDeterministic: the stateful RandomSafe policy
+// must yield identical sweep results for any requested worker count
+// (the engines detect the mutable scheme and run serially).
+func TestRandomSafeStaysDeterministic(t *testing.T) {
+	pair := studyPairs(t)[0]
+	c1, r1, err := Figure8(pair.field, pair.lab, core.RandomSafe, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, r8, err := Figure8(pair.field, pair.lab, core.RandomSafe, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c8) || !reflect.DeepEqual(r1, r8) {
+		t.Error("RandomSafe results changed with worker count")
+	}
+}
+
+// TestCrackerForkShares: forked crackers agree with their base while
+// owning independent scratch (exercised heavily under -race by the
+// parallel engines; this is the functional check).
+func TestCrackerForkShares(t *testing.T) {
+	pair := studyPairs(t)[0]
+	dict, err := BuildDictionary(pair.lab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.NewRobust2D(36, core.MostCentered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewCracker(dict.Points)
+	fork := base.Fork()
+	if fork.idx != base.idx {
+		t.Error("fork rebuilt the pool index")
+	}
+	for i := range pair.field.Passwords {
+		pts := pair.field.Passwords[i].Points()
+		if base.Crackable(pts, scheme) != fork.Crackable(pts, scheme) {
+			t.Fatalf("password %d: base and fork disagree", i)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package attack
+
+// matcher is the single shared implementation of Kuhn's augmenting-
+// path bipartite matching used by both the boolean crackable test and
+// the constructive Witness (they used to carry verbatim copies). Left
+// vertices are password clicks, right vertices are dictionary pool
+// points. The scratch slices persist across calls — per-click `seen`
+// reallocation was a measurable share of the attack inner loop — and
+// `seen` is round-stamped instead of cleared, so one augmentation
+// costs no writes beyond the vertices it actually visits.
+//
+// A matcher is cheap (two slices) but not safe for concurrent use;
+// give each worker goroutine its own, e.g. via Cracker.Fork.
+type matcher struct {
+	// matchRight[j] is the left vertex matched to right vertex j, or -1.
+	matchRight []int
+	// seen[j] == round marks right vertex j visited this augmentation.
+	seen  []int
+	round int
+}
+
+// run computes the maximum matching for adjacency lists adj over
+// poolSize right vertices. It reports the matching size and whether
+// every left vertex was matched; the assignment stays readable in
+// m.matchRight until the next call.
+func (m *matcher) run(adj [][]int, poolSize int) (matched int, complete bool) {
+	if cap(m.matchRight) < poolSize {
+		m.matchRight = make([]int, poolSize)
+		m.seen = make([]int, poolSize)
+		m.round = 0
+	}
+	m.matchRight = m.matchRight[:poolSize]
+	m.seen = m.seen[:poolSize]
+	for j := range m.matchRight {
+		m.matchRight[j] = -1
+	}
+	for i := range adj {
+		m.round++
+		if m.try(adj, i) {
+			matched++
+		}
+	}
+	return matched, matched == len(adj)
+}
+
+// try searches for an augmenting path from left vertex i.
+func (m *matcher) try(adj [][]int, i int) bool {
+	for _, j := range adj[i] {
+		if m.seen[j] == m.round {
+			continue
+		}
+		m.seen[j] = m.round
+		if m.matchRight[j] == -1 || m.try(adj, m.matchRight[j]) {
+			m.matchRight[j] = i
+			return true
+		}
+	}
+	return false
+}

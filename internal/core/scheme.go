@@ -64,6 +64,31 @@ func Accepts(s Scheme, t Token, p geom.Point) bool {
 	return s.Locate(p, t.Clear) == t.Secret
 }
 
+// Stateful is an optional interface for Scheme implementations whose
+// Enroll/Locate mutate internal state. Implement it (returning false
+// from SafeForConcurrentUse) to make the parallel engines fall back
+// to serial execution for your scheme; schemes not implementing it
+// are assumed immutable, matching the Scheme contract.
+type Stateful interface {
+	SafeForConcurrentUse() bool
+}
+
+// ConcurrencySafe reports whether the scheme may be shared by
+// concurrent callers. Every scheme is immutable after construction
+// except Robust with the RandomSafe policy, whose Enroll draws from an
+// internal RNG; parallel engines check this and fall back to serial
+// execution so RandomSafe results stay deterministic.
+func ConcurrencySafe(s Scheme) bool {
+	if st, ok := s.(Stateful); ok {
+		return st.SafeForConcurrentUse()
+	}
+	return true
+}
+
+// SafeForConcurrentUse implements Stateful: only the RandomSafe
+// policy consumes the internal RNG during Enroll.
+func (r *Robust2D) SafeForConcurrentUse() bool { return r.Policy() != RandomSafe }
+
 // Centered2D is the paper's scheme over a 2-D image: per-axis Centered
 // Discretization with grid squares of SidePx x SidePx pixels centered
 // on the original click-point.
@@ -195,18 +220,25 @@ func (r *Robust2D) Enroll(p geom.Point) Token {
 	}
 }
 
-// Locate implements Scheme.
+// Locate implements Scheme. It inlines RobustND.Locate for the 2-D
+// case to stay allocation-free: this is the innermost operation of the
+// analysis replay and attack loops.
 func (r *Robust2D) Locate(p geom.Point, cl Clear) Secret {
-	idx := r.nd.Locate([]fixed.Sub{p.X, p.Y}, int(cl.Grid))
-	return Secret{IX: idx[0], IY: idx[1]}
+	side := int64(r.nd.Side())
+	off := r.nd.offset(int(cl.Grid))
+	return Secret{
+		IX: fixed.FloorDiv(int64(p.X-off), side),
+		IY: fixed.FloorDiv(int64(p.Y-off), side),
+	}
 }
 
-// Region implements Scheme.
+// Region implements Scheme, allocation-free (see Locate).
 func (r *Robust2D) Region(t Token) geom.Rect {
-	idx := []int64{t.Secret.IX, t.Secret.IY}
-	loX, hiX := r.nd.Cube(int(t.Clear.Grid), idx, 0)
-	loY, hiY := r.nd.Cube(int(t.Clear.Grid), idx, 1)
-	return geom.Rect{MinX: loX, MinY: loY, MaxX: hiX, MaxY: hiY}
+	side := r.nd.Side()
+	off := r.nd.offset(int(t.Clear.Grid))
+	loX := fixed.Sub(t.Secret.IX*int64(side)) + off
+	loY := fixed.Sub(t.Secret.IY*int64(side)) + off
+	return geom.Rect{MinX: loX, MinY: loY, MaxX: loX + side, MaxY: loY + side}
 }
 
 // ClearBits implements Scheme: log2(3) ≈ 1.58 bits ("2 bits" stored).

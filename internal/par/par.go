@@ -1,0 +1,162 @@
+// Package par is the repository's deterministic fan-out subsystem: a
+// bounded worker pool with ordered result collection that every hot
+// path (study generation, analysis tables, dictionary attacks) drives
+// its parallelism through.
+//
+// Design rules, so "parallel" never means "different":
+//
+//   - Results are collected by task index, so the output of Map is
+//     identical for any worker count — scheduling can reorder
+//     execution, never results.
+//   - On failure the error returned is always the one from the
+//     lowest-numbered failing task. Tasks are claimed from an atomic
+//     counter in index order, so every task below the first observed
+//     failure has already been claimed and will run to completion;
+//     the minimum failing index is therefore always recorded,
+//     regardless of scheduling.
+//   - Per-goroutine state (scratch buffers, split RNG streams) is made
+//     explicit via MapWith rather than smuggled through captures.
+//
+// Worker counts default to runtime.GOMAXPROCS(0) and are overridable
+// (pass 1 to force serial execution, e.g. in tests or benchmarks).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the worker count used when a caller passes workers <= 0:
+// one worker per schedulable CPU.
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// clamp normalizes a requested worker count for n tasks.
+func clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = Default()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(i) for every i in [0, n) on a bounded worker pool and
+// returns the n results in index order. workers <= 0 means Default();
+// workers == 1 runs inline with no goroutines. The result slice is
+// byte-for-byte independent of the worker count as long as fn(i) is a
+// deterministic function of i.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWith(workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a bounded worker pool.
+// It returns the error of the lowest-numbered failing task, or nil.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// MapWith is Map with per-worker state: newState runs once in each
+// worker goroutine and its value is handed to every fn call that
+// worker executes. Use it for scratch buffers, reusable hashers and
+// similar allocation-amortizing state that must not be shared across
+// goroutines. Which worker executes which index is scheduling-
+// dependent, so fn's result must not depend on the state's history —
+// state is for reuse, not for carrying data between tasks.
+func MapWith[S, T any](workers, n int, newState func() S, fn func(state S, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("par: negative task count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	w := clamp(workers, n)
+	out := make([]T, n)
+	if w == 1 {
+		state, err := makeState(newState, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if out[i], err = call(fn, state, i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// State is built lazily on the worker's first claimed task
+			// so a panicking constructor is attributed to a task index
+			// and contained like any other task failure (index 0 is
+			// always somebody's first claim, so a deterministic
+			// constructor panic deterministically reports task 0).
+			var state S
+			haveState := false
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !haveState {
+					var err error
+					if state, err = makeState(newState, i); err != nil {
+						errs[i] = err
+						failed.Store(true)
+						return
+					}
+					haveState = true
+				}
+				out[i], errs[i] = call(fn, state, i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// call invokes fn, converting a panic into an error so one bad task
+// cannot tear down the whole process from a worker goroutine.
+func call[S, T any](fn func(S, int) (T, error), state S, i int) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(state, i)
+}
+
+// makeState invokes newState with the same panic containment as call,
+// attributing a failure to the task the worker was about to run.
+func makeState[S any](newState func() S, i int) (state S, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: task %d: state constructor panicked: %v", i, r)
+		}
+	}()
+	return newState(), nil
+}

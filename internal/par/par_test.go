@@ -1,0 +1,189 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+var workerCounts = []int{1, 2, 8}
+
+func TestMapOrderedAcrossWorkerCounts(t *testing.T) {
+	const n = 257
+	var want []int
+	for _, w := range workerCounts {
+		got, err := Map(w, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result %d = %d, want %d", w, i, v, i*i)
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d differs from serial", w, i)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Several tasks fail; the reported error must always be the one
+	// from the lowest failing index, independent of scheduling. Repeat
+	// to shake out racy orderings.
+	failAt := map[int]bool{3: true, 7: true, 40: true}
+	for trial := 0; trial < 50; trial++ {
+		_, err := Map(4, 64, func(i int) (int, error) {
+			if failAt[i] {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("trial %d: err = %v, want task 3 failed", trial, err)
+		}
+	}
+}
+
+func TestMapStopsEarlyAfterError(t *testing.T) {
+	var executed atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(2, 100000, func(i int) (int, error) {
+		executed.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := executed.Load(); n == 100000 {
+		t.Error("all tasks ran despite an early failure")
+	}
+}
+
+func TestMapWithPerWorkerState(t *testing.T) {
+	// Each worker gets its own counter; the per-state totals must sum
+	// to n (every task executed exactly once) and the number of states
+	// must not exceed the worker bound.
+	const n, workers = 1000, 4
+	var states atomic.Int64
+	counters := make(chan *atomic.Int64, workers)
+	_, err := MapWith(workers, n,
+		func() *atomic.Int64 {
+			states.Add(1)
+			c := new(atomic.Int64)
+			counters <- c
+			return c
+		},
+		func(c *atomic.Int64, i int) (struct{}, error) {
+			c.Add(1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := states.Load(); s > workers {
+		t.Errorf("%d states created for %d workers", s, workers)
+	}
+	close(counters)
+	var total int64
+	for c := range counters {
+		total += c.Load()
+	}
+	if total != n {
+		t.Errorf("executed %d tasks, want %d", total, n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 100)
+	if err := ForEach(3, len(out), func(i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	wantErr := errors.New("nope")
+	if err := ForEach(3, 10, func(i int) error {
+		if i == 5 {
+			return wantErr
+		}
+		return nil
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("ForEach error = %v", err)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if got, err := Map(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(got) != 0 {
+		t.Errorf("zero tasks: %v %v", got, err)
+	}
+	if _, err := Map(4, -1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative task count accepted")
+	}
+	// workers <= 0 resolves to GOMAXPROCS; must still work.
+	got, err := Map(0, 10, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 10 {
+		t.Errorf("auto workers: %v %v", got, err)
+	}
+	// More workers than tasks.
+	got, err = Map(64, 3, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 3 {
+		t.Errorf("excess workers: %v %v", got, err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		_, err := Map(w, 10, func(i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 2 panicked") {
+			t.Errorf("workers=%d: panic not converted: %v", w, err)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if w := clamp(0, 100); w != Default() {
+		t.Errorf("clamp(0) = %d, want %d", w, Default())
+	}
+	if w := clamp(-3, 100); w != Default() {
+		t.Errorf("clamp(-3) = %d", w)
+	}
+	if w := clamp(16, 4); w != 4 {
+		t.Errorf("clamp(16, 4 tasks) = %d, want 4", w)
+	}
+}
+
+func TestStateConstructorPanicBecomesError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		_, err := MapWith(w, 10,
+			func() int { panic("bad state") },
+			func(s int, i int) (int, error) { return i, nil })
+		if err == nil || !strings.Contains(err.Error(), "state constructor panicked") {
+			t.Errorf("workers=%d: constructor panic not contained: %v", w, err)
+		}
+	}
+}

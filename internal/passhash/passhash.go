@@ -17,6 +17,7 @@ import (
 	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"math"
 
 	"clickpass/internal/core"
@@ -61,59 +62,101 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// EncodeTokens produces the canonical byte encoding of a password's
-// tokens: for each click-point in order, the clear part
-// (dx, dy, grid) followed by the secret part (ix, iy), all fixed-width
-// big-endian. The encoding is injective so distinct discretizations
-// never collide before hashing.
-func EncodeTokens(tokens []core.Token) []byte {
-	buf := make([]byte, 0, len(tokens)*(8+8+1+8+8)+2)
+// AppendTokens appends the canonical byte encoding of a password's
+// tokens to dst and returns the extended slice: for each click-point
+// in order, the clear part (dx, dy, grid) followed by the secret part
+// (ix, iy), all fixed-width big-endian. The encoding is injective so
+// distinct discretizations never collide before hashing.
+func AppendTokens(dst []byte, tokens []core.Token) []byte {
 	var scratch [8]byte
 	putI64 := func(v int64) {
 		binary.BigEndian.PutUint64(scratch[:], uint64(v))
-		buf = append(buf, scratch[:]...)
+		dst = append(dst, scratch[:]...)
 	}
 	// Length prefix guards against ambiguity between different click
 	// counts (defense in depth; the fixed width already prevents it).
 	binary.BigEndian.PutUint16(scratch[:2], uint16(len(tokens)))
-	buf = append(buf, scratch[:2]...)
+	dst = append(dst, scratch[:2]...)
 	for _, t := range tokens {
 		putI64(int64(t.Clear.DX))
 		putI64(int64(t.Clear.DY))
-		buf = append(buf, t.Clear.Grid)
+		dst = append(dst, t.Clear.Grid)
 		putI64(t.Secret.IX)
 		putI64(t.Secret.IY)
 	}
-	return buf
+	return dst
+}
+
+// EncodeTokens returns the canonical byte encoding in a fresh buffer.
+func EncodeTokens(tokens []core.Token) []byte {
+	return AppendTokens(make([]byte, 0, len(tokens)*(8+8+1+8+8)+2), tokens)
+}
+
+// Hasher computes verifiers for one Params in bulk, amortizing the
+// allocations Digest pays per call (a fresh HMAC instance and encode
+// buffer): verify loops and offline attack engines hash millions of
+// candidates under a single salt. Not safe for concurrent use; create
+// one per goroutine.
+type Hasher struct {
+	iterations int
+	mac        hash.Hash
+	buf        []byte // reusable canonical-encoding buffer
+	sum        []byte // reusable digest scratch for Verify
+}
+
+// NewHasher validates the parameters and keys the reusable HMAC.
+func NewHasher(p Params) (*Hasher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hasher{iterations: p.Iterations, mac: hmac.New(sha256.New, p.Salt)}, nil
+}
+
+// DigestInto appends the verifier for tokens to dst and returns the
+// extended slice. With a dst of sufficient capacity (sha256.Size
+// beyond len(dst)) it performs no heap allocations.
+func (h *Hasher) DigestInto(dst []byte, tokens []core.Token) []byte {
+	h.buf = AppendTokens(h.buf[:0], tokens)
+	h.mac.Reset()
+	h.mac.Write(h.buf)
+	start := len(dst)
+	dst = h.mac.Sum(dst)
+	for i := 1; i < h.iterations; i++ {
+		h.mac.Reset()
+		h.mac.Write(dst[start:])
+		dst = h.mac.Sum(dst[:start])
+	}
+	return dst
+}
+
+// Verify recomputes the digest for candidate tokens and compares it to
+// the stored verifier in constant time, reusing the Hasher's scratch.
+func (h *Hasher) Verify(stored []byte, tokens []core.Token) bool {
+	h.sum = h.DigestInto(h.sum[:0], tokens)
+	return subtle.ConstantTimeCompare(stored, h.sum) == 1
 }
 
 // Digest computes the stored verifier for a token sequence under the
 // given parameters: iterations of HMAC-SHA256 keyed by the salt over
 // the canonical encoding. HMAC (rather than plain concatenation) binds
-// the salt without length-extension concerns.
+// the salt without length-extension concerns. One-shot wrapper around
+// Hasher.DigestInto.
 func Digest(p Params, tokens []core.Token) ([]byte, error) {
-	if err := p.Validate(); err != nil {
+	h, err := NewHasher(p)
+	if err != nil {
 		return nil, err
 	}
-	mac := hmac.New(sha256.New, p.Salt)
-	mac.Write(EncodeTokens(tokens))
-	sum := mac.Sum(nil)
-	for i := 1; i < p.Iterations; i++ {
-		mac.Reset()
-		mac.Write(sum)
-		sum = mac.Sum(sum[:0])
-	}
-	return sum, nil
+	return h.DigestInto(nil, tokens), nil
 }
 
 // Verify recomputes the digest for candidate tokens and compares it to
 // the stored verifier in constant time.
 func Verify(p Params, stored []byte, tokens []core.Token) (bool, error) {
-	got, err := Digest(p, tokens)
+	h, err := NewHasher(p)
 	if err != nil {
 		return false, err
 	}
-	return subtle.ConstantTimeCompare(stored, got) == 1, nil
+	return h.Verify(stored, tokens), nil
 }
 
 // AddedBits returns the attack-cost increase from iterated hashing in

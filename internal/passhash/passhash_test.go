@@ -9,6 +9,7 @@ import (
 
 	"clickpass/internal/core"
 	"clickpass/internal/fixed"
+	"clickpass/internal/geom"
 )
 
 func tok(dx, dy int64, grid uint8, ix, iy int64) core.Token {
@@ -221,5 +222,70 @@ func TestGoldenVector(t *testing.T) {
 	}
 	if got := hex.EncodeToString(d); got != wantDigest {
 		t.Errorf("digest changed:\n got %s\nwant %s", got, wantDigest)
+	}
+}
+
+// TestDigestIntoMatchesDigest: the batched Hasher path must produce
+// exactly the one-shot Digest for every iteration count, and reusing
+// the destination buffer must not corrupt results.
+func TestDigestIntoMatchesDigest(t *testing.T) {
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Iterations: 1, Salt: []byte("salt-salt-salt-!")}
+	for _, iters := range []int{1, 2, 7, 1000} {
+		params.Iterations = iters
+		h, err := NewHasher(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []byte
+		for n := 1; n <= 5; n++ {
+			tokens := make([]core.Token, n)
+			for i := range tokens {
+				tokens[i] = scheme.Enroll(geom.Pt(31*i+iters, 17*i+3))
+			}
+			want, err := Digest(params, tokens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = h.DigestInto(buf[:0], tokens)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("iters=%d n=%d: DigestInto differs from Digest", iters, n)
+			}
+			if !h.Verify(want, tokens) {
+				t.Fatalf("iters=%d n=%d: Hasher.Verify rejected its own digest", iters, n)
+			}
+			want[0] ^= 1
+			if h.Verify(want, tokens) {
+				t.Fatalf("iters=%d n=%d: Hasher.Verify accepted a corrupted digest", iters, n)
+			}
+		}
+	}
+}
+
+// TestNewHasherValidates: invalid params must be rejected up front.
+func TestNewHasherValidates(t *testing.T) {
+	if _, err := NewHasher(Params{Iterations: 0, Salt: []byte("x")}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := NewHasher(Params{Iterations: 1}); err == nil {
+		t.Error("empty salt accepted")
+	}
+}
+
+// TestAppendTokensMatchesEncode: AppendTokens into a prefilled buffer
+// preserves the prefix and appends the canonical encoding.
+func TestAppendTokensMatchesEncode(t *testing.T) {
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []core.Token{scheme.Enroll(geom.Pt(10, 20)), scheme.Enroll(geom.Pt(200, 100))}
+	want := EncodeTokens(tokens)
+	got := AppendTokens([]byte("prefix"), tokens)
+	if !bytes.Equal(got[:6], []byte("prefix")) || !bytes.Equal(got[6:], want) {
+		t.Error("AppendTokens mangled the destination buffer")
 	}
 }

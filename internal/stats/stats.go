@@ -38,10 +38,13 @@ func (p Proportion) Wilson(z float64) (lo, hi float64) {
 	center := (phat + z*z/(2*n)) / denom
 	margin := z / denom * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n))
 	lo, hi = center-margin, center+margin
-	if lo < 0 {
+	// Pin the degenerate endpoints: exact arithmetic gives lo = 0 when
+	// k = 0 and hi = 1 when k = n, but roundoff can land a hair inside,
+	// violating lo <= k/n <= hi.
+	if lo < 0 || p.K == 0 {
 		lo = 0
 	}
-	if hi > 1 {
+	if hi > 1 || p.K == p.N {
 		hi = 1
 	}
 	return lo, hi

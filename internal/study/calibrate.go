@@ -30,13 +30,14 @@ func PaperTargets() Target {
 
 // Score measures how far a simulated study lands from the target: the
 // root mean squared error over all table cells, in percentage points.
-// Lower is better.
-func (tg Target) Score(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64) (float64, error) {
-	t1, err := analysis.Table1(dsets, policy, seed)
+// Lower is better. workers bounds the table replays' fan-out (0 = one
+// per CPU).
+func (tg Target) Score(dsets []*dataset.Dataset, policy core.RobustPolicy, seed uint64, workers int) (float64, error) {
+	t1, err := analysis.Table1(dsets, policy, seed, workers)
 	if err != nil {
 		return 0, err
 	}
-	t2, err := analysis.Table2(dsets, policy, seed)
+	t2, err := analysis.Table2(dsets, policy, seed, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -74,8 +75,12 @@ type CalibrationResult struct {
 }
 
 // Calibrate simulates the field study under each candidate error model
-// and ranks the candidates by RMSE against the target. This is the
-// sweep that produced DefaultErrorModel.
+// and ranks the candidates by RMSE against the target. A sweep like
+// this produced DefaultErrorModel (on the pre-parallel generator whose
+// stream layout differed; the default's fit against PaperTargets on
+// current streams is re-asserted by TestCalibrateRanksModels). Each
+// candidate's simulation and replay run on the shared worker pool (one
+// candidate at a time, parallel within).
 func Calibrate(candidates []ErrorModel, target Target, seed uint64) ([]CalibrationResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("study: no candidate models")
@@ -95,7 +100,7 @@ func Calibrate(candidates []ErrorModel, target Target, seed uint64) ([]Calibrati
 			}
 			dsets = append(dsets, d)
 		}
-		score, err := target.Score(dsets, core.MostCentered, seed)
+		score, err := target.Score(dsets, core.MostCentered, seed, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -51,7 +51,7 @@ func TestTargetScoreValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := empty.Score([]*dataset.Dataset{d}, core.MostCentered, 1); err == nil {
+	if _, err := empty.Score([]*dataset.Dataset{d}, core.MostCentered, 1, 1); err == nil {
 		t.Error("target with no cells accepted")
 	}
 }

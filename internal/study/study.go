@@ -26,6 +26,7 @@ import (
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
 	"clickpass/internal/imagegen"
+	"clickpass/internal/par"
 	"clickpass/internal/rng"
 )
 
@@ -124,6 +125,11 @@ type Config struct {
 	FirstPasswordID int
 	// Seed fixes the generation stream.
 	Seed uint64
+	// Workers bounds the generation fan-out: 0 uses one worker per
+	// CPU, 1 forces serial generation. Each password draws from its
+	// own rng stream split off the seed before any parallel work
+	// starts, so the dataset is byte-identical for every value.
+	Workers int
 }
 
 // Validate reports configuration errors.
@@ -150,37 +156,58 @@ func (c Config) Validate() error {
 }
 
 // Run simulates the study: Passwords password creations, each followed
-// by LoginsPerPassword re-entry attempts.
+// by LoginsPerPassword re-entry attempts. Generation fans out across
+// cfg.Workers goroutines, one independent rng stream per password
+// (split off the seed serially before the fan-out), so the dataset is
+// byte-identical for a fixed seed regardless of worker count.
 func Run(cfg Config) (*dataset.Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := rng.New(cfg.Seed)
-	size := cfg.Image.Size
-	d := &dataset.Dataset{
-		Image:  cfg.Image.Name,
-		Width:  size.W,
-		Height: size.H,
+	base := rng.New(cfg.Seed)
+	streams := make([]*rng.Source, cfg.Passwords)
+	for i := range streams {
+		streams[i] = base.Split()
 	}
-	for i := 0; i < cfg.Passwords; i++ {
+	size := cfg.Image.Size
+	// Each task generates one password plus its logins from its own
+	// stream; results are collected in password order.
+	type block struct {
+		pw     dataset.Password
+		logins []dataset.Login
+	}
+	blocks, err := par.Map(cfg.Workers, cfg.Passwords, func(i int) (block, error) {
+		r := streams[i]
 		id := cfg.FirstPasswordID + i
 		clicks := samplePassword(r, cfg)
-		pw := dataset.Password{
+		blk := block{pw: dataset.Password{
 			ID:    id,
 			User:  fmt.Sprintf("%s-p%03d", cfg.Image.Name, i),
 			Image: cfg.Image.Name,
-		}
+		}}
 		for _, p := range clicks {
-			pw.Clicks = append(pw.Clicks, dataset.FromPoint(p))
+			blk.pw.Clicks = append(blk.pw.Clicks, dataset.FromPoint(p))
 		}
-		d.Passwords = append(d.Passwords, pw)
 		for a := 0; a < cfg.LoginsPerPassword; a++ {
 			login := dataset.Login{PasswordID: id, Attempt: a}
 			for _, p := range clicks {
 				login.Clicks = append(login.Clicks, dataset.FromPoint(cfg.Error.perturb(r, p, size)))
 			}
-			d.Logins = append(d.Logins, login)
+			blk.logins = append(blk.logins, login)
 		}
+		return blk, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &dataset.Dataset{
+		Image:  cfg.Image.Name,
+		Width:  size.W,
+		Height: size.H,
+	}
+	for i := range blocks {
+		d.Passwords = append(d.Passwords, blocks[i].pw)
+		d.Logins = append(d.Logins, blocks[i].logins...)
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("study: generated invalid dataset: %w", err)

@@ -1,6 +1,7 @@
 package study
 
 import (
+	"bytes"
 	"testing"
 
 	"clickpass/internal/geom"
@@ -228,6 +229,33 @@ func TestPerturbStaysInImage(t *testing.T) {
 			if !size.Contains(e.perturb(r, c, size)) {
 				t.Fatalf("perturb escaped image from %v", c)
 			}
+		}
+	}
+}
+
+// TestRunParallelDeterministic: the generated dataset must be
+// byte-identical across worker counts — the par subsystem's core
+// contract, checked via the JSON wire encoding.
+func TestRunParallelDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Passwords = 60
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Workers = workers
+		d, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			want = buf.String()
+			continue
+		}
+		if buf.String() != want {
+			t.Errorf("workers=%d produced a different dataset than serial", workers)
 		}
 	}
 }
