@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench ci
+.PHONY: all build test vet race bench loadsmoke cover ci
 
 all: build vet test
 
@@ -15,8 +15,9 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race exercises the parallel study/analysis/attack engines under the
-# race detector; the par determinism tests run at workers 1/2/8.
+# race exercises the parallel study/analysis/attack engines, the
+# sharded vault, and the concurrent auth server under the race
+# detector; the par determinism tests run at workers 1/2/8.
 race:
 	$(GO) test -race ./...
 
@@ -25,4 +26,14 @@ race:
 bench:
 	$(GO) test -run NONE -bench 'StudyGeneration|Figure7|Table1|CrackPassword|Digest' -benchmem .
 
-ci: build vet test race
+# loadsmoke is the CI server-load smoke: a small client swarm against
+# both vault backends (see PERFORMANCE.md "Server load").
+loadsmoke:
+	$(GO) test ./internal/loadtest -run TestLoad -short -v
+
+# cover prints per-package coverage (CI publishes this to the Actions
+# summary).
+cover:
+	$(GO) test -cover ./...
+
+ci: build vet test race loadsmoke

@@ -5,15 +5,21 @@
 //
 // The lockout bounds online dictionary attacks (§5.1): after N failed
 // logins an account refuses further attempts until an administrative
-// reset.
+// reset. -shards selects the storage backend (0 = single-lock vault,
+// N > 0 = N-way sharded store; both read and write the same file) and
+// -maxconns bounds the TCP worker pool. SIGINT/SIGTERM drain in-flight
+// connections before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"clickpass/internal/authproto"
@@ -35,6 +41,9 @@ func main() {
 		iter      = flag.Int("iterations", 1000, "hash iterations")
 		lockout   = flag.Int("lockout", authproto.DefaultLockout, "failed attempts before lockout")
 		useTLS    = flag.Bool("tls", false, "wrap the TCP listener in TLS with an ephemeral self-signed certificate")
+		shards    = flag.Int("shards", 0, "vault shard count (0 = single-lock store, >0 = sharded store)")
+		maxConns  = flag.Int("maxconns", authproto.DefaultMaxConns, "max concurrently served TCP connections")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -53,7 +62,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	v, err := vault.Open(*vaultPath)
+	var store vault.Store
+	if *shards > 0 {
+		store, err = vault.OpenSharded(*vaultPath, *shards)
+	} else {
+		store, err = vault.Open(*vaultPath)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -63,12 +77,17 @@ func main() {
 		Scheme:     scheme,
 		Iterations: *iter,
 	}
-	srv, err := authproto.NewServer(cfg, v, *lockout)
+	srv, err := authproto.NewServer(cfg, store, *lockout)
 	if err != nil {
 		fatal(err)
 	}
+	srv.SetMaxConns(*maxConns)
 	if *tcpAddr == "" && *httpAddr == "" {
 		fatal(fmt.Errorf("nothing to serve: both -tcp and -http are empty"))
+	}
+	backend := "single-lock"
+	if *shards > 0 {
+		backend = fmt.Sprintf("%d-shard", *shards)
 	}
 	errc := make(chan error, 2)
 	if *tcpAddr != "" {
@@ -81,20 +100,49 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("pwserver: TLS on %s (%s %dx%d, lockout %d; self-signed cert %x...)\n",
-				l.Addr(), scheme.Name(), *side, *side, *lockout, cert.Certificate[0][:8])
+			fmt.Printf("pwserver: TLS on %s (%s %dx%d, lockout %d, %s vault, %d conns; self-signed cert %x...)\n",
+				l.Addr(), scheme.Name(), *side, *side, *lockout, backend, *maxConns, cert.Certificate[0][:8])
 			go func() { errc <- srv.ServeTLS(l, cert) }()
 		} else {
-			fmt.Printf("pwserver: TCP on %s (%s %dx%d, lockout %d)\n",
-				l.Addr(), scheme.Name(), *side, *side, *lockout)
+			fmt.Printf("pwserver: TCP on %s (%s %dx%d, lockout %d, %s vault, %d conns)\n",
+				l.Addr(), scheme.Name(), *side, *side, *lockout, backend, *maxConns)
 			go func() { errc <- srv.Serve(l) }()
 		}
 	}
+	var httpSrv *http.Server
 	if *httpAddr != "" {
 		fmt.Printf("pwserver: HTTP on %s\n", *httpAddr)
-		go func() { errc <- http.ListenAndServe(*httpAddr, srv.HTTPHandler()) }()
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
 	}
-	fatal(<-errc)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Printf("pwserver: %s — draining (up to %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Drain both front ends; "drained" must mean every in-flight
+		// request, TCP and HTTP, got its response.
+		err := srv.Shutdown(ctx)
+		if httpSrv != nil {
+			if herr := httpSrv.Shutdown(ctx); err == nil {
+				err = herr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pwserver: drain incomplete:", err)
+			os.Exit(1)
+		}
+		fmt.Println("pwserver: drained")
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,115 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"clickpass/internal/analysis"
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/study"
+	"fmt"
+)
+
+// goldenDatasets generates the paper's two field datasets with an
+// explicit generation worker count; study.Run's byte-identical
+// contract means every count must feed analysis the same data.
+func goldenDatasets(t *testing.T, workers int) []*dataset.Dataset {
+	t.Helper()
+	var dsets []*dataset.Dataset
+	for i, img := range imagegen.Gallery() {
+		cfg := study.FieldConfig(img, uint64(100+i))
+		cfg.Workers = workers
+		d, err := study.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsets = append(dsets, d)
+	}
+	return dsets
+}
+
+// TestSuccessGolden pins analysis.Success's exact login tally on fixed
+// seeds — the safety net for parallelizing its per-dataset replay
+// (ROADMAP): the refactor must reproduce these counts at every worker
+// count, not merely "a similar rate".
+func TestSuccessGolden(t *testing.T) {
+	goldens := map[string]struct {
+		mkScheme func(t *testing.T) core.Scheme
+		want     analysis.SuccessRate
+	}{
+		"centered13": {
+			mkScheme: func(t *testing.T) core.Scheme {
+				s, err := core.NewCentered(13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			want: analysis.SuccessRate{Scheme: "centered", SidePx: 13, Logins: 2443, Accepted: 2055},
+		},
+		"robust36": {
+			mkScheme: func(t *testing.T) core.Scheme {
+				s, err := core.NewRobust2D(36, core.MostCentered, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			want: analysis.SuccessRate{Scheme: "robust", SidePx: 36, Logins: 2443, Accepted: 2412},
+		},
+	}
+	for name, g := range goldens {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 2, 8} {
+				got, err := analysis.Success(goldenDatasets(t, workers), g.mkScheme(t))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != g.want {
+					t.Errorf("workers=%d: Success = %+v, want %+v", workers, got, g.want)
+				}
+			}
+		})
+	}
+}
+
+// TestFindWorstCaseGolden pins the worst-case origin scan exactly
+// (via the struct's full string form, which includes the sub-pixel
+// Region bounds). The scan is a pure function of (side, policy, seed)
+// with a strict first-maximum tie-break over the x-then-y origin
+// order; a parallelized scan must preserve that tie-break to
+// reproduce these values.
+func TestFindWorstCaseGolden(t *testing.T) {
+	goldens := map[string]struct {
+		side int
+		want string
+	}{
+		"side36": {
+			side: 36,
+			want: "{Origin:(6,18) Region:{MinX:0 MinY:0 MaxX:36 MaxY:36} " +
+				"LeftSlackPx:6 RightSlackPx:30 GuaranteedRPx:6 RMaxPx:30}",
+		},
+		"side19": {
+			side: 19,
+			want: "{Origin:(3,10) Region:{MinX:-13+2/6 MinY:6+2/6 MaxX:6+2/6 MaxY:25+2/6} " +
+				"LeftSlackPx:15.666666666666666 RightSlackPx:3.3333333333333335 " +
+				"GuaranteedRPx:3.1666666666666665 RMaxPx:15.833333333333334}",
+		},
+	}
+	for name, g := range goldens {
+		t.Run(name, func(t *testing.T) {
+			// Repeated runs (the scan is serial today) must agree exactly
+			// — the determinism a parallel origin scan must preserve.
+			for run := 0; run < 3; run++ {
+				got, err := analysis.FindWorstCase(g.side, core.MostCentered, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprintf("%+v", got) != g.want {
+					t.Errorf("run %d: FindWorstCase(%d) = %+v, want %s", run, g.side, got, g.want)
+				}
+			}
+		})
+	}
+}

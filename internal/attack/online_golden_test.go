@@ -1,0 +1,147 @@
+package attack
+
+import (
+	"testing"
+
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/study"
+)
+
+// onlineGoldenDatasets generates the cars field/lab pair with an
+// explicit generation worker count. study.Run is contractually
+// byte-identical across worker counts, so every value of workers must
+// feed Online the exact same data — this pins that chain end to end.
+func onlineGoldenDatasets(t *testing.T, workers int) (field, lab *dataset.Dataset) {
+	t.Helper()
+	img := imagegen.Cars()
+	fcfg := study.FieldConfig(img, 100)
+	fcfg.Workers = workers
+	lcfg := study.LabConfig(img, 200)
+	lcfg.Workers = workers
+	field, err := study.Run(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err = study.Run(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return field, lab
+}
+
+// TestOnlineGolden pins attack.Online's exact output on a fixed seed —
+// the safety net for the planned parallelization of the guess-ranking
+// and per-account replay loops (ROADMAP): any refactor must reproduce
+// these counts at every generation worker count.
+func TestOnlineGolden(t *testing.T) {
+	img := imagegen.Cars()
+	type golden struct {
+		scheme  func(t *testing.T) core.Scheme
+		lockout int
+		want    OnlineResult
+	}
+	goldens := map[string]golden{
+		"centered13-lockout10": {
+			scheme: func(t *testing.T) core.Scheme {
+				s, err := core.NewCentered(13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			lockout: 10,
+			want: OnlineResult{
+				Image: "cars", Scheme: "centered", SidePx: 13, Lockout: 10,
+				Accounts: 162, Compromised: 0,
+			},
+		},
+		"robust36-lockout30": {
+			scheme: func(t *testing.T) core.Scheme {
+				s, err := core.NewRobust2D(36, core.MostCentered, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			lockout: 30,
+			want: OnlineResult{
+				Image: "cars", Scheme: "robust", SidePx: 36, Lockout: 30,
+				Accounts: 162, Compromised: 0,
+			},
+		},
+	}
+	for name, g := range goldens {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 2, 8} {
+				field, lab := onlineGoldenDatasets(t, workers)
+				got, err := Online(field, lab, img, g.scheme(t), g.lockout)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != g.want {
+					t.Errorf("workers=%d: Online = %+v, want %+v", workers, got, g.want)
+				}
+			}
+		})
+	}
+}
+
+// TestOnlineGoldenPlantedHit: the nonzero-compromise pin. The lab
+// dataset is the workers-generated field data with the first account's
+// exact clicks planted as a guess, so exactly that account must fall
+// at every worker count — a parallel replay that miscounts or
+// misattributes hits breaks this even though the organic goldens above
+// are all zero.
+func TestOnlineGoldenPlantedHit(t *testing.T) {
+	img := imagegen.Cars()
+	s, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		field, lab := onlineGoldenDatasets(t, workers)
+		planted := *lab
+		planted.Passwords = append([]dataset.Password(nil), lab.Passwords...)
+		leak := field.Passwords[0]
+		leak.ID = 100000 + leak.ID // IDs must stay unique within the dataset
+		leak.User = "leak"
+		planted.Passwords = append(planted.Passwords, leak)
+		got, err := Online(field, &planted, img, s, 200)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := OnlineResult{
+			Image: "cars", Scheme: "centered", SidePx: 13, Lockout: 200,
+			Accounts: 162, Compromised: 1,
+		}
+		if got != want {
+			t.Errorf("workers=%d: Online = %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+// TestOnlineRepeatableOnSharedData: repeated runs over the *same*
+// dataset must agree exactly (the ranking sort is stable by contract —
+// sort.SliceStable over equal scores must not reorder verdicts).
+func TestOnlineRepeatableOnSharedData(t *testing.T) {
+	pair := studyPairs(t)[0]
+	s, err := core.NewCentered(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Online(pair.field, pair.lab, pair.img, s, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Online(pair.field, pair.lab, pair.img, s, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("run %d: Online = %+v, want %+v", i, again, first)
+		}
+	}
+}

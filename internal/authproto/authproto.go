@@ -10,6 +10,7 @@
 package authproto
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -17,10 +18,12 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
+	"clickpass/internal/par"
 	"clickpass/internal/passpoints"
 	"clickpass/internal/vault"
 )
@@ -30,6 +33,12 @@ const MaxFrame = 1 << 20
 
 // DefaultLockout is the failed-attempt budget per account.
 const DefaultLockout = 10
+
+// DefaultMaxConns bounds concurrently served connections per Serve
+// loop when the caller does not set a limit. Beyond it, accepted
+// connections wait in the kernel backlog instead of each getting a
+// goroutine — load sheds by queueing, not by unbounded spawning.
+const DefaultMaxConns = 1024
 
 // Op identifies a request type.
 type Op string
@@ -60,20 +69,30 @@ type Response struct {
 	Remaining int    `json:"remaining,omitempty"` // login attempts left
 }
 
-// Server authenticates PassPoints passwords against a vault. It is
-// safe for concurrent use.
+// Server authenticates PassPoints passwords against a vault.Store. It
+// is safe for concurrent use: each accepted connection is dispatched
+// to a bounded worker pool (par.Limiter), so a flood of clients queues
+// in the listen backlog instead of exhausting goroutines, and Shutdown
+// drains in-flight connections gracefully.
 type Server struct {
-	cfg     passpoints.Config
-	vault   *vault.Vault
-	lockout int
+	cfg      passpoints.Config
+	vault    vault.Store
+	lockout  int
+	maxConns int
 
 	mu       sync.Mutex
 	failures map[string]int
+
+	connMu     sync.Mutex
+	conns      map[net.Conn]*connState
+	listeners  map[net.Listener]struct{}
+	inShutdown atomic.Bool
 }
 
 // NewServer validates the configuration and returns a server. lockout
-// <= 0 selects DefaultLockout.
-func NewServer(cfg passpoints.Config, v *vault.Vault, lockout int) (*Server, error) {
+// <= 0 selects DefaultLockout. The store may be any vault.Store — the
+// single-lock file vault or the sharded store.
+func NewServer(cfg passpoints.Config, v vault.Store, lockout int) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,11 +103,24 @@ func NewServer(cfg passpoints.Config, v *vault.Vault, lockout int) (*Server, err
 		lockout = DefaultLockout
 	}
 	return &Server{
-		cfg:      cfg,
-		vault:    v,
-		lockout:  lockout,
-		failures: make(map[string]int),
+		cfg:       cfg,
+		vault:     v,
+		lockout:   lockout,
+		maxConns:  DefaultMaxConns,
+		failures:  make(map[string]int),
+		conns:     make(map[net.Conn]*connState),
+		listeners: make(map[net.Listener]struct{}),
 	}, nil
+}
+
+// SetMaxConns bounds the connections served concurrently by each
+// subsequent Serve call (n <= 0 restores DefaultMaxConns). Call before
+// Serve; the limit is read once when the accept loop starts.
+func (s *Server) SetMaxConns(n int) {
+	if n <= 0 {
+		n = DefaultMaxConns
+	}
+	s.maxConns = n
 }
 
 // Handle executes one request. This is the transport-independent core
@@ -193,9 +225,32 @@ func clicksToPoints(clicks []dataset.Click) []geom.Point {
 	return pts
 }
 
-// Serve accepts connections until the listener is closed. Each
-// connection carries a sequence of request/response frames.
+// ErrServerClosed is returned by Serve on a server whose Shutdown has
+// been initiated — the analogue of http.ErrServerClosed. A Serve loop
+// already running when Shutdown begins still returns nil once its
+// listener closes and its connections drain.
+var ErrServerClosed = errors.New("authproto: server closed")
+
+// Serve accepts connections until the listener is closed, dispatching
+// each one to a bounded worker pool of at most SetMaxConns concurrent
+// handlers. Each connection carries a sequence of request/response
+// frames. Serve returns only after every admitted connection has
+// drained. Closing the listener alone stops admission but lets idle
+// peers park until IdleTimeout expires; call Shutdown for a prompt
+// drain — it also closes the listener, and additionally nudges idle
+// connections so Serve returns within milliseconds of the last
+// in-flight request.
 func (s *Server) Serve(l net.Listener) error {
+	// Registration and the shutdown flag are checked under one lock, so
+	// a Serve racing a Shutdown either registers in time to have its
+	// listener closed, or is refused — never left accepting on a port
+	// Shutdown no longer knows about.
+	if !s.registerListener(l) {
+		return ErrServerClosed
+	}
+	defer s.unregisterListener(l)
+	lim := par.NewLimiter(s.maxConns)
+	defer lim.Drain()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -204,43 +259,219 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		go s.serveConn(conn)
+		// Track before the shutdown check: once a connection is in
+		// s.conns, Shutdown cannot report "drained" without either
+		// waiting for it or (below) seeing it refused. The flag is read
+		// after tracking, so every ordering lands in one of those two
+		// cases.
+		st := &connState{}
+		s.trackConn(conn, st)
+		if s.inShutdown.Load() {
+			s.untrackConn(conn)
+			conn.Close()
+			// A Shutdown is in flight: stop accepting and close the
+			// listener ourselves — the deferred unregister could
+			// otherwise race ahead of Shutdown's close loop and leave
+			// the port open with nobody accepting. This is a loop that
+			// was running when Shutdown began, so it returns nil like
+			// any other cleanly shut-down Serve.
+			_ = l.Close()
+			return nil
+		}
+		// Acquire blocks when maxConns handlers are in flight; further
+		// peers wait in the accept queue — bounded workers, kernel-side
+		// backpressure. The worker owns the conn's tracking lifetime;
+		// serveConnState itself does none (it can be driven directly
+		// over a net.Pipe in tests).
+		lim.Go(func() {
+			defer s.untrackConn(conn)
+			s.serveConnState(conn, st)
+		})
 	}
+}
+
+// Shutdown gracefully stops the server: new connections are refused,
+// idle connections are closed, and in-flight requests get to finish
+// and write their response before their connection is torn down. It
+// returns nil once every connection has drained, or ctx.Err() if the
+// context expires first (remaining connections are then closed hard).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.connMu.Lock()
+	for l := range s.listeners {
+		_ = l.Close()
+	}
+	s.connMu.Unlock()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.connMu.Lock()
+		n := len(s.conns)
+		// Nudge blocked readers — but only connections parked *between*
+		// requests (waiting for a frame's length prefix). A connection
+		// mid-frame or mid-handler keeps its deadline and finishes its
+		// request/response exchange, honoring the drain contract.
+		// Re-arm every tick in case a handler re-parked after a late
+		// response (serveConnState exits on the shutdown flag, so this
+		// is belt and braces).
+		for c, st := range s.conns {
+			st.nudgeIfIdle(c)
+		}
+		s.connMu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.connMu.Lock()
+			for c := range s.conns {
+				_ = c.Close()
+			}
+			s.connMu.Unlock()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// registerListener adds l to the shutdown-controlled set; it refuses
+// (returns false) on a server whose Shutdown has begun. The flag is
+// read under connMu — the same lock Shutdown holds while closing
+// listeners — so registration and shutdown cannot interleave.
+func (s *Server) registerListener(l net.Listener) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.inShutdown.Load() {
+		return false
+	}
+	s.listeners[l] = struct{}{}
+	return true
+}
+
+func (s *Server) unregisterListener(l net.Listener) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.listeners, l)
+}
+
+func (s *Server) trackConn(c net.Conn, st *connState) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	s.conns[c] = st
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.conns, c)
 }
 
 // IdleTimeout is how long a connection may sit between requests.
 const IdleTimeout = 2 * time.Minute
 
+// bodyTimeout bounds reading one frame's body once its length prefix
+// has arrived — generous for a slow link pushing a MaxFrame payload,
+// small enough that a stalled peer cannot pin a drain for long (a
+// Shutdown past its context hard-closes regardless).
+const bodyTimeout = 30 * time.Second
+
+// connState is the per-connection handshake between the serving loop
+// and Shutdown's nudger: idle means "parked waiting for the next
+// request's length prefix", the only phase a drain may interrupt. The
+// mutex makes phase transitions and deadline writes atomic, so a
+// nudge can never clobber the fresh deadline of a connection that
+// just started a frame body.
+type connState struct {
+	mu   sync.Mutex
+	idle bool
+}
+
+// park enters the idle phase under the idle deadline.
+func (st *connState) park(conn net.Conn) {
+	st.mu.Lock()
+	st.idle = true
+	_ = conn.SetReadDeadline(time.Now().Add(IdleTimeout))
+	st.mu.Unlock()
+}
+
+// resume leaves the idle phase and arms the body deadline.
+func (st *connState) resume(conn net.Conn) {
+	st.mu.Lock()
+	st.idle = false
+	_ = conn.SetReadDeadline(time.Now().Add(bodyTimeout))
+	st.mu.Unlock()
+}
+
+// nudgeIfIdle expires the read deadline of a parked connection so its
+// blocked prefix read fails immediately; mid-frame connections are
+// left alone.
+func (st *connState) nudgeIfIdle(conn net.Conn) {
+	st.mu.Lock()
+	if st.idle {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	st.mu.Unlock()
+}
+
+// serveConn serves one connection with standalone state — the entry
+// point for driving a connection outside a Serve accept loop (tests,
+// net.Pipe).
 func (s *Server) serveConn(conn net.Conn) {
+	s.serveConnState(conn, &connState{})
+}
+
+func (s *Server) serveConnState(conn net.Conn, st *connState) {
 	defer conn.Close()
 	for {
-		_ = conn.SetReadDeadline(time.Now().Add(IdleTimeout))
+		st.park(conn)
+		n, err := readPrefix(conn)
+		if err != nil {
+			return // EOF, idle timeout, shutdown nudge, or bad size
+		}
+		st.resume(conn)
 		var req Request
-		if err := readFrame(conn, &req); err != nil {
-			return // EOF, timeout, or malformed frame: drop the peer
+		if err := readBody(conn, n, &req); err != nil {
+			return // timeout or malformed frame: drop the peer
 		}
 		resp := s.Handle(req)
 		_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
+		if s.inShutdown.Load() {
+			return // drained: last response written, close gracefully
+		}
 	}
 }
 
-func readFrame(r io.Reader, v interface{}) error {
+// readPrefix reads and validates a frame's 4-byte length prefix.
+func readPrefix(r io.Reader) (uint32, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n == 0 || n > MaxFrame {
-		return fmt.Errorf("authproto: frame size %d out of range", n)
+		return 0, fmt.Errorf("authproto: frame size %d out of range", n)
 	}
+	return n, nil
+}
+
+// readBody reads an n-byte frame body and decodes it into v.
+func readBody(r io.Reader, n uint32, v interface{}) error {
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return err
 	}
 	return json.Unmarshal(buf, v)
+}
+
+func readFrame(r io.Reader, v interface{}) error {
+	n, err := readPrefix(r)
+	if err != nil {
+		return err
+	}
+	return readBody(r, n, v)
 }
 
 func writeFrame(w io.Writer, v interface{}) error {

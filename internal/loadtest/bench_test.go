@@ -1,0 +1,52 @@
+package loadtest
+
+import (
+	"fmt"
+	"testing"
+
+	"clickpass/internal/vault"
+)
+
+// BenchmarkAuthSwarm measures end-to-end auth throughput over real TCP
+// at the ISSUE's load points — 1/8/64/256 concurrent clients — against
+// both store backends, on a read-heavy mix (1 password change per 10
+// logins). ns/op is per completed request; the ops/s metric is the
+// swarm throughput recorded in PERFORMANCE.md's "Server load" table.
+//
+//	go test ./internal/loadtest -run NONE -bench AuthSwarm -benchtime 2000x
+func BenchmarkAuthSwarm(b *testing.B) {
+	for _, backend := range []struct {
+		name string
+		mk   func() vault.Store
+	}{
+		{"vault", func() vault.Store { return vault.New() }},
+		{"sharded32", func() vault.Store { return vault.NewSharded(32) }},
+	} {
+		for _, clients := range []int{1, 8, 64, 256} {
+			b.Run(fmt.Sprintf("%s/clients=%d", backend.name, clients), func(b *testing.B) {
+				store := backend.mk()
+				addr, shutdown := startServer(b, store, 256)
+				defer shutdown()
+				users := enrollUsers(b, addr, clients)
+				ops := b.N/clients + 1
+				b.ResetTimer()
+				res, err := Run(Config{
+					Addr:         addr,
+					Clients:      clients,
+					OpsPerClient: ops,
+					Request:      AuthMix(users, userClicks, 10),
+					Check:        RequireOK,
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errors != 0 {
+					b.Fatalf("swarm errors: %d (%s)", res.Errors, res)
+				}
+				b.ReportMetric(res.Throughput(), "ops/s")
+				b.ReportMetric(float64(res.P99.Microseconds()), "p99-µs")
+			})
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package loadtest drives client swarms against an authproto server
+// and reports throughput and latency percentiles — the capacity-
+// planning instrument behind PERFORMANCE.md's "Server load" section.
+// It measures the paper's online scenario (§5) at service scale: many
+// concurrent clients speaking the real TCP protocol, so the numbers
+// include framing, scheme verification, hashing, and store contention.
+//
+// The driver is deliberately dumb: every client opens one connection,
+// issues its ops back to back, and records wall-clock latency per op.
+// Aggregation happens after the swarm finishes, so the measurement
+// path adds no cross-client synchronization beyond the start gate.
+package loadtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"clickpass/internal/authproto"
+	"clickpass/internal/dataset"
+)
+
+// Config describes one swarm run.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Clients is the number of concurrent connections.
+	Clients int
+	// OpsPerClient is how many requests each client issues.
+	OpsPerClient int
+	// DialTimeout bounds connection setup (0 = 5s).
+	DialTimeout time.Duration
+	// Request builds the op-th request for the client-th connection.
+	// It must be safe for concurrent calls with distinct client
+	// numbers.
+	Request func(client, op int) authproto.Request
+	// Check, if non-nil, classifies a response as an error (e.g. a
+	// login that must succeed coming back !OK). Transport failures are
+	// always errors.
+	Check func(client, op int, resp authproto.Response) error
+}
+
+// Result aggregates a swarm run.
+type Result struct {
+	Clients int
+	Ops     int // completed requests across all clients
+	Errors  int
+	Elapsed time.Duration // start gate to last client done
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// Throughput returns completed ops per second over the whole run.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// String formats the result as one benchmark-style line.
+func (r Result) String() string {
+	return fmt.Sprintf("clients=%d ops=%d errs=%d %.0f ops/s p50=%s p99=%s max=%s",
+		r.Clients, r.Ops, r.Errors, r.Throughput(), r.P50, r.P99, r.Max)
+}
+
+// Run executes the swarm: Clients connections issuing OpsPerClient
+// requests each, all released together after every connection is
+// dialed. It returns an error only when the swarm could not run at
+// all (bad config, dial failure); per-op failures are counted in
+// Result.Errors.
+func Run(cfg Config) (Result, error) {
+	if cfg.Clients <= 0 || cfg.OpsPerClient <= 0 {
+		return Result{}, fmt.Errorf("loadtest: clients %d and ops %d must be positive",
+			cfg.Clients, cfg.OpsPerClient)
+	}
+	if cfg.Request == nil {
+		return Result{}, fmt.Errorf("loadtest: nil request factory")
+	}
+	dialTO := cfg.DialTimeout
+	if dialTO <= 0 {
+		dialTO = 5 * time.Second
+	}
+	// Dial everything first so the measured window contains only
+	// request traffic, not connection setup.
+	clients := make([]*authproto.Client, cfg.Clients)
+	for i := range clients {
+		c, err := authproto.Dial(cfg.Addr, dialTO)
+		if err != nil {
+			for _, open := range clients[:i] {
+				open.Close()
+			}
+			return Result{}, fmt.Errorf("loadtest: dialing client %d: %w", i, err)
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	type clientStats struct {
+		lats []time.Duration
+		errs int
+	}
+	stats := make([]clientStats, cfg.Clients)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &stats[i]
+			st.lats = make([]time.Duration, 0, cfg.OpsPerClient)
+			<-start
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				req := cfg.Request(i, op)
+				t0 := time.Now()
+				resp, err := clients[i].Do(req)
+				lat := time.Since(t0)
+				if err != nil {
+					st.errs++
+					return // connection is dead; stop this client
+				}
+				st.lats = append(st.lats, lat)
+				if cfg.Check != nil {
+					if err := cfg.Check(i, op, resp); err != nil {
+						st.errs++
+					}
+				}
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{Clients: cfg.Clients, Elapsed: elapsed}
+	var all []time.Duration
+	for i := range stats {
+		res.Ops += len(stats[i].lats)
+		res.Errors += stats[i].errs
+		all = append(all, stats[i].lats...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		res.P50 = percentile(all, 0.50)
+		res.P95 = percentile(all, 0.95)
+		res.P99 = percentile(all, 0.99)
+		res.Max = all[len(all)-1]
+	}
+	return res, nil
+}
+
+// percentile reads the q-quantile from sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// AuthMix returns a Request factory for a read-heavy authentication
+// mix: every writePeriod-th op is a password change (a vault write via
+// Replace plus two hash computations); the rest are logins (pure
+// reads). writePeriod <= 0 disables writes. Each client owns the
+// identity users[client%len(users)], which must already be enrolled
+// with clicksFor(user). AuthMix panics immediately on an empty user
+// list — in the caller's goroutine, not a swarm worker's.
+func AuthMix(users []string, clicksFor func(user string) []dataset.Click, writePeriod int) func(client, op int) authproto.Request {
+	if len(users) == 0 {
+		panic("loadtest: AuthMix requires at least one user")
+	}
+	return func(client, op int) authproto.Request {
+		user := users[client%len(users)]
+		clicks := clicksFor(user)
+		if writePeriod > 0 && op%writePeriod == writePeriod-1 {
+			// Change to the same password: exercises the write path
+			// without invalidating the other clients' credentials.
+			return authproto.Request{Op: authproto.OpChange, User: user, Clicks: clicks, NewClicks: clicks}
+		}
+		return authproto.Request{Op: authproto.OpLogin, User: user, Clicks: clicks}
+	}
+}
+
+// RequireOK is a Check that flags any non-OK response — the right
+// check for a mix whose every request is expected to succeed.
+func RequireOK(client, op int, resp authproto.Response) error {
+	if !resp.OK {
+		return fmt.Errorf("loadtest: client %d op %d refused: %s", client, op, resp.Error)
+	}
+	return nil
+}

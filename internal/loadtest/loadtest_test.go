@@ -1,0 +1,176 @@
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"clickpass/internal/authproto"
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/passpoints"
+	"clickpass/internal/vault"
+)
+
+// startServer spins an authproto server over the given store on a
+// loopback listener and returns its address and a drain func.
+func startServer(tb testing.TB, store vault.Store, maxConns int) (addr string, shutdown func()) {
+	tb.Helper()
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := passpoints.Config{
+		Image:      geom.Size{W: 451, H: 331},
+		Clicks:     5,
+		Scheme:     scheme,
+		Iterations: 2,
+	}
+	srv, err := authproto.NewServer(cfg, store, 1<<30)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if maxConns > 0 {
+		srv.SetMaxConns(maxConns)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { _ = srv.Serve(l); close(done) }()
+	return l.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			tb.Errorf("shutdown: %v", err)
+		}
+		<-done
+	}
+}
+
+// userClicks derives a user's deterministic 5-click password from its
+// name ("u-<n>").
+func userClicks(user string) []dataset.Click {
+	n, _ := strconv.Atoi(strings.TrimPrefix(user, "u-"))
+	dx := n % 40
+	return []dataset.Click{
+		{X: 30 + dx, Y: 40}, {X: 120 + dx, Y: 300}, {X: 222 + dx, Y: 51},
+		{X: 400 + dx, Y: 200}, {X: 77 + dx, Y: 160},
+	}
+}
+
+// enrollUsers registers n identities through the protocol and returns
+// their names.
+func enrollUsers(tb testing.TB, addr string, n int) []string {
+	tb.Helper()
+	c, err := authproto.Dial(addr, 5*time.Second)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer c.Close()
+	users := make([]string, n)
+	for i := range users {
+		users[i] = fmt.Sprintf("u-%d", i)
+		resp, err := c.Enroll(users[i], userClicks(users[i]))
+		if err != nil || !resp.OK {
+			tb.Fatalf("enroll %s: %+v %v", users[i], resp, err)
+		}
+	}
+	return users
+}
+
+// TestLoadSwarmSmoke is the CI smoke point (go test -run TestLoad
+// -short): a small swarm against both store backends must complete
+// with zero errors and sane measurements.
+func TestLoadSwarmSmoke(t *testing.T) {
+	clientCount, ops := 16, 10
+	if testing.Short() {
+		clientCount, ops = 8, 5
+	}
+	for _, tc := range []struct {
+		name  string
+		store vault.Store
+	}{
+		{"vault", vault.New()},
+		{"sharded", vault.NewSharded(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			addr, shutdown := startServer(t, tc.store, 64)
+			defer shutdown()
+			users := enrollUsers(t, addr, clientCount)
+			res, err := Run(Config{
+				Addr:         addr,
+				Clients:      clientCount,
+				OpsPerClient: ops,
+				Request:      AuthMix(users, userClicks, 10),
+				Check:        RequireOK,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %s", tc.name, res)
+			if res.Errors != 0 {
+				t.Errorf("swarm saw %d errors", res.Errors)
+			}
+			if res.Ops != clientCount*ops {
+				t.Errorf("completed %d ops, want %d", res.Ops, clientCount*ops)
+			}
+			if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+				t.Errorf("implausible latency spread: %s", res)
+			}
+			if res.Throughput() <= 0 {
+				t.Errorf("throughput = %v", res.Throughput())
+			}
+		})
+	}
+}
+
+// TestLoadRunValidation: unusable configs must fail fast, not hang.
+func TestLoadRunValidation(t *testing.T) {
+	if _, err := Run(Config{Addr: "127.0.0.1:1", Clients: 0, OpsPerClient: 1}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Run(Config{Addr: "127.0.0.1:1", Clients: 1, OpsPerClient: 0}); err == nil {
+		t.Error("zero ops accepted")
+	}
+	if _, err := Run(Config{Addr: "127.0.0.1:1", Clients: 1, OpsPerClient: 1}); err == nil {
+		t.Error("nil request factory accepted")
+	}
+	// A dead address must error out, not report an empty result.
+	if _, err := Run(Config{
+		Addr: "127.0.0.1:1", Clients: 1, OpsPerClient: 1, DialTimeout: 200 * time.Millisecond,
+		Request: func(c, o int) authproto.Request { return authproto.Request{Op: authproto.OpPing} },
+	}); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}
+
+// TestLoadCheckCountsFailures: a Check rejection must surface in
+// Result.Errors while the swarm keeps running.
+func TestLoadCheckCountsFailures(t *testing.T) {
+	addr, shutdown := startServer(t, vault.New(), 0)
+	defer shutdown()
+	res, err := Run(Config{
+		Addr:         addr,
+		Clients:      2,
+		OpsPerClient: 3,
+		// Logins for users that were never enrolled: transported fine,
+		// refused by the server.
+		Request: func(c, o int) authproto.Request {
+			return authproto.Request{Op: authproto.OpLogin, User: "ghost", Clicks: userClicks("u-0")}
+		},
+		Check: RequireOK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != res.Ops || res.Ops != 6 {
+		t.Errorf("want every op counted and flagged: %s", res)
+	}
+}

@@ -1,0 +1,83 @@
+package par
+
+import (
+	"log"
+	"runtime/debug"
+	"sync"
+)
+
+// Limiter is the streaming counterpart of Map: a semaphore-bounded
+// worker pool for workloads that arrive one at a time (accepted
+// connections, queued jobs) instead of as an indexed batch. It shares
+// the package's semantics — a configurable concurrency limit
+// defaulting to one slot per CPU, and a graceful drain that lets every
+// admitted task finish — without the ordered-results machinery batch
+// callers need.
+//
+// The zero value is not usable; construct with NewLimiter.
+type Limiter struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewLimiter returns a limiter admitting at most limit concurrent
+// tasks. limit <= 0 selects Default() (one per schedulable CPU).
+func NewLimiter(limit int) *Limiter {
+	if limit <= 0 {
+		limit = Default()
+	}
+	return &Limiter{sem: make(chan struct{}, limit)}
+}
+
+// Cap returns the concurrency limit.
+func (l *Limiter) Cap() int { return cap(l.sem) }
+
+// Acquire blocks until a slot is free and claims it. Every Acquire
+// must be paired with exactly one Release.
+func (l *Limiter) Acquire() {
+	l.sem <- struct{}{}
+	l.wg.Add(1)
+}
+
+// TryAcquire claims a slot if one is free without blocking.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.sem <- struct{}{}:
+		l.wg.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by Acquire or TryAcquire.
+func (l *Limiter) Release() {
+	<-l.sem
+	l.wg.Done()
+}
+
+// Go runs fn on its own goroutine once a slot is free, blocking the
+// caller until admission. A panicking task is contained (same policy
+// as Map's per-task recovery): its slot is released and the process
+// survives, so one poisoned connection cannot take down a server or
+// leak capacity from its accept loop.
+func (l *Limiter) Go(fn func()) {
+	l.Acquire()
+	go func() {
+		defer l.Release()
+		defer func() {
+			if r := recover(); r != nil {
+				log.Printf("par: task panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		fn()
+	}()
+}
+
+// Drain blocks until every admitted task has released its slot. It
+// does not close admission — the caller stops submitting (e.g. by
+// closing its listener) before draining.
+func (l *Limiter) Drain() { l.wg.Wait() }
+
+// InFlight returns the number of currently admitted tasks.
+func (l *Limiter) InFlight() int { return len(l.sem) }

@@ -1,0 +1,136 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterBound: with limit L and many competing tasks, the
+// observed concurrency must never exceed L.
+func TestLimiterBound(t *testing.T) {
+	const limit, tasks = 4, 64
+	l := NewLimiter(limit)
+	if l.Cap() != limit {
+		t.Fatalf("Cap = %d, want %d", l.Cap(), limit)
+	}
+	var cur, max, ran atomic.Int64
+	for i := 0; i < tasks; i++ {
+		l.Go(func() {
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			ran.Add(1)
+		})
+	}
+	l.Drain()
+	if ran.Load() != tasks {
+		t.Errorf("ran %d tasks, want %d", ran.Load(), tasks)
+	}
+	if max.Load() > limit {
+		t.Errorf("observed %d concurrent tasks, limit %d", max.Load(), limit)
+	}
+	if l.InFlight() != 0 {
+		t.Errorf("InFlight after drain = %d", l.InFlight())
+	}
+}
+
+// TestLimiterDrainWaits: Drain must not return while a task holds a
+// slot.
+func TestLimiterDrainWaits(t *testing.T) {
+	l := NewLimiter(2)
+	release := make(chan struct{})
+	var done atomic.Bool
+	l.Go(func() { <-release; done.Store(true) })
+	drained := make(chan struct{})
+	go func() { l.Drain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with a task in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain never returned")
+	}
+	if !done.Load() {
+		t.Error("task did not complete before Drain returned")
+	}
+}
+
+// TestLimiterTryAcquire: TryAcquire must fail fast at capacity and
+// succeed after a Release.
+func TestLimiterTryAcquire(t *testing.T) {
+	l := NewLimiter(1)
+	if !l.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past capacity")
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+	l.Release()
+	l.Drain()
+}
+
+// TestLimiterGoContainsPanic: a panicking task must release its slot
+// and not crash the process.
+func TestLimiterGoContainsPanic(t *testing.T) {
+	l := NewLimiter(1)
+	l.Go(func() { panic("poisoned connection") })
+	l.Drain()
+	// The slot must be reusable afterwards.
+	var ok atomic.Bool
+	l.Go(func() { ok.Store(true) })
+	l.Drain()
+	if !ok.Load() {
+		t.Error("slot not reusable after a panic")
+	}
+}
+
+// TestLimiterDefaultCap: limit <= 0 selects one slot per CPU, matching
+// Map's worker default.
+func TestLimiterDefaultCap(t *testing.T) {
+	if got := NewLimiter(0).Cap(); got != Default() {
+		t.Errorf("default cap = %d, want %d", got, Default())
+	}
+	if got := NewLimiter(-3).Cap(); got != Default() {
+		t.Errorf("negative cap = %d, want %d", got, Default())
+	}
+}
+
+// TestLimiterAcquireBlocksUntilRelease exercises the raw
+// Acquire/Release pairing without Go's goroutine wrapper.
+func TestLimiterAcquireBlocksUntilRelease(t *testing.T) {
+	l := NewLimiter(1)
+	l.Acquire()
+	acquired := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.Acquire()
+		close(acquired)
+		l.Release()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Acquire did not block at capacity")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release()
+	wg.Wait()
+	l.Drain()
+}

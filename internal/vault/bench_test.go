@@ -1,0 +1,77 @@
+package vault
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"clickpass/internal/passpoints"
+)
+
+// benchRecords builds n immutable records cheaply (no real hashing —
+// store benchmarks measure the store, not the crypto).
+func benchRecords(n int) []*passpoints.Record {
+	recs := make([]*passpoints.Record, n)
+	for i := range recs {
+		recs[i] = &passpoints.Record{
+			User: fmt.Sprintf("u-%d", i), Kind: passpoints.KindCentered,
+			SquareSidePx: 13, Iterations: 2,
+			Salt: []byte{1, 2, 3, 4}, Digest: []byte{5, 6, 7, 8},
+		}
+	}
+	return recs
+}
+
+// BenchmarkStoreReadHeavy compares the single-RWMutex vault against
+// the sharded store on the authentication front end's op mix — 1
+// Replace (write) per 10 Gets (reads) — at a fixed goroutine count per
+// sub-benchmark. This is the isolated version of the ISSUE's
+// sharded-vs-mutex criterion: no sockets, no hashing, just the store
+// under contention. Single-core runs mostly show parity (goroutines
+// time-slice instead of colliding); the gap opens with GOMAXPROCS.
+func BenchmarkStoreReadHeavy(b *testing.B) {
+	const users = 1024
+	for _, backend := range []struct {
+		name string
+		mk   func() Store
+	}{
+		{"vault", func() Store { return New() }},
+		{"sharded32", func() Store { return NewSharded(32) }},
+	} {
+		for _, workers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", backend.name, workers), func(b *testing.B) {
+				s := backend.mk()
+				recs := benchRecords(users)
+				for _, r := range recs {
+					if err := s.Put(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var next atomic.Int64
+				perWorker := b.N/workers + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < perWorker; i++ {
+							op := next.Add(1)
+							rec := recs[int(op)%users]
+							if op%10 == 9 {
+								_ = s.Replace(rec)
+							} else {
+								if _, err := s.Get(rec.User); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package vault
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpen: arbitrary vault-file bytes must never panic the loaders,
+// and the two Store backends must agree byte-for-byte on what is a
+// valid password file. Seeds cover the failure classes the format
+// rejects by contract: duplicate users, records without a user, and
+// truncated JSON.
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"user":"a","kind":"centered","square_side_px":13}]`))
+	// Duplicate users.
+	f.Add([]byte(`[{"user":"a"},{"user":"a"}]`))
+	// Empty user.
+	f.Add([]byte(`[{"user":""}]`))
+	f.Add([]byte(`[{"kind":"centered"}]`))
+	// Truncated file (mid-record and mid-array).
+	f.Add([]byte(`[{"user":"a","kind":"cente`))
+	f.Add([]byte(`[{"user":"a"},`))
+	// Null record, wrong top-level type, junk.
+	f.Add([]byte(`[null]`))
+	f.Add([]byte(`{"user":"a"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "vault.json")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		v, vErr := Open(path)
+		s, sErr := OpenSharded(path, 4)
+		if (vErr == nil) != (sErr == nil) {
+			t.Fatalf("backends disagree: Open err=%v, OpenSharded err=%v", vErr, sErr)
+		}
+		if vErr != nil {
+			return
+		}
+		// Accepted input: both stores must hold the same records, and the
+		// parsed state must survive a save/reload cycle.
+		if v.Len() != s.Len() {
+			t.Fatalf("backends loaded different counts: %d vs %d", v.Len(), s.Len())
+		}
+		vUsers, sUsers := v.Users(), s.Users()
+		for i := range vUsers {
+			if vUsers[i] != sUsers[i] {
+				t.Fatalf("backends loaded different users: %v vs %v", vUsers, sUsers)
+			}
+			vr, _ := v.Get(vUsers[i])
+			sr, _ := s.Get(vUsers[i])
+			vb, _ := json.Marshal(vr)
+			sb, _ := json.Marshal(sr)
+			if string(vb) != string(sb) {
+				t.Fatalf("user %q differs across backends", vUsers[i])
+			}
+		}
+		out := filepath.Join(dir, "resaved.json")
+		if err := v.SaveTo(out); err != nil {
+			t.Fatalf("SaveTo after accepting input: %v", err)
+		}
+		if _, err := Open(out); err != nil {
+			t.Fatalf("accepted input did not round-trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,322 @@
+package vault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"clickpass/internal/passpoints"
+)
+
+// storeImpls enumerates every Store implementation so the conformance
+// tests below run identically over both; a third backend only has to
+// add a row here.
+func storeImpls() map[string]func() Store {
+	return map[string]func() Store{
+		"vault":    func() Store { return New() },
+		"sharded":  func() Store { return NewSharded(8) },
+		"sharded1": func() Store { return NewSharded(1) }, // degenerate: one shard must still be correct
+	}
+}
+
+// TestStoreConformance runs the Store contract over every
+// implementation: Put/Get/Replace/Delete semantics, sorted iteration,
+// and the sentinel errors callers branch on.
+func TestStoreConformance(t *testing.T) {
+	for name, mk := range storeImpls() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if s.Len() != 0 || len(s.Users()) != 0 || len(s.All()) != 0 {
+				t.Fatal("fresh store not empty")
+			}
+			if _, err := s.Get("nobody"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get on empty store = %v, want ErrNotFound", err)
+			}
+			if err := s.Put(nil); err == nil {
+				t.Error("nil record accepted")
+			}
+			if err := s.Put(&passpoints.Record{}); err == nil {
+				t.Error("record without user accepted")
+			}
+			if err := s.Replace(nil); err == nil {
+				t.Error("Replace nil accepted")
+			}
+
+			for _, u := range []string{"zoe", "alice", "mike"} {
+				if err := s.Put(testRecord(t, u)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Put(testRecord(t, "alice")); !errors.Is(err, ErrExists) {
+				t.Errorf("duplicate Put = %v, want ErrExists", err)
+			}
+			if s.Len() != 3 {
+				t.Errorf("Len = %d, want 3", s.Len())
+			}
+			want := []string{"alice", "mike", "zoe"}
+			users := s.Users()
+			all := s.All()
+			if len(users) != len(want) || len(all) != len(want) {
+				t.Fatalf("Users = %v, All len = %d", users, len(all))
+			}
+			for i := range want {
+				if users[i] != want[i] || all[i].User != want[i] {
+					t.Fatalf("iteration not sorted: Users = %v", users)
+				}
+			}
+
+			r2 := testRecord(t, "alice")
+			if err := s.Replace(r2); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("alice")
+			if err != nil || string(got.Salt) != string(r2.Salt) {
+				t.Error("Replace did not overwrite")
+			}
+
+			s.Delete("alice")
+			if _, err := s.Get("alice"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get after delete = %v, want ErrNotFound", err)
+			}
+			s.Delete("alice") // idempotent
+			if s.Len() != 2 {
+				t.Errorf("Len after delete = %d, want 2", s.Len())
+			}
+
+			if err := s.SaveTo(filepath.Join(t.TempDir(), "out.json")); err != nil {
+				t.Errorf("SaveTo: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreInMemorySaveFails: Save without a backing file must fail on
+// every implementation.
+func TestStoreInMemorySaveFails(t *testing.T) {
+	for name, mk := range storeImpls() {
+		if err := mk().Save(); err == nil {
+			t.Errorf("%s: Save on in-memory store should fail", name)
+		}
+	}
+}
+
+// TestShardedFileInterop: the two backends share one on-disk format —
+// a file saved by either must load into the other byte-identically.
+func TestShardedFileInterop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vault.json")
+
+	sh, err := OpenSharded(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Len() != 0 {
+		t.Fatal("fresh sharded store not empty")
+	}
+	for i := 0; i < 20; i++ {
+		if err := sh.Put(testRecord(t, fmt.Sprintf("user-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded -> Vault.
+	v, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 20 {
+		t.Fatalf("vault loaded %d records, want 20", v.Len())
+	}
+	// Vault -> Sharded with a different shard count.
+	back, err := OpenSharded(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 20 {
+		t.Fatalf("sharded reloaded %d records, want 20", back.Len())
+	}
+	rec, err := back.Get("user-07")
+	if err != nil || rec.Kind != passpoints.KindCentered {
+		t.Fatalf("round-trip mangled record: %v %v", rec, err)
+	}
+	// Canonical encoding: saving the reloaded store must reproduce the
+	// file byte-for-byte regardless of shard count.
+	path2 := filepath.Join(dir, "again.json")
+	if err := back.SaveTo(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("save is not canonical across shard counts")
+	}
+}
+
+// TestOpenShardedRejectsCorruptFiles mirrors the vault corruption
+// table for the sharded loader (same parser, but the wiring could
+// regress independently).
+func TestOpenShardedRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage":   "not json at all",
+		"no user":   `[{"kind":"centered","square_side_px":13}]`,
+		"dup user":  `[{"user":"a","square_side_px":13},{"user":"a","square_side_px":13}]`,
+		"null rec":  `[null]`,
+		"truncated": `[{"user":"a","square_side_px":13}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSharded(path, 4); err == nil {
+			t.Errorf("%s: OpenSharded accepted corrupt file", name)
+		}
+	}
+}
+
+// TestShardedDistribution: users must actually spread across shards —
+// a broken hash that funnels everything into one shard would still
+// pass the functional tests but serialize all traffic.
+func TestShardedDistribution(t *testing.T) {
+	s := NewSharded(8)
+	for i := 0; i < 256; i++ {
+		if err := s.Put(testRecord(t, fmt.Sprintf("user-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occupied := 0
+	for i := range s.shards {
+		if len(s.shards[i].records) > 0 {
+			occupied++
+		}
+	}
+	if occupied < len(s.shards)/2 {
+		t.Errorf("256 users landed in only %d/%d shards", occupied, len(s.shards))
+	}
+	if s.Shards() != 8 {
+		t.Errorf("Shards() = %d", s.Shards())
+	}
+}
+
+// TestShardedSnapshotCompact: Snapshot returns every record (order
+// unspecified) and Compact rewrites the backing file canonically.
+func TestShardedSnapshotCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vault.json")
+	s, err := OpenSharded(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"c", "a", "b"} {
+		if err := s.Put(testRecord(t, u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot returned %d records, want 3", len(snap))
+	}
+	seen := map[string]bool{}
+	for _, r := range snap {
+		seen[r.User] = true
+	}
+	if !seen["a"] || !seen["b"] || !seen["c"] {
+		t.Errorf("Snapshot missing users: %v", seen)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Errorf("compacted file has %d records, want 3", back.Len())
+	}
+	// Compact on an in-memory store fails like Save.
+	if err := NewSharded(2).Compact(); err == nil {
+		t.Error("Compact on in-memory store should fail")
+	}
+}
+
+// TestShardedConcurrentStress hammers every operation class across
+// shards from many goroutines — create/get/delete/save plus the
+// cross-shard snapshots — and is the test the -race CI lane leans on
+// for the sharded store.
+func TestShardedConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(filepath.Join(dir, "stress.json"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(t, "seed")
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 16
+		iters   = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Records are immutable once stored, so sharing one across
+			// writers is safe; each worker owns a distinct user name.
+			mine := *rec
+			mine.User = fmt.Sprintf("w%d", w)
+			for i := 0; i < iters; i++ {
+				switch i % 5 {
+				case 0:
+					_ = s.Replace(&mine)
+				case 1:
+					_, _ = s.Get(mine.User)
+					_, _ = s.Get("seed")
+				case 2:
+					_ = s.Len()
+					_ = len(s.Snapshot())
+				case 3:
+					if w%4 == 0 {
+						// Save concurrently with writers: must not race and
+						// must write some consistent snapshot.
+						if err := s.SaveTo(filepath.Join(dir, fmt.Sprintf("snap-%d.json", w))); err != nil {
+							t.Error(err)
+						}
+					} else {
+						_ = s.Users()
+					}
+				case 4:
+					s.Delete(mine.User)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := s.Get("seed"); err != nil {
+		t.Errorf("seed record lost during stress: %v", err)
+	}
+	// Every snapshot file written mid-stress must parse as a valid
+	// vault (atomicity: readers never observe a partial write).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if _, err := Open(filepath.Join(dir, e.Name())); err != nil {
+			t.Errorf("stress snapshot %s unreadable: %v", e.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package vault
+
+import "clickpass/internal/passpoints"
+
+// Store is the narrow interface the authentication server and tools
+// program against: a keyed collection of PassPoints records with an
+// atomic snapshot-to-disk operation. Two implementations ship with the
+// package — the single-lock file-backed Vault and the fnv-keyed
+// Sharded store whose reads scale with cores — and the contract is
+// enforced by a shared conformance test (storetest in sharded_test.go)
+// rather than by each caller's assumptions.
+//
+// All implementations must be safe for concurrent use. Get returns
+// ErrNotFound for missing users; Put returns ErrExists for duplicates;
+// Delete of a missing user is a no-op.
+type Store interface {
+	// Put stores a record for a new user.
+	Put(rec *passpoints.Record) error
+	// Replace stores a record, overwriting any existing one.
+	Replace(rec *passpoints.Record) error
+	// Get returns the record for user, or ErrNotFound.
+	Get(user string) (*passpoints.Record, error)
+	// Delete removes a user's record; missing users are not an error.
+	Delete(user string)
+	// Users returns all user names in sorted order.
+	Users() []string
+	// Len returns the number of records.
+	Len() int
+	// All returns every record sorted by user.
+	All() []*passpoints.Record
+	// Save writes the store to its backing file atomically; it fails
+	// for purely in-memory stores.
+	Save() error
+	// SaveTo writes the store to the given path atomically.
+	SaveTo(path string) error
+}
+
+// Both implementations must satisfy the interface.
+var (
+	_ Store = (*Vault)(nil)
+	_ Store = (*Sharded)(nil)
+)

@@ -1,7 +1,10 @@
 // Package vault is the server-side "password file": a store of
-// PassPoints records keyed by user name, with an atomic file-backed
-// implementation. Stealing this file is the offline-attack scenario of
-// the paper's §5.1 — it exposes salts, iteration counts, clear grid
+// PassPoints records keyed by user name behind the Store interface.
+// Two implementations ship: Vault, the original single-RWMutex map
+// with an atomic file-backed save, and Sharded, an fnv-partitioned
+// store whose reads scale with cores. Both speak the same on-disk JSON
+// format. Stealing this file is the offline-attack scenario of the
+// paper's §5.1 — it exposes salts, iteration counts, clear grid
 // identifiers and digests, but no click-points.
 package vault
 
@@ -40,27 +43,58 @@ func New() *Vault {
 func Open(path string) (*Vault, error) {
 	v := New()
 	v.path = path
+	recs, err := loadRecords(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		v.records[r.User] = r
+	}
+	return v, nil
+}
+
+// loadRecords reads and validates a vault file: well-formed JSON, every
+// record carries a user, no user appears twice. A missing file is an
+// empty vault, not an error. Shared by every Store implementation so
+// the validation rules cannot drift between backends.
+func loadRecords(path string) ([]*passpoints.Record, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return v, nil
+		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("vault: reading %s: %w", path, err)
 	}
+	recs, err := ParseRecords(data)
+	if err != nil {
+		return nil, fmt.Errorf("vault: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// ParseRecords decodes a vault file's contents, enforcing the format
+// invariants (records must name distinct, non-empty users). Exposed so
+// fuzzing and external tools can exercise exactly the parser the
+// stores use.
+func ParseRecords(data []byte) ([]*passpoints.Record, error) {
 	var recs []*passpoints.Record
 	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("vault: parsing %s: %w", path, err)
+		return nil, fmt.Errorf("parsing: %w", err)
 	}
+	seen := make(map[string]bool, len(recs))
 	for _, r := range recs {
+		if r == nil {
+			return nil, fmt.Errorf("contains a null record")
+		}
 		if r.User == "" {
-			return nil, fmt.Errorf("vault: %s contains a record without a user", path)
+			return nil, fmt.Errorf("contains a record without a user")
 		}
-		if _, dup := v.records[r.User]; dup {
-			return nil, fmt.Errorf("vault: %s contains duplicate user %q", path, r.User)
+		if seen[r.User] {
+			return nil, fmt.Errorf("contains duplicate user %q", r.User)
 		}
-		v.records[r.User] = r
+		seen[r.User] = true
 	}
-	return v, nil
+	return recs, nil
 }
 
 // Put stores a record for a new user.
@@ -152,7 +186,14 @@ func (v *Vault) Save() error {
 
 // SaveTo writes the vault to the given path atomically.
 func (v *Vault) SaveTo(path string) error {
-	data, err := json.MarshalIndent(v.All(), "", "  ")
+	return writeRecords(path, v.All())
+}
+
+// writeRecords writes a record snapshot to path atomically (write to a
+// temp file in the same directory, then rename). Shared by every Store
+// implementation.
+func writeRecords(path string, recs []*passpoints.Record) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		return fmt.Errorf("vault: encoding: %w", err)
 	}
