@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench loadsmoke cover ci
+.PHONY: all build test vet race bench bench-json loadsmoke cover ci
 
 all: build vet test
 
@@ -25,6 +25,14 @@ race:
 # in PERFORMANCE.md (serial vs parallel sub-benchmarks).
 bench:
 	$(GO) test -run NONE -bench 'StudyGeneration|Figure7|Table1|CrackPassword|Digest' -benchmem .
+
+# bench-json records the experiment engine's hot paths (online,
+# success, worstcase, cohort) at workers 1/2/4/8 as machine-readable
+# BENCH_<name>.json in the repo root, plus a Markdown speedup table on
+# stdout. CI runs it with a smaller -benchtime and uploads the JSON as
+# an artifact.
+bench-json:
+	$(GO) run ./cmd/pwbench -out .
 
 # loadsmoke is the CI server-load smoke: a small client swarm against
 # both vault backends (see PERFORMANCE.md "Server load").

@@ -169,21 +169,28 @@ func BenchmarkFigure8(b *testing.B) {
 }
 
 // BenchmarkFigure1WorstCase regenerates the worst-case geometry scan
-// behind Figure 1.
+// behind Figure 1 (row-striped across workers; identical result at
+// any count).
 func BenchmarkFigure1WorstCase(b *testing.B) {
-	var wc analysis.WorstCase
-	for i := 0; i < b.N; i++ {
-		var err error
-		wc, err = analysis.FindWorstCase(36, core.MostCentered, 42)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			var wc analysis.WorstCase
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				wc, err = analysis.FindWorstCase(36, core.MostCentered, 42, w.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(wc.RightSlackPx, "far_slack_px")
+		})
 	}
-	b.ReportMetric(wc.RightSlackPx, "far_slack_px")
 }
 
 // BenchmarkOnlineAttack runs the §5.1 online attack with a 10-attempt
-// lockout against the Pool study.
+// lockout against the Pool study (per-account fan-out over the
+// precompiled replay set).
 func BenchmarkOnlineAttack(b *testing.B) {
 	field, lab := benchData(b)
 	img := imagegen.Pool()
@@ -191,14 +198,59 @@ func BenchmarkOnlineAttack(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var res attack.OnlineResult
-	for i := 0; i < b.N; i++ {
-		res, err = attack.Online(field["pool"], lab["pool"], img, scheme, 10)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			var res attack.OnlineResult
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err = attack.Online(field["pool"], lab["pool"], img, scheme, 10, w.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.CompromisedPct(), "compromised@%")
+		})
 	}
-	b.ReportMetric(res.CompromisedPct(), "compromised@%")
+}
+
+// BenchmarkSuccess replays every field login under centered 13x13
+// (chunked fan-out over the precompiled replay sets).
+func BenchmarkSuccess(b *testing.B) {
+	dsets := benchFieldAll(b)
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			var res analysis.SuccessRate
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err = analysis.Success(dsets, scheme, w.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.AcceptedPct(), "accepted@%")
+		})
+	}
+}
+
+// BenchmarkRunCohort measures the participant-level cohort generator
+// (per-participant rng streams; byte-identical at any worker count).
+func BenchmarkRunCohort(b *testing.B) {
+	for _, w := range benchWorkers {
+		b.Run(w.name, func(b *testing.B) {
+			cfg := study.DefaultCohort(imagegen.Cars(), 50)
+			cfg.Workers = w.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := study.RunCohort(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkStudyGeneration measures the simulator (162 passwords, 7

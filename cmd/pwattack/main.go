@@ -39,6 +39,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		iter      = flag.Int("iterations", 100, "hash iterations for the demo vault")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = one per CPU, 1 = serial; results are identical)")
+		lockout   = flag.Int("lockout", 10, "failed-attempt lockout for the online attack (0 disables)")
 	)
 	flag.Parse()
 
@@ -95,6 +96,17 @@ func main() {
 		res.Scheme, *side, *side, res.Cracked, res.Passwords, res.CrackedPct(), time.Since(start).Round(time.Millisecond))
 
 	validateAgainstRealHashes(field, dict, scheme, img, *iter, res.Cracked, *workers)
+
+	if *lockout > 0 {
+		start = time.Now()
+		online, err := attack.Online(field, lab, img, scheme, *lockout, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("online attack (lockout %d, saliency-ranked guesses): %d/%d accounts compromised (%.1f%%) in %v\n",
+			*lockout, online.Compromised, online.Accounts, online.CompromisedPct(),
+			time.Since(start).Round(time.Millisecond))
+	}
 
 	fmt.Printf("\nwithout grid identifiers the dictionary must grow by %.1f bits (%s)\n",
 		attack.UnknownGridBits(scheme, 5), scheme.Name())

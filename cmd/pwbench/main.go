@@ -1,0 +1,281 @@
+// Command pwbench measures the parallel experiment engine's hot paths
+// at fixed worker counts and records the results as machine-readable
+// JSON, so the perf trajectory of the engine is captured per commit
+// instead of living only in PERFORMANCE.md prose.
+//
+// Each named path runs under testing.Benchmark at every requested
+// worker count; pwbench writes one BENCH_<name>.json per path (ns/op,
+// B/op, allocs/op, speedup vs workers=1) into -out and prints a
+// Markdown speedup table to stdout (CI appends it to the job summary).
+//
+// Usage:
+//
+//	pwbench                                  # all paths, workers 1/2/4/8
+//	pwbench -paths online,cohort -workers 1,8
+//	pwbench -out bench -benchtime 200ms      # CI smoke settings
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clickpass/internal/analysis"
+	"clickpass/internal/attack"
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/study"
+)
+
+// Run is one (path, workers) measurement.
+type Run struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsSerial is ns/op at workers=1 divided by this run's
+	// ns/op; 0 when no workers=1 run was requested.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// Bench is the BENCH_<name>.json document.
+type Bench struct {
+	Name       string `json:"name"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Runs       []Run  `json:"runs"`
+}
+
+// fillSpeedups sets each run's SpeedupVsSerial from the workers=1 run.
+func fillSpeedups(runs []Run) {
+	var serial float64
+	for _, r := range runs {
+		if r.Workers == 1 {
+			serial = r.NsPerOp
+		}
+	}
+	for i := range runs {
+		if serial > 0 && runs[i].NsPerOp > 0 {
+			runs[i].SpeedupVsSerial = serial / runs[i].NsPerOp
+		}
+	}
+}
+
+// markdownTable renders the cross-path speedup summary CI publishes.
+func markdownTable(benches []Bench) string {
+	if len(benches) == 0 {
+		return ""
+	}
+	var workers []int
+	for _, r := range benches[0].Runs {
+		workers = append(workers, r.Workers)
+	}
+	var b strings.Builder
+	b.WriteString("| path |")
+	for _, w := range workers {
+		fmt.Fprintf(&b, " w=%d ns/op |", w)
+	}
+	b.WriteString(" best speedup |\n|---|")
+	for range workers {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|\n")
+	for _, bench := range benches {
+		fmt.Fprintf(&b, "| %s |", bench.Name)
+		best := 0.0
+		for _, r := range bench.Runs {
+			fmt.Fprintf(&b, " %.0f |", r.NsPerOp)
+			if r.SpeedupVsSerial > best {
+				best = r.SpeedupVsSerial
+			}
+		}
+		fmt.Fprintf(&b, " %.2fx |\n", best)
+	}
+	return b.String()
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts")
+	}
+	return out, nil
+}
+
+// env is the shared data every path measures against, generated once.
+type env struct {
+	field, lab map[string]*dataset.Dataset
+	images     []*imagegen.Image
+}
+
+func newBenchEnv(seed uint64, workers int) (*env, error) {
+	e := &env{
+		field:  map[string]*dataset.Dataset{},
+		lab:    map[string]*dataset.Dataset{},
+		images: imagegen.Gallery(),
+	}
+	for i, img := range e.images {
+		fcfg := study.FieldConfig(img, seed+uint64(i))
+		fcfg.Workers = workers
+		f, err := study.Run(fcfg)
+		if err != nil {
+			return nil, err
+		}
+		lcfg := study.LabConfig(img, seed+100+uint64(i))
+		lcfg.Workers = workers
+		l, err := study.Run(lcfg)
+		if err != nil {
+			return nil, err
+		}
+		e.field[img.Name] = f
+		e.lab[img.Name] = l
+	}
+	return e, nil
+}
+
+func (e *env) fieldAll() []*dataset.Dataset {
+	var out []*dataset.Dataset
+	for _, img := range e.images {
+		out = append(out, e.field[img.Name])
+	}
+	return out
+}
+
+// paths returns the named hot paths as workers-parameterized closures;
+// each returns an error so a misconfiguration fails the harness rather
+// than recording garbage.
+func (e *env) paths(seed uint64) (map[string]func(workers int) error, error) {
+	robust, err := core.NewRobust2D(36, core.MostCentered, seed)
+	if err != nil {
+		return nil, err
+	}
+	centered, err := core.NewCentered(13)
+	if err != nil {
+		return nil, err
+	}
+	cars := e.images[0]
+	return map[string]func(workers int) error{
+		"online": func(workers int) error {
+			_, err := attack.Online(e.field[cars.Name], e.lab[cars.Name], cars, robust, 30, workers)
+			return err
+		},
+		"success": func(workers int) error {
+			_, err := analysis.Success(e.fieldAll(), centered, workers)
+			return err
+		},
+		"worstcase": func(workers int) error {
+			_, err := analysis.FindWorstCase(36, core.MostCentered, seed, workers)
+			return err
+		},
+		"cohort": func(workers int) error {
+			cfg := study.DefaultCohort(cars, seed)
+			cfg.Workers = workers
+			_, err := study.RunCohort(cfg)
+			return err
+		},
+	}, nil
+}
+
+func main() {
+	testing.Init()
+	var (
+		outDir    = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		pathsArg  = flag.String("paths", "online,success,worstcase,cohort", "comma-separated hot paths to measure")
+		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts (1 is the speedup baseline)")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		benchtime = flag.String("benchtime", "1s", "per-measurement budget (testing -benchtime syntax)")
+	)
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatal(err)
+	}
+	counts, err := parseWorkers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	e, err := newBenchEnv(*seed, 0)
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := e.paths(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	for _, name := range strings.Split(*pathsArg, ",") {
+		name = strings.TrimSpace(name)
+		if _, ok := paths[name]; !ok {
+			known := make([]string, 0, len(paths))
+			for k := range paths {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fatal(fmt.Errorf("unknown path %q (have %s)", name, strings.Join(known, ", ")))
+		}
+		names = append(names, name)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	var benches []Bench
+	for _, name := range names {
+		run := paths[name]
+		bench := Bench{Name: name, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+		for _, w := range counts {
+			var callErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := run(w); err != nil {
+						callErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if callErr != nil {
+				fatal(fmt.Errorf("%s workers=%d: %w", name, w, callErr))
+			}
+			if r.N == 0 {
+				fatal(fmt.Errorf("%s workers=%d: benchmark did not run", name, w))
+			}
+			bench.Runs = append(bench.Runs, Run{
+				Workers:     w,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+		}
+		fillSpeedups(bench.Runs)
+		benches = append(benches, bench)
+		out, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		file := filepath.Join(*outDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pwbench: wrote %s\n", file)
+	}
+	fmt.Print(markdownTable(benches))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pwbench:", err)
+	os.Exit(1)
+}

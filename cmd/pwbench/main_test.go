@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFillSpeedups(t *testing.T) {
+	runs := []Run{
+		{Workers: 1, NsPerOp: 1000},
+		{Workers: 2, NsPerOp: 500},
+		{Workers: 8, NsPerOp: 250},
+	}
+	fillSpeedups(runs)
+	for i, want := range []float64{1, 2, 4} {
+		if runs[i].SpeedupVsSerial != want {
+			t.Errorf("runs[%d].SpeedupVsSerial = %v, want %v", i, runs[i].SpeedupVsSerial, want)
+		}
+	}
+	// Without a workers=1 baseline the speedup stays unset.
+	noBase := []Run{{Workers: 4, NsPerOp: 100}}
+	fillSpeedups(noBase)
+	if noBase[0].SpeedupVsSerial != 0 {
+		t.Errorf("speedup without baseline = %v, want 0", noBase[0].SpeedupVsSerial)
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	got, err := parseWorkers("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Errorf("parseWorkers = %v, want [1 2 8]", got)
+	}
+	for _, bad := range []string{"", "0", "a", "1,,2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBenchJSONShape(t *testing.T) {
+	b := Bench{
+		Name:       "online",
+		GoMaxProcs: 4,
+		NumCPU:     4,
+		Runs:       []Run{{Workers: 1, NsPerOp: 1234.5, BytesPerOp: 10, AllocsPerOp: 2, SpeedupVsSerial: 1}},
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "gomaxprocs", "numcpu", "runs"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("JSON missing %q: %s", key, raw)
+		}
+	}
+	run := back["runs"].([]any)[0].(map[string]any)
+	for _, key := range []string{"workers", "ns_per_op", "bytes_per_op", "allocs_per_op", "speedup_vs_serial"} {
+		if _, ok := run[key]; !ok {
+			t.Errorf("run JSON missing %q: %s", key, raw)
+		}
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	benches := []Bench{{
+		Name: "success",
+		Runs: []Run{
+			{Workers: 1, NsPerOp: 1000, SpeedupVsSerial: 1},
+			{Workers: 4, NsPerOp: 400, SpeedupVsSerial: 2.5},
+		},
+	}}
+	got := markdownTable(benches)
+	for _, want := range []string{"| path |", "w=1 ns/op", "w=4 ns/op", "| success |", "2.50x"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+	if markdownTable(nil) != "" {
+		t.Error("empty bench list should render an empty table")
+	}
+}
+
+// TestPathsRun exercises every registered path end to end at one
+// worker count on a real (small) environment — the smoke that keeps
+// the harness from rotting when an engine signature changes.
+func TestPathsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pwbench path smoke is not -short")
+	}
+	e, err := newBenchEnv(42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := e.paths(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range paths {
+		if err := run(2); err != nil {
+			t.Errorf("path %s: %v", name, err)
+		}
+	}
+}

@@ -354,7 +354,7 @@ func trimFloat(v float64) string {
 }
 
 func (e *env) figure1() error {
-	wc, err := analysis.FindWorstCase(36, e.policy, e.seed)
+	wc, err := analysis.FindWorstCase(36, e.policy, e.seed, e.workers)
 	if err != nil {
 		return err
 	}
@@ -487,7 +487,7 @@ func (e *env) online() error {
 				return err
 			}
 			for _, scheme := range []core.Scheme{centered, robust} {
-				res, err := attack.Online(e.field[img.Name], e.lab[img.Name], img, scheme, lockout)
+				res, err := attack.Online(e.field[img.Name], e.lab[img.Name], img, scheme, lockout, e.workers)
 				if err != nil {
 					return err
 				}
@@ -717,7 +717,7 @@ func (e *env) success() error {
 		if err != nil {
 			return err
 		}
-		res, err := analysis.Success(e.fieldAll(), scheme)
+		res, err := analysis.Success(e.fieldAll(), scheme, e.workers)
 		if err != nil {
 			return err
 		}
@@ -742,7 +742,9 @@ func (e *env) cohort() error {
 	participants := map[string]bool{}
 	passwords, logins := 0, 0
 	for i, img := range e.images {
-		d, err := study.RunCohort(study.DefaultCohort(img, e.seed+50+uint64(i)))
+		cfg := study.DefaultCohort(img, e.seed+50+uint64(i))
+		cfg.Workers = e.workers
+		d, err := study.RunCohort(cfg)
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,7 @@ import (
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
 	"clickpass/internal/par"
+	"clickpass/internal/replay"
 	"clickpass/internal/stats"
 )
 
@@ -93,7 +94,7 @@ func cellRow(d *dataset.Dataset, robustSide, centeredSide int, policy core.Robus
 		RobustRPx:    float64(robustSide) / 6,
 		CenteredRPx:  float64(centeredSide-1) / 2,
 	}
-	if err := replay(d, robust, centered, &row); err != nil {
+	if err := replayCompare(d, robust, centered, &row); err != nil {
 		return Row{}, err
 	}
 	return row, nil
@@ -136,7 +137,7 @@ func tableRows(dsets []*dataset.Dataset, pairs [][2]int, policy core.RobustPolic
 	return rows, nil
 }
 
-func replay(d *dataset.Dataset, robust, centered core.Scheme, row *Row) error {
+func replayCompare(d *dataset.Dataset, robust, centered core.Scheme, row *Row) error {
 	type enrolled struct {
 		robust   []core.Token
 		centered []core.Token
@@ -238,14 +239,28 @@ type WorstCase struct {
 }
 
 // FindWorstCase locates a maximally off-center Robust enrollment.
-func FindWorstCase(side int, policy core.RobustPolicy, seed uint64) (WorstCase, error) {
+// The 3·side × 3·side origin scan is row-striped across workers
+// goroutines (0 = one per CPU, 1 = serial): each stripe scans one x
+// column over all y and reports its local first maximum; stripes merge
+// in x order with a strict comparison, so the winner is always the
+// lowest-(x, y) origin among equal asymmetries — exactly the serial
+// scan's first-maximum tie-break. Stateful schemes (RandomSafe) fall
+// back to a serial scan so their RNG stream is consumed in origin
+// order regardless of the requested worker count.
+func FindWorstCase(side int, policy core.RobustPolicy, seed uint64, workers int) (WorstCase, error) {
 	robust, err := core.NewRobust2D(side, policy, seed)
 	if err != nil {
 		return WorstCase{}, err
 	}
-	var worst WorstCase
-	worstAsym := -1.0
-	for x := 0; x < 3*side; x++ {
+	if !core.ConcurrencySafe(robust) {
+		workers = 1
+	}
+	type stripeBest struct {
+		asym float64
+		wc   WorstCase
+	}
+	bests, err := par.Map(workers, 3*side, func(x int) (stripeBest, error) {
+		best := stripeBest{asym: -1}
 		for y := 0; y < 3*side; y++ {
 			p := geom.Pt(x, y)
 			tok := robust.Enroll(p)
@@ -256,20 +271,32 @@ func FindWorstCase(side int, policy core.RobustPolicy, seed uint64) (WorstCase, 
 			if left > right {
 				asym = left - right
 			}
-			if asym > worstAsym {
-				worstAsym = asym
-				worst = WorstCase{
-					Origin:        p,
-					Region:        region,
-					LeftSlackPx:   left,
-					RightSlackPx:  right,
-					GuaranteedRPx: robust.GuaranteedR().Float(),
-					RMaxPx:        robust.MaxAccepted().Float(),
+			if asym > best.asym {
+				best = stripeBest{
+					asym: asym,
+					wc: WorstCase{
+						Origin:        p,
+						Region:        region,
+						LeftSlackPx:   left,
+						RightSlackPx:  right,
+						GuaranteedRPx: robust.GuaranteedR().Float(),
+						RMaxPx:        robust.MaxAccepted().Float(),
+					},
 				}
 			}
 		}
+		return best, nil
+	})
+	if err != nil {
+		return WorstCase{}, err
 	}
-	return worst, nil
+	worst := stripeBest{asym: -1}
+	for _, b := range bests {
+		if b.asym > worst.asym {
+			worst = b
+		}
+	}
+	return worst.wc, nil
 }
 
 // SuccessRate is the overall login acceptance of one scheme over a
@@ -287,40 +314,61 @@ type SuccessRate struct {
 // AcceptedPct returns the acceptance rate in percent.
 func (s SuccessRate) AcceptedPct() float64 { return pct(s.Accepted, s.Logins) }
 
+// successChunk is the login-replay granularity of Success's fan-out:
+// big enough that chunk bookkeeping is noise, small enough that a
+// dataset's ~2400 logins split across every core.
+const successChunk = 256
+
 // Success replays every login under the scheme and counts acceptances.
-func Success(dsets []*dataset.Dataset, scheme core.Scheme) (SuccessRate, error) {
+// Each dataset's passwords are enrolled once through the replay layer
+// (serially, in dataset order, so stateful schemes consume their RNG
+// exactly as a serial replay would); the login replays then fan out in
+// chunks per dataset across workers goroutines (0 = one per CPU, 1 =
+// serial). Matching is pure, so the tally is identical at every worker
+// count, and a dangling login reference is always reported for the
+// earliest offending login.
+func Success(dsets []*dataset.Dataset, scheme core.Scheme, workers int) (SuccessRate, error) {
 	if len(dsets) == 0 {
 		return SuccessRate{}, fmt.Errorf("analysis: no datasets")
 	}
 	out := SuccessRate{Scheme: scheme.Name(), SidePx: scheme.SquareSide().Pixels()}
-	for _, d := range dsets {
-		byID := make(map[int][]core.Token, len(d.Passwords))
-		for i := range d.Passwords {
-			p := &d.Passwords[i]
-			tokens := make([]core.Token, len(p.Clicks))
-			for j, c := range p.Clicks {
-				tokens[j] = scheme.Enroll(c.Point())
+	sets := make([]*replay.Set, len(dsets))
+	type chunk struct{ ds, lo, hi int }
+	var chunks []chunk
+	for i, d := range dsets {
+		sets[i] = replay.Compile(d, scheme)
+		for lo := 0; lo < len(d.Logins); lo += successChunk {
+			hi := lo + successChunk
+			if hi > len(d.Logins) {
+				hi = len(d.Logins)
 			}
-			byID[p.ID] = tokens
+			chunks = append(chunks, chunk{ds: i, lo: lo, hi: hi})
 		}
-		for i := range d.Logins {
+	}
+	type tally struct{ logins, accepted int }
+	tallies, err := par.Map(workers, len(chunks), func(k int) (tally, error) {
+		c := chunks[k]
+		d, set := dsets[c.ds], sets[c.ds]
+		var t tally
+		for i := c.lo; i < c.hi; i++ {
 			l := &d.Logins[i]
-			tokens, ok := byID[l.PasswordID]
-			if !ok {
-				return SuccessRate{}, fmt.Errorf("analysis: login references unknown password %d", l.PasswordID)
+			ok, err := set.AcceptsLogin(l.PasswordID, l.Clicks)
+			if err != nil {
+				return tally{}, fmt.Errorf("analysis: %w", err)
 			}
-			accepted := true
-			for j, c := range l.Clicks {
-				if !core.Accepts(scheme, tokens[j], c.Point()) {
-					accepted = false
-					break
-				}
-			}
-			out.Logins++
-			if accepted {
-				out.Accepted++
+			t.logins++
+			if ok {
+				t.accepted++
 			}
 		}
+		return t, nil
+	})
+	if err != nil {
+		return SuccessRate{}, err
+	}
+	for _, t := range tallies {
+		out.Logins += t.logins
+		out.Accepted += t.accepted
 	}
 	return out, nil
 }

@@ -232,7 +232,7 @@ func TestRowPercentagesEmpty(t *testing.T) {
 }
 
 func TestFindWorstCase(t *testing.T) {
-	wc, err := analysis.FindWorstCase(36, core.MostCentered, 1)
+	wc, err := analysis.FindWorstCase(36, core.MostCentered, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestFindWorstCase(t *testing.T) {
 	if !wc.Region.Contains(wc.Origin) {
 		t.Error("worst-case region excludes its origin")
 	}
-	if _, err := analysis.FindWorstCase(0, core.MostCentered, 1); err == nil {
+	if _, err := analysis.FindWorstCase(0, core.MostCentered, 1, 0); err == nil {
 		t.Error("zero side accepted")
 	}
 }
@@ -276,15 +276,15 @@ func TestSuccessRates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc13, err := analysis.Success(dsets, c13)
+	sc13, err := analysis.Success(dsets, c13, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr13, err := analysis.Success(dsets, r13)
+	sr13, err := analysis.Success(dsets, r13, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr36, err := analysis.Success(dsets, r36)
+	sr36, err := analysis.Success(dsets, r36, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestSuccessRates(t *testing.T) {
 	if sc13.AcceptedPct() < 70 {
 		t.Errorf("centered 13x13 acceptance %.1f%% — error model too sloppy for a usable system", sc13.AcceptedPct())
 	}
-	if _, err := analysis.Success(nil, c13); err == nil {
+	if _, err := analysis.Success(nil, c13, 0); err == nil {
 		t.Error("no datasets accepted")
 	}
 }

@@ -61,8 +61,10 @@ func TestSuccessGolden(t *testing.T) {
 	}
 	for name, g := range goldens {
 		t.Run(name, func(t *testing.T) {
+			// workers varies both the generation fan-out and the replay
+			// fan-out: every combination must produce the same tally.
 			for _, workers := range []int{1, 2, 8} {
-				got, err := analysis.Success(goldenDatasets(t, workers), g.mkScheme(t))
+				got, err := analysis.Success(goldenDatasets(t, workers), g.mkScheme(t), workers)
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -99,15 +101,19 @@ func TestFindWorstCaseGolden(t *testing.T) {
 	}
 	for name, g := range goldens {
 		t.Run(name, func(t *testing.T) {
-			// Repeated runs (the scan is serial today) must agree exactly
-			// — the determinism a parallel origin scan must preserve.
-			for run := 0; run < 3; run++ {
-				got, err := analysis.FindWorstCase(g.side, core.MostCentered, 7)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if fmt.Sprintf("%+v", got) != g.want {
-					t.Errorf("run %d: FindWorstCase(%d) = %+v, want %s", run, g.side, got, g.want)
+			// The row-striped scan must preserve the serial scan's
+			// lowest-(x,y) first-maximum tie-break at every worker count,
+			// and repeated runs must agree exactly.
+			for _, workers := range []int{1, 2, 8} {
+				for run := 0; run < 3; run++ {
+					got, err := analysis.FindWorstCase(g.side, core.MostCentered, 7, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fmt.Sprintf("%+v", got) != g.want {
+						t.Errorf("workers %d run %d: FindWorstCase(%d) = %+v, want %s",
+							workers, run, g.side, got, g.want)
+					}
 				}
 			}
 		})

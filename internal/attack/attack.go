@@ -24,6 +24,7 @@ import (
 	"clickpass/internal/geom"
 	"clickpass/internal/imagegen"
 	"clickpass/internal/par"
+	"clickpass/internal/replay"
 )
 
 // Dictionary is the harvested click-point pool seeding the attack.
@@ -196,7 +197,15 @@ func (r OnlineResult) CompromisedPct() float64 {
 // list is the lab passwords ordered by hotspot saliency (the attacker
 // has the image and ranks whole guesses by how likely their points
 // are to be chosen), truncated to the lockout budget per account.
-func Online(field *dataset.Dataset, lab *dataset.Dataset, img *imagegen.Image, scheme core.Scheme, lockout int) (OnlineResult, error) {
+//
+// Each guess's saliency score is computed once (the ranking sort used
+// to re-evaluate the log-sum inside every comparison), enrollment
+// tokens are precompiled once through the replay layer, and the
+// independent per-account replays then fan out across workers
+// goroutines (0 = one per CPU, 1 = serial). Enrollment happens
+// serially during compilation, so results are byte-identical at every
+// worker count even under stateful schemes (RandomSafe).
+func Online(field *dataset.Dataset, lab *dataset.Dataset, img *imagegen.Image, scheme core.Scheme, lockout, workers int) (OnlineResult, error) {
 	if lockout <= 0 {
 		return OnlineResult{}, fmt.Errorf("attack: lockout %d must be positive", lockout)
 	}
@@ -206,15 +215,21 @@ func Online(field *dataset.Dataset, lab *dataset.Dataset, img *imagegen.Image, s
 	if err := lab.Validate(); err != nil {
 		return OnlineResult{}, err
 	}
-	guesses := make([][]geom.Point, 0, len(lab.Passwords))
+	guesses := make([][]geom.Point, len(lab.Passwords))
+	scores := make([]float64, len(guesses))
+	order := make([]int, len(guesses))
 	for i := range lab.Passwords {
-		guesses = append(guesses, lab.Passwords[i].Points())
+		guesses[i] = lab.Passwords[i].Points()
+		scores[i] = guessScore(guesses[i], img)
+		order[i] = i
 	}
-	sort.SliceStable(guesses, func(a, b int) bool {
-		return guessScore(guesses[a], img) > guessScore(guesses[b], img)
+	// Stable sort over precomputed scores: the same permutation the old
+	// sort-with-rescoring produced, without the O(n log n) log-sums.
+	sort.SliceStable(order, func(a, b int) bool {
+		return scores[order[a]] > scores[order[b]]
 	})
-	if lockout < len(guesses) {
-		guesses = guesses[:lockout]
+	if lockout < len(order) {
+		order = order[:lockout]
 	}
 	res := OnlineResult{
 		Image:   field.Image,
@@ -222,28 +237,24 @@ func Online(field *dataset.Dataset, lab *dataset.Dataset, img *imagegen.Image, s
 		SidePx:  int(scheme.SquareSide().Pixels()),
 		Lockout: lockout,
 	}
-	for i := range field.Passwords {
-		pw := &field.Passwords[i]
-		res.Accounts++
-		tokens := make([]core.Token, len(pw.Clicks))
-		for j, c := range pw.Clicks {
-			tokens[j] = scheme.Enroll(c.Point())
+	// Accounts are independent once tokens are compiled; matching is
+	// pure (Scheme.Locate), so the fan-out is safe for every policy.
+	set := replay.Compile(field, scheme)
+	hits, err := par.Map(workers, set.Len(), func(i int) (bool, error) {
+		for _, g := range order {
+			if set.Accepts(i, guesses[g]) {
+				return true, nil
+			}
 		}
-		for _, guess := range guesses {
-			if len(guess) != len(tokens) {
-				continue
-			}
-			hit := true
-			for j := range guess {
-				if !core.Accepts(scheme, tokens[j], guess[j]) {
-					hit = false
-					break
-				}
-			}
-			if hit {
-				res.Compromised++
-				break
-			}
+		return false, nil
+	})
+	if err != nil {
+		return OnlineResult{}, err
+	}
+	for _, hit := range hits {
+		res.Accounts++
+		if hit {
+			res.Compromised++
 		}
 	}
 	return res, nil

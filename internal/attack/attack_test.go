@@ -250,11 +250,11 @@ func TestOnlineAttackInfeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	strict, err := Online(pair.field, pair.lab, pair.img, rb, 3)
+	strict, err := Online(pair.field, pair.lab, pair.img, rb, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loose, err := Online(pair.field, pair.lab, pair.img, rb, 30)
+	loose, err := Online(pair.field, pair.lab, pair.img, rb, 30, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestOnlineAttackInfeasible(t *testing.T) {
 	if strict.Accounts != len(pair.field.Passwords) {
 		t.Errorf("attacked %d accounts, want %d", strict.Accounts, len(pair.field.Passwords))
 	}
-	if _, err := Online(pair.field, pair.lab, pair.img, rb, 0); err == nil {
+	if _, err := Online(pair.field, pair.lab, pair.img, rb, 0, 0); err == nil {
 		t.Error("zero lockout accepted")
 	}
 }
@@ -300,7 +300,7 @@ func TestOnlineAttackHitsReusedPassword(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cRes, err := Online(field, lab, img, c13, 3)
+	cRes, err := Online(field, lab, img, c13, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestOnlineAttackHitsReusedPassword(t *testing.T) {
 		Image: img.Name, Width: img.Size.W, Height: img.Size.H,
 		Passwords: []dataset.Password{{ID: 3, User: "leak2", Image: img.Name, Clicks: clicks}},
 	}
-	cRes2, err := Online(field, exact, img, c13, 3)
+	cRes2, err := Online(field, exact, img, c13, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

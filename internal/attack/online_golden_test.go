@@ -76,7 +76,7 @@ func TestOnlineGolden(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			for _, workers := range []int{1, 2, 8} {
 				field, lab := onlineGoldenDatasets(t, workers)
-				got, err := Online(field, lab, img, g.scheme(t), g.lockout)
+				got, err := Online(field, lab, img, g.scheme(t), g.lockout, workers)
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -108,7 +108,7 @@ func TestOnlineGoldenPlantedHit(t *testing.T) {
 		leak.ID = 100000 + leak.ID // IDs must stay unique within the dataset
 		leak.User = "leak"
 		planted.Passwords = append(planted.Passwords, leak)
-		got, err := Online(field, &planted, img, s, 200)
+		got, err := Online(field, &planted, img, s, 200, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -131,12 +131,12 @@ func TestOnlineRepeatableOnSharedData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := Online(pair.field, pair.lab, pair.img, s, 25)
+	first, err := Online(pair.field, pair.lab, pair.img, s, 25, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		again, err := Online(pair.field, pair.lab, pair.img, s, 25)
+		again, err := Online(pair.field, pair.lab, pair.img, s, 25, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

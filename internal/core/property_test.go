@@ -174,3 +174,36 @@ func TestPropertyRobustTranslation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: Robust2D.Enroll's hand-inlined 2-D fast path (chooseGrid2D
+// + inline Locate) is equivalent to the generic RobustND path, for
+// every policy. The two instances are seeded identically and fed the
+// same point sequence, so under RandomSafe this also pins that both
+// consume exactly one Intn per enrollment — a divergence would desync
+// the RNG streams and show up immediately.
+func TestPropertyRobust2DEnrollMatchesND(t *testing.T) {
+	for _, policy := range []RobustPolicy{MostCentered, FirstSafe, RandomSafe} {
+		for _, side := range []int{13, 36} {
+			fast, err := NewRobust2D(side, policy, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The generic twin: r = sidePx/6 pixels is sidePx sub units
+			// (what NewRobust2D constructs internally).
+			nd, err := NewRobust(fixed.Sub(side), 2, policy, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(x, y int16) bool {
+				p := clampPt(x, y)
+				tok := fast.Enroll(p)
+				g, idx := nd.Discretize([]fixed.Sub{p.X, p.Y})
+				return tok.Clear.Grid == uint8(g) &&
+					tok.Secret.IX == idx[0] && tok.Secret.IY == idx[1]
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Errorf("%v side %d: %v", policy, side, err)
+			}
+		}
+	}
+}

@@ -211,12 +211,72 @@ func (r *Robust2D) GuaranteedR() fixed.Sub { return r.nd.R }
 // MaxAccepted implements Scheme: rmax = 5r.
 func (r *Robust2D) MaxAccepted() fixed.Sub { return r.nd.RMax() }
 
-// Enroll implements Scheme.
+// Enroll implements Scheme. It inlines the 2-D grid choice and square
+// location to stay allocation-free (no coords slice, no SafeGrids
+// list, no index slice): Enroll runs once per click of every password
+// in the sweep and replay hot paths. Policy semantics are identical to
+// RobustND.ChooseGrid — the property tests cross-check the two — and
+// RandomSafe consumes exactly one Intn per enrollment, as before.
 func (r *Robust2D) Enroll(p geom.Point) Token {
-	g, idx := r.nd.Discretize([]fixed.Sub{p.X, p.Y})
+	g := r.chooseGrid2D(p)
+	side := int64(r.nd.Side())
+	off := r.nd.offset(g)
 	return Token{
-		Clear:  Clear{Grid: uint8(g)},
-		Secret: Secret{IX: idx[0], IY: idx[1]},
+		Clear: Clear{Grid: uint8(g)},
+		Secret: Secret{
+			IX: fixed.FloorDiv(int64(p.X-off), side),
+			IY: fixed.FloorDiv(int64(p.Y-off), side),
+		},
+	}
+}
+
+// safeMargin2D reports whether p is r-safe in grid g and the Chebyshev
+// margin to the grid lines (the MostCentered criterion), without the
+// coords slice RobustND's generic path needs.
+func (r *Robust2D) safeMargin2D(p geom.Point, g int) (margin fixed.Sub, safe bool) {
+	nd := r.nd
+	side := int64(nd.Side())
+	rr := int64(nd.R)
+	off := nd.offset(g)
+	mx := fixed.Mod(int64(p.X-off), side)
+	my := fixed.Mod(int64(p.Y-off), side)
+	if mx < rr || mx >= side-rr || my < rr || my >= side-rr {
+		return 0, false
+	}
+	m := min64(mx, side-mx)
+	if my2 := min64(my, side-my); my2 < m {
+		m = my2
+	}
+	return fixed.Sub(m), true
+}
+
+// chooseGrid2D is the allocation-free 2-D twin of RobustND.ChooseGrid.
+func (r *Robust2D) chooseGrid2D(p geom.Point) int {
+	var safe [3]int
+	var margins [3]fixed.Sub
+	n := 0
+	for g := 0; g < r.nd.GridCount(); g++ {
+		if m, ok := r.safeMargin2D(p, g); ok {
+			safe[n], margins[n] = g, m
+			n++
+		}
+	}
+	if n == 0 {
+		panic(fmt.Sprintf("core: no r-safe grid for %v — Robust invariant violated", p))
+	}
+	switch r.nd.Policy {
+	case FirstSafe:
+		return safe[0]
+	case RandomSafe:
+		return safe[r.nd.rnd.Intn(n)]
+	default: // MostCentered
+		best, bestMargin := safe[0], margins[0]
+		for i := 1; i < n; i++ {
+			if margins[i] > bestMargin {
+				best, bestMargin = safe[i], margins[i]
+			}
+		}
+		return best
 	}
 }
 

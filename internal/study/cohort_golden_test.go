@@ -1,0 +1,48 @@
+package study
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"clickpass/internal/imagegen"
+)
+
+// TestRunCohortGolden pins RunCohort's exact output on a fixed seed —
+// the last of the experiment engine's golden safety nets (Online,
+// Success and FindWorstCase got theirs when they were still serial).
+// The pin is the SHA-256 of the JSON wire encoding, so any divergence
+// in click bytes, ordering, or ID assignment fails, at every worker
+// count: per-participant rng streams are split off the seed serially
+// before the fan-out, so scheduling must never reach the data.
+func TestRunCohortGolden(t *testing.T) {
+	goldens := map[string]struct {
+		passwords, logins int
+		sha               string
+	}{
+		"cars": {236, 1639, "8e50ddb1cd75803307516069ee82210a311acdae3ff865dc3f1a22c070775285"},
+		"pool": {233, 1623, "95d5d9dcdcb583c477c74a2e5b82fcfcff80eec02b65aa48d63c46b777bb7687"},
+	}
+	for _, img := range imagegen.Gallery() {
+		g := goldens[img.Name]
+		for _, workers := range []int{1, 2, 8} {
+			cfg := DefaultCohort(img, 31)
+			cfg.Workers = workers
+			d, err := RunCohort(cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", img.Name, workers, err)
+			}
+			if len(d.Passwords) != g.passwords || len(d.Logins) != g.logins {
+				t.Errorf("%s workers=%d: %d passwords, %d logins, want %d, %d",
+					img.Name, workers, len(d.Passwords), len(d.Logins), g.passwords, g.logins)
+			}
+			h := sha256.New()
+			if err := d.WriteJSON(h); err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(h.Sum(nil)); got != g.sha {
+				t.Errorf("%s workers=%d: dataset sha256 = %s, want %s", img.Name, workers, got, g.sha)
+			}
+		}
+	}
+}
