@@ -34,8 +34,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/pwbench -out .
 
-# loadsmoke is the CI server-load smoke: a small client swarm against
-# both vault backends (see PERFORMANCE.md "Server load").
+# loadsmoke is the CI server-load smoke: small client swarms against
+# both vault backends over BOTH transports (framed TCP and HTTP/JSON),
+# plus the shared-limiter check that combined TCP+HTTP in-flight
+# requests stay capped at -maxconns (see PERFORMANCE.md "Server load"
+# and "Unified serving layer").
 loadsmoke:
 	$(GO) test ./internal/loadtest -run TestLoad -short -v
 

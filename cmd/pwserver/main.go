@@ -1,13 +1,19 @@
 // Command pwserver serves a PassPoints vault over TCP (length-prefixed
 // JSON frames) and HTTP:
 //
-//	pwserver -vault v.json -tcp :7700 -http :7780 -side 13 -lockout 10
+//	pwserver -vault v.json -tcp :7700 -http :7780 -metrics :7790 -side 13 -lockout 10
 //
-// The lockout bounds online dictionary attacks (§5.1): after N failed
-// logins an account refuses further attempts until an administrative
-// reset. -shards selects the storage backend (0 = single-lock vault,
-// N > 0 = N-way sharded store; both read and write the same file) and
-// -maxconns bounds the TCP worker pool. SIGINT/SIGTERM drain in-flight
+// Both fronts are thin codecs over one authsvc pipeline: -maxconns is
+// a single admission budget shared by TCP and HTTP (combined in-flight
+// requests never exceed it) and -userrate adds a per-user token
+// bucket. -metrics starts the admin surface (request counters,
+// latency, and in-flight gauge as JSON, plus the lockout reset) on
+// its own address — bind it to loopback or a protected network, never
+// the public one. The lockout bounds online dictionary
+// attacks (§5.1): after N failed logins an account refuses further
+// attempts until an administrative reset. -shards selects the storage
+// backend (0 = single-lock vault, N > 0 = N-way sharded store; both
+// read and write the same file). SIGINT/SIGTERM drain in-flight
 // connections before exit.
 package main
 
@@ -31,19 +37,22 @@ import (
 
 func main() {
 	var (
-		vaultPath = flag.String("vault", "vault.json", "vault file path")
-		tcpAddr   = flag.String("tcp", ":7700", "TCP listen address (empty to disable)")
-		httpAddr  = flag.String("http", "", "HTTP listen address (empty to disable)")
-		imageW    = flag.Int("image-w", 451, "image width (pixels)")
-		imageH    = flag.Int("image-h", 331, "image height (pixels)")
-		side      = flag.Int("side", 13, "grid-square side (pixels)")
-		schemeArg = flag.String("scheme", "centered", "discretization scheme: centered or robust")
-		iter      = flag.Int("iterations", 1000, "hash iterations")
-		lockout   = flag.Int("lockout", authproto.DefaultLockout, "failed attempts before lockout")
-		useTLS    = flag.Bool("tls", false, "wrap the TCP listener in TLS with an ephemeral self-signed certificate")
-		shards    = flag.Int("shards", 0, "vault shard count (0 = single-lock store, >0 = sharded store)")
-		maxConns  = flag.Int("maxconns", authproto.DefaultMaxConns, "max concurrently served TCP connections")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+		vaultPath   = flag.String("vault", "vault.json", "vault file path")
+		tcpAddr     = flag.String("tcp", ":7700", "TCP listen address (empty to disable)")
+		httpAddr    = flag.String("http", "", "HTTP listen address (empty to disable)")
+		metricsAddr = flag.String("metrics", "", "admin listen address serving GET /metrics and POST /v1/reset (bind to loopback; empty to disable)")
+		imageW      = flag.Int("image-w", 451, "image width (pixels)")
+		imageH      = flag.Int("image-h", 331, "image height (pixels)")
+		side        = flag.Int("side", 13, "grid-square side (pixels)")
+		schemeArg   = flag.String("scheme", "centered", "discretization scheme: centered or robust")
+		iter        = flag.Int("iterations", 1000, "hash iterations")
+		lockout     = flag.Int("lockout", authproto.DefaultLockout, "failed attempts before lockout")
+		useTLS      = flag.Bool("tls", false, "wrap the TCP listener in TLS with an ephemeral self-signed certificate")
+		shards      = flag.Int("shards", 0, "vault shard count (0 = single-lock store, >0 = sharded store)")
+		maxConns    = flag.Int("maxconns", authproto.DefaultMaxConns, "max in-flight requests across all fronts (and TCP connection pool size)")
+		userRate    = flag.Float64("userrate", 0, "per-user request rate limit in req/s across all fronts (0 = off)")
+		userBurst   = flag.Int("userburst", 5, "per-user burst budget for -userrate")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -82,6 +91,9 @@ func main() {
 		fatal(err)
 	}
 	srv.SetMaxConns(*maxConns)
+	if *userRate > 0 {
+		srv.SetUserRate(*userRate, *userBurst)
+	}
 	if *tcpAddr == "" && *httpAddr == "" {
 		fatal(fmt.Errorf("nothing to serve: both -tcp and -http are empty"))
 	}
@@ -89,7 +101,7 @@ func main() {
 	if *shards > 0 {
 		backend = fmt.Sprintf("%d-shard", *shards)
 	}
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
 	if *tcpAddr != "" {
 		l, err := net.Listen("tcp", *tcpAddr)
 		if err != nil {
@@ -100,21 +112,31 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("pwserver: TLS on %s (%s %dx%d, lockout %d, %s vault, %d conns; self-signed cert %x...)\n",
+			fmt.Printf("pwserver: TLS on %s (%s %dx%d, lockout %d, %s vault, %d shared in-flight; self-signed cert %x...)\n",
 				l.Addr(), scheme.Name(), *side, *side, *lockout, backend, *maxConns, cert.Certificate[0][:8])
 			go func() { errc <- srv.ServeTLS(l, cert) }()
 		} else {
-			fmt.Printf("pwserver: TCP on %s (%s %dx%d, lockout %d, %s vault, %d conns)\n",
+			fmt.Printf("pwserver: TCP on %s (%s %dx%d, lockout %d, %s vault, %d shared in-flight)\n",
 				l.Addr(), scheme.Name(), *side, *side, *lockout, backend, *maxConns)
 			go func() { errc <- srv.Serve(l) }()
 		}
 	}
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		fmt.Printf("pwserver: HTTP on %s\n", *httpAddr)
+		fmt.Printf("pwserver: HTTP on %s (same %d-request admission limit as TCP)\n", *httpAddr, *maxConns)
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
+	}
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		fmt.Printf("pwserver: admin (metrics + lockout reset) on %s\n", *metricsAddr)
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: srv.AdminHandler()}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != http.ErrServerClosed {
 				errc <- err
 			}
 		}()
@@ -136,6 +158,9 @@ func main() {
 			if herr := httpSrv.Shutdown(ctx); err == nil {
 				err = herr
 			}
+		}
+		if metricsSrv != nil {
+			_ = metricsSrv.Close()
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pwserver: drain incomplete:", err)

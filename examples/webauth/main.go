@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"clickpass/internal/authproto"
 	"clickpass/internal/core"
+	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
 	"clickpass/internal/passpoints"
 	"clickpass/internal/vault"
@@ -77,10 +79,10 @@ func main() {
 		_ = json.Unmarshal(raw, &out)
 		return resp.StatusCode, out
 	}
+	password := [][2]int{{52, 70}, {246, 74}, {74, 168}, {330, 268}, {180, 90}}
 	clicks := func(dx int) []map[string]int {
-		base := [][2]int{{52, 70}, {246, 74}, {74, 168}, {330, 268}, {180, 90}}
-		out := make([]map[string]int, len(base))
-		for i, p := range base {
+		out := make([]map[string]int, len(password))
+		for i, p := range password {
 			out[i] = map[string]int{"x": p[0] + dx, "y": p[1]}
 		}
 		return out
@@ -108,6 +110,25 @@ func main() {
 	// Even the correct password is refused now.
 	status, _ = post("/v1/login", map[string]interface{}{"user": "demo", "clicks": clicks(0)})
 	fmt.Printf("POST /v1/login (correct, but locked) -> %d\n", status)
+
+	// The same service through the unified typed client: transports are
+	// interchangeable behind authsvc.Client, and responses carry a
+	// typed code instead of flags.
+	c := authproto.NewHTTPClient(base, nil)
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		log.Fatal(err)
+	}
+	typedClicks := make([]dataset.Click, len(password))
+	for i, p := range password {
+		typedClicks[i] = dataset.Click{X: p[0], Y: p[1]}
+	}
+	lockResp, err := c.Login(ctx, "demo", typedClicks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unified client login code             -> %q (%s)\n", lockResp.Code, lockResp.Err)
 
 	if *listen != "" {
 		fmt.Println("\nserving until interrupted...")

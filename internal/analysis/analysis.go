@@ -14,6 +14,7 @@ package analysis
 
 import (
 	"fmt"
+	"sync"
 
 	"clickpass/internal/core"
 	"clickpass/internal/dataset"
@@ -65,11 +66,11 @@ func pct(n, total int) float64 {
 
 // Compare replays every login in the datasets against Robust squares
 // of robustSide and centered tolerance squares of centeredSide.
-// Replay fans out across datasets (workers: 0 = one per CPU, 1 =
-// serial); each dataset gets its own scheme pair seeded seed+index, so
-// the merged row is identical for every worker count — including under
-// the stateful RandomSafe policy, whose RNG stream is per-dataset
-// rather than shared.
+// Replay fans out across per-dataset cells (workers: 0 = one per CPU,
+// 1 = serial); each dataset gets its own scheme pair seeded
+// seed+index, so the merged row is identical for every worker count —
+// including under the stateful RandomSafe policy, whose RNG stream is
+// per-dataset rather than shared.
 func Compare(dsets []*dataset.Dataset, robustSide, centeredSide int, policy core.RobustPolicy, seed uint64, workers int) (Row, error) {
 	rows, err := tableRows(dsets, [][2]int{{robustSide, centeredSide}}, policy, seed, workers)
 	if err != nil {
@@ -78,8 +79,10 @@ func Compare(dsets []*dataset.Dataset, robustSide, centeredSide int, policy core
 	return rows[0], nil
 }
 
-// cellRow replays one dataset against one scheme pair.
-func cellRow(d *dataset.Dataset, robustSide, centeredSide int, policy core.RobustPolicy, seed uint64) (Row, error) {
+// cellRow replays one dataset against one scheme pair. The two replay
+// Sets belong to the calling worker and are recompiled (buffers
+// reused) for this cell's schemes.
+func cellRow(d *dataset.Dataset, rset, cset *replay.Set, robustSide, centeredSide int, policy core.RobustPolicy, seed uint64) (Row, error) {
 	robust, err := core.NewRobust2D(robustSide, policy, seed)
 	if err != nil {
 		return Row{}, err
@@ -94,7 +97,7 @@ func cellRow(d *dataset.Dataset, robustSide, centeredSide int, policy core.Robus
 		RobustRPx:    float64(robustSide) / 6,
 		CenteredRPx:  float64(centeredSide-1) / 2,
 	}
-	if err := replayCompare(d, robust, centered, &row); err != nil {
+	if err := replayCompare(d, rset, cset, robust, centered, &row); err != nil {
 		return Row{}, err
 	}
 	return row, nil
@@ -110,18 +113,30 @@ func (r *Row) add(o Row) {
 	r.Clicks += o.Clicks
 }
 
+// setPair is a worker-reusable pair of compiled replay Sets (robust,
+// centered), pooled across tableRows cells so buffers amortize.
+type setPair struct {
+	robust, centered replay.Set
+}
+
 // tableRows evaluates every (size pair, dataset) cell of a table on
 // the worker pool and merges the per-dataset cells into one row per
 // size pair, in order. Flattening both axes into a single task list
-// keeps all workers busy even when datasets differ in size.
+// keeps all workers busy even when datasets differ in size; the
+// replay Sets each cell compiles into come from a pool, so the token
+// buffers amortize across cells (one pair per concurrently running
+// worker) instead of fresh per-password allocations in every cell.
 func tableRows(dsets []*dataset.Dataset, pairs [][2]int, policy core.RobustPolicy, seed uint64, workers int) ([]Row, error) {
 	if len(dsets) == 0 {
 		return nil, fmt.Errorf("analysis: no datasets")
 	}
+	pool := sync.Pool{New: func() any { return new(setPair) }}
 	nd := len(dsets)
 	cells, err := par.Map(workers, len(pairs)*nd, func(k int) (Row, error) {
 		pi, di := k/nd, k%nd
-		return cellRow(dsets[di], pairs[pi][0], pairs[pi][1], policy, seed+uint64(di))
+		sets := pool.Get().(*setPair)
+		defer pool.Put(sets)
+		return cellRow(dsets[di], &sets.robust, &sets.centered, pairs[pi][0], pairs[pi][1], policy, seed+uint64(di))
 	})
 	if err != nil {
 		return nil, err
@@ -137,37 +152,27 @@ func tableRows(dsets []*dataset.Dataset, pairs [][2]int, policy core.RobustPolic
 	return rows, nil
 }
 
-func replayCompare(d *dataset.Dataset, robust, centered core.Scheme, row *Row) error {
-	type enrolled struct {
-		robust   []core.Token
-		centered []core.Token
-	}
-	byID := make(map[int]enrolled, len(d.Passwords))
-	for i := range d.Passwords {
-		p := &d.Passwords[i]
-		pts := p.Points()
-		e := enrolled{
-			robust:   make([]core.Token, len(pts)),
-			centered: make([]core.Token, len(pts)),
-		}
-		for j, pt := range pts {
-			e.robust[j] = robust.Enroll(pt)
-			e.centered[j] = centered.Enroll(pt)
-		}
-		byID[p.ID] = e
-	}
+func replayCompare(d *dataset.Dataset, rset, cset *replay.Set, robust, centered core.Scheme, row *Row) error {
+	// Compile enrolls serially in password order, so a stateful Robust
+	// policy (RandomSafe) consumes its RNG exactly as the pre-replay
+	// per-password loop did; the centered scheme is stateless, so
+	// splitting the interleaved enrollment into two passes cannot
+	// change any token.
+	rset.Compile(d, robust)
+	cset.Compile(d, centered)
 	for i := range d.Logins {
 		l := &d.Logins[i]
-		e, ok := byID[l.PasswordID]
+		ord, ok := rset.Ordinal(l.PasswordID)
 		if !ok {
 			return fmt.Errorf("analysis: login references unknown password %d", l.PasswordID)
 		}
-		pts := l.Points()
+		rtokens, ctokens := rset.Tokens(ord), cset.Tokens(ord)
 		loginRobustOK, loginCenteredOK := true, true
 		orig := d.PasswordByID(l.PasswordID)
-		for j, pt := range pts {
-			rOK := core.Accepts(robust, e.robust[j], pt)
-			cOK := core.Accepts(centered, e.centered[j], pt)
+		for j := range l.Clicks {
+			pt := l.Clicks[j].Point()
+			rOK := core.Accepts(robust, rtokens[j], pt)
+			cOK := core.Accepts(centered, ctokens[j], pt)
 			// Cross-check the paper's definitional claim: centered
 			// acceptance must coincide with centered-tolerance
 			// membership around the original click.

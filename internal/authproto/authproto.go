@@ -1,12 +1,18 @@
-// Package authproto exposes a PassPoints vault over the network: a
-// length-prefixed JSON protocol on TCP and an equivalent net/http
-// API. It also enforces the per-account failed-attempt lockout that
-// §5.1 identifies as the defense against online dictionary attacks.
+// Package authproto exposes the transport-agnostic authentication
+// service (internal/authsvc) over the network: a length-prefixed JSON
+// protocol on TCP, an equivalent net/http API, and TLS over either.
+// The package owns only codecs and connection lifecycle — framing,
+// parking, graceful drain; every decoded request flows through one
+// shared authsvc pipeline (admission limiter, metrics, deadlines,
+// panic containment), so all fronts compete for one concurrency
+// budget and report into one set of counters.
 //
 // Wire format (TCP): each message is a 4-byte big-endian length
 // followed by a JSON document, request/response in lockstep on one
 // connection. Frames are capped at MaxFrame to bound allocation from
-// untrusted peers.
+// untrusted peers. The JSON shapes predate the versioned service
+// types and stay backward compatible: the `v` and `code` fields are
+// additive, and legacy flag fields (ok/locked) are still emitted.
 package authproto
 
 import (
@@ -21,8 +27,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clickpass/internal/authsvc"
 	"clickpass/internal/dataset"
-	"clickpass/internal/geom"
 	"clickpass/internal/par"
 	"clickpass/internal/passpoints"
 	"clickpass/internal/vault"
@@ -32,28 +38,35 @@ import (
 const MaxFrame = 1 << 20
 
 // DefaultLockout is the failed-attempt budget per account.
-const DefaultLockout = 10
+const DefaultLockout = authsvc.DefaultLockout
 
-// DefaultMaxConns bounds concurrently served connections per Serve
-// loop when the caller does not set a limit. Beyond it, accepted
-// connections wait in the kernel backlog instead of each getting a
-// goroutine — load sheds by queueing, not by unbounded spawning.
+// DefaultMaxConns bounds the shared request-admission limiter and the
+// per-Serve connection pool when the caller does not set a limit.
+// Beyond it, work queues (HTTP requests block in admission, TCP peers
+// wait in the kernel backlog) instead of spawning without bound.
 const DefaultMaxConns = 1024
 
-// Op identifies a request type.
-type Op string
+// DefaultRequestTimeout is the per-request handling deadline applied
+// to requests that arrive without one.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Op identifies a request type. It aliases the service's op type; the
+// wire strings are identical.
+type Op = authsvc.Op
 
 // Protocol operations.
 const (
-	OpPing   Op = "ping"
-	OpEnroll Op = "enroll"
-	OpLogin  Op = "login"
-	OpChange Op = "change" // replace the password after verifying the old one
-	OpReset  Op = "reset"  // administrative: clear an account's lockout
+	OpPing   = authsvc.OpPing
+	OpEnroll = authsvc.OpEnroll
+	OpLogin  = authsvc.OpLogin
+	OpChange = authsvc.OpChange // replace the password after verifying the old one
+	OpReset  = authsvc.OpReset  // administrative: clear an account's lockout
 )
 
-// Request is a client request.
+// Request is the wire shape of a client request. V is the additive
+// version field; zero means version 1 (legacy clients never send it).
 type Request struct {
+	V      int             `json:"v,omitempty"`
 	Op     Op              `json:"op"`
 	User   string          `json:"user,omitempty"`
 	Clicks []dataset.Click `json:"clicks,omitempty"`
@@ -61,27 +74,85 @@ type Request struct {
 	NewClicks []dataset.Click `json:"new_clicks,omitempty"`
 }
 
-// Response is a server reply.
+// service converts the wire request to the service's typed request.
+func (r Request) service() authsvc.Request {
+	return authsvc.Request{
+		Version:   r.V,
+		Op:        r.Op,
+		User:      r.User,
+		Clicks:    r.Clicks,
+		NewClicks: r.NewClicks,
+	}
+}
+
+// wireRequest converts a service request to its wire shape.
+func wireRequest(req authsvc.Request) Request {
+	return Request{
+		V:         req.Version,
+		Op:        req.Op,
+		User:      req.User,
+		Clicks:    req.Clicks,
+		NewClicks: req.NewClicks,
+	}
+}
+
+// Response is the wire shape of a server reply. The legacy flags
+// (ok/locked) are kept for old clients; Code carries the service's
+// typed outcome for new ones.
 type Response struct {
+	V         int    `json:"v,omitempty"`
 	OK        bool   `json:"ok"`
+	Code      string `json:"code,omitempty"`
 	Error     string `json:"error,omitempty"`
 	Locked    bool   `json:"locked,omitempty"`
 	Remaining int    `json:"remaining,omitempty"` // login attempts left
 }
 
-// Server authenticates PassPoints passwords against a vault.Store. It
-// is safe for concurrent use: each accepted connection is dispatched
-// to a bounded worker pool (par.Limiter), so a flood of clients queues
-// in the listen backlog instead of exhausting goroutines, and Shutdown
-// drains in-flight connections gracefully.
-type Server struct {
-	cfg      passpoints.Config
-	vault    vault.Store
-	lockout  int
-	maxConns int
+// wireResponse converts a service response to its wire shape.
+func wireResponse(resp authsvc.Response) Response {
+	return Response{
+		V:         resp.Version,
+		OK:        resp.OK(),
+		Code:      string(resp.Code),
+		Error:     resp.Err,
+		Locked:    resp.Locked(),
+		Remaining: resp.Remaining,
+	}
+}
 
-	mu       sync.Mutex
-	failures map[string]int
+// service converts a wire response back to the service's typed
+// response. Replies from legacy servers carry no code; the flags
+// determine it (anything not OK or locked reads as denied, the closest
+// legacy semantic).
+func (r Response) service() authsvc.Response {
+	if r.Code != "" {
+		return authsvc.Response{Version: r.V, Code: authsvc.Code(r.Code), Err: r.Error, Remaining: r.Remaining}
+	}
+	code := authsvc.CodeDenied
+	switch {
+	case r.Locked:
+		code = authsvc.CodeLocked
+	case r.OK:
+		code = authsvc.CodeOK
+	}
+	return authsvc.Response{Version: r.V, Code: code, Err: r.Error, Remaining: r.Remaining}
+}
+
+// Server is the network front of the authentication service. The
+// business rules live in authsvc.Service; Server adds the TCP codec
+// (Serve/ServeTLS), the HTTP codec (HTTPHandler), connection
+// lifecycle, and the shared middleware pipeline every front routes
+// through. It is safe for concurrent use, and Shutdown drains
+// in-flight connections gracefully.
+type Server struct {
+	svc        *authsvc.Service
+	handler    authsvc.Handler
+	metrics    *authsvc.Metrics
+	limiter    *par.Limiter
+	maxConns   int
+	userRate   float64
+	userBurst  int
+	reqTimeout time.Duration
 
 	connMu     sync.Mutex
 	conns      map[net.Conn]*connState
@@ -93,136 +164,84 @@ type Server struct {
 // <= 0 selects DefaultLockout. The store may be any vault.Store — the
 // single-lock file vault or the sharded store.
 func NewServer(cfg passpoints.Config, v vault.Store, lockout int) (*Server, error) {
-	if err := cfg.Validate(); err != nil {
+	svc, err := authsvc.NewService(cfg, v, lockout)
+	if err != nil {
 		return nil, err
 	}
-	if v == nil {
-		return nil, fmt.Errorf("authproto: nil vault")
+	s := &Server{
+		svc:        svc,
+		metrics:    &authsvc.Metrics{},
+		maxConns:   DefaultMaxConns,
+		reqTimeout: DefaultRequestTimeout,
+		conns:      make(map[net.Conn]*connState),
+		listeners:  make(map[net.Listener]struct{}),
 	}
-	if lockout <= 0 {
-		lockout = DefaultLockout
-	}
-	return &Server{
-		cfg:       cfg,
-		vault:     v,
-		lockout:   lockout,
-		maxConns:  DefaultMaxConns,
-		failures:  make(map[string]int),
-		conns:     make(map[net.Conn]*connState),
-		listeners: make(map[net.Listener]struct{}),
-	}, nil
+	s.rebuild()
+	return s, nil
 }
 
-// SetMaxConns bounds the connections served concurrently by each
-// subsequent Serve call (n <= 0 restores DefaultMaxConns). Call before
-// Serve; the limit is read once when the accept loop starts.
+// rebuild recomposes the middleware pipeline. Configuration setters
+// call it; they must run before the server starts serving.
+func (s *Server) rebuild() {
+	s.limiter = par.NewLimiter(s.maxConns)
+	// Ordering, outermost first:
+	//   - Metrics outside everything but Recover, so refused and
+	//     throttled responses show up in by_code and latency is the
+	//     client-observed number.
+	//   - Deadline outside admission, so the request timeout bounds
+	//     *queueing* too: a request stuck behind a saturated limiter
+	//     for reqTimeout is refused with CodeUnavailable instead of
+	//     parking its transport goroutine forever.
+	//   - UserRate outside admission, so a flood aimed at one user is
+	//     shed before it competes for the shared concurrency budget.
+	//   - InFlight inside admission, so the gauge's high-water mark is
+	//     provably capped by the limiter.
+	s.handler = authsvc.Chain(s.svc,
+		authsvc.WithRecover(),
+		authsvc.WithMetrics(s.metrics),
+		authsvc.WithDeadline(s.reqTimeout),
+		authsvc.WithUserRate(s.userRate, s.userBurst),
+		authsvc.WithAdmission(s.limiter),
+		authsvc.WithInFlight(s.metrics),
+	)
+}
+
+// SetMaxConns bounds both the shared request-admission limiter (all
+// transports combined) and the per-Serve TCP connection pool (n <= 0
+// restores DefaultMaxConns). Call before serving; the limits are read
+// when serving starts.
 func (s *Server) SetMaxConns(n int) {
 	if n <= 0 {
 		n = DefaultMaxConns
 	}
 	s.maxConns = n
+	s.rebuild()
 }
 
-// Handle executes one request. This is the transport-independent core
-// used by both the TCP and HTTP front ends.
+// SetUserRate enables per-user rate limiting across all transports:
+// at most burst requests back to back per user, refilling at perSec
+// per second. perSec <= 0 disables it (the default). Call before
+// serving.
+func (s *Server) SetUserRate(perSec float64, burst int) {
+	s.userRate, s.userBurst = perSec, burst
+	s.rebuild()
+}
+
+// Metrics returns the server's shared metrics registry — request
+// counts, latency, and the in-flight gauge across every transport.
+func (s *Server) Metrics() *authsvc.Metrics { return s.metrics }
+
+// Handle executes one wire request through the full pipeline. This is
+// the transport-independent entry point used by both the TCP and HTTP
+// front ends (and directly by tests).
 func (s *Server) Handle(req Request) Response {
-	switch req.Op {
-	case OpPing:
-		return Response{OK: true}
-	case OpEnroll:
-		return s.enroll(req)
-	case OpLogin:
-		return s.login(req)
-	case OpChange:
-		return s.change(req)
-	case OpReset:
-		s.mu.Lock()
-		delete(s.failures, req.User)
-		s.mu.Unlock()
-		return Response{OK: true}
-	default:
-		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
-	}
+	return s.HandleContext(context.Background(), req)
 }
 
-func (s *Server) enroll(req Request) Response {
-	if req.User == "" {
-		return Response{Error: "user required"}
-	}
-	rec, err := passpoints.Enroll(s.cfg, req.User, clicksToPoints(req.Clicks))
-	if err != nil {
-		return Response{Error: err.Error()}
-	}
-	if err := s.vault.Put(rec); err != nil {
-		if errors.Is(err, vault.ErrExists) {
-			return Response{Error: "user already enrolled"}
-		}
-		return Response{Error: err.Error()}
-	}
-	return Response{OK: true}
-}
-
-func (s *Server) login(req Request) Response {
-	if req.User == "" {
-		return Response{Error: "user required"}
-	}
-	s.mu.Lock()
-	failed := s.failures[req.User]
-	s.mu.Unlock()
-	if failed >= s.lockout {
-		return Response{Locked: true, Error: "account locked"}
-	}
-	rec, err := s.vault.Get(req.User)
-	if err != nil {
-		// Indistinguishable from a wrong password, to avoid user
-		// enumeration; still consumes an attempt for this name.
-		return s.fail(req.User)
-	}
-	ok, err := passpoints.Verify(s.cfg, rec, clicksToPoints(req.Clicks))
-	if err != nil || !ok {
-		return s.fail(req.User)
-	}
-	s.mu.Lock()
-	delete(s.failures, req.User)
-	s.mu.Unlock()
-	return Response{OK: true, Remaining: s.lockout}
-}
-
-// change replaces an account's password after verifying the old one.
-// Failed old-password checks consume lockout attempts exactly like
-// failed logins, so change cannot be used to bypass rate limiting.
-func (s *Server) change(req Request) Response {
-	resp := s.login(Request{Op: OpLogin, User: req.User, Clicks: req.Clicks})
-	if !resp.OK {
-		return resp
-	}
-	rec, err := passpoints.Enroll(s.cfg, req.User, clicksToPoints(req.NewClicks))
-	if err != nil {
-		return Response{Error: err.Error()}
-	}
-	if err := s.vault.Replace(rec); err != nil {
-		return Response{Error: err.Error()}
-	}
-	return Response{OK: true}
-}
-
-func (s *Server) fail(user string) Response {
-	s.mu.Lock()
-	s.failures[user]++
-	remaining := s.lockout - s.failures[user]
-	s.mu.Unlock()
-	if remaining <= 0 {
-		return Response{Locked: true, Error: "account locked"}
-	}
-	return Response{Error: "login failed", Remaining: remaining}
-}
-
-func clicksToPoints(clicks []dataset.Click) []geom.Point {
-	pts := make([]geom.Point, len(clicks))
-	for i, c := range clicks {
-		pts[i] = c.Point()
-	}
-	return pts
+// HandleContext is Handle with the transport's request context, so
+// deadlines and cancellation propagate into the service.
+func (s *Server) HandleContext(ctx context.Context, req Request) Response {
+	return wireResponse(s.handler.Handle(ctx, req.service()))
 }
 
 // ErrServerClosed is returned by Serve on a server whose Shutdown has
@@ -234,12 +253,14 @@ var ErrServerClosed = errors.New("authproto: server closed")
 // Serve accepts connections until the listener is closed, dispatching
 // each one to a bounded worker pool of at most SetMaxConns concurrent
 // handlers. Each connection carries a sequence of request/response
-// frames. Serve returns only after every admitted connection has
-// drained. Closing the listener alone stops admission but lets idle
-// peers park until IdleTimeout expires; call Shutdown for a prompt
-// drain — it also closes the listener, and additionally nudges idle
-// connections so Serve returns within milliseconds of the last
-// in-flight request.
+// frames; each decoded frame is admitted through the server's shared
+// request limiter before it is handled, so TCP and HTTP traffic
+// together never exceed one concurrency budget. Serve returns only
+// after every admitted connection has drained. Closing the listener
+// alone stops admission but lets idle peers park until IdleTimeout
+// expires; call Shutdown for a prompt drain — it also closes the
+// listener, and additionally nudges idle connections so Serve returns
+// within milliseconds of the last in-flight request.
 func (s *Server) Serve(l net.Listener) error {
 	// Registration and the shutdown flag are checked under one lock, so
 	// a Serve racing a Shutdown either registers in time to have its
@@ -433,7 +454,20 @@ func (s *Server) serveConnState(conn net.Conn, st *connState) {
 		if err := readBody(conn, n, &req); err != nil {
 			return // timeout or malformed frame: drop the peer
 		}
-		resp := s.Handle(req)
+		var resp Response
+		if req.Op == OpReset {
+			// The administrative reset must not ride the public TCP
+			// front: an online guesser could otherwise clear its own
+			// failure counter and defeat the §5.1 lockout. Admin paths
+			// are the in-process Handle and the HTTP AdminHandler.
+			resp = wireResponse(authsvc.Response{
+				Version: authsvc.Version,
+				Code:    authsvc.CodeInvalid,
+				Err:     "reset is admin-only; not served on this front",
+			})
+		} else {
+			resp = s.HandleContext(context.Background(), req)
+		}
 		_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 		if err := writeFrame(conn, resp); err != nil {
 			return
@@ -491,8 +525,10 @@ func writeFrame(w io.Writer, v interface{}) error {
 	return err
 }
 
-// Client is a TCP client for the protocol. Not safe for concurrent
-// use; requests are serialized on one connection.
+// Client is the raw framed-TCP codec client. Not safe for concurrent
+// use; requests are serialized on one connection. For the
+// transport-agnostic surface shared with HTTP, wrap it with
+// DialService or see NewHTTPClient.
 type Client struct {
 	conn net.Conn
 }

@@ -322,8 +322,8 @@ func TestNewServerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.lockout != DefaultLockout {
-		t.Errorf("default lockout = %d", s.lockout)
+	if s.svc.Lockout() != DefaultLockout {
+		t.Errorf("default lockout = %d", s.svc.Lockout())
 	}
 }
 

@@ -1,0 +1,131 @@
+package authproto
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"clickpass/internal/authsvc"
+)
+
+// This file implements authsvc.Client — the unified, transport-
+// agnostic client surface — over both wire codecs. Tests and loadtest
+// take an authsvc.Client and run identically against either front.
+
+// DialService connects the unified client over the framed-TCP codec.
+// Like the raw Client it wraps, the result is not safe for concurrent
+// use; requests are serialized on one connection. A context deadline
+// on a call bounds that call's whole network exchange.
+func DialService(addr string, timeout time.Duration) (authsvc.Client, error) {
+	raw, err := Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return ServiceClient(raw), nil
+}
+
+// ServiceClient wraps an existing raw codec client (e.g. over
+// net.Pipe or TLS via DialTLS) as an authsvc.Client.
+func ServiceClient(raw *Client) authsvc.Client {
+	c := &tcpServiceClient{raw: raw}
+	c.Ops = authsvc.Ops{Doer: c}
+	return c
+}
+
+type tcpServiceClient struct {
+	authsvc.Ops
+	raw *Client
+	// broken marks a connection whose request/response lockstep is no
+	// longer trustworthy (a failed or timed-out exchange may have left
+	// an unread response frame in flight); every later call refuses
+	// rather than risk pairing a request with a stale response.
+	broken bool
+}
+
+func (c *tcpServiceClient) Do(ctx context.Context, req authsvc.Request) (authsvc.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return authsvc.Response{}, err
+	}
+	if c.broken {
+		return authsvc.Response{}, fmt.Errorf("authproto: connection out of sync after a failed exchange; dial a new client")
+	}
+	// The frame exchange honors the context's deadline via the
+	// connection deadline; cancellation without a deadline falls back
+	// to the entry check above.
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.raw.conn.SetDeadline(deadline)
+		defer func() { _ = c.raw.conn.SetDeadline(time.Time{}) }()
+	}
+	resp, err := c.raw.Do(wireRequest(req))
+	if err != nil {
+		c.broken = true
+		_ = c.raw.Close()
+		return authsvc.Response{}, err
+	}
+	return resp.service(), nil
+}
+
+func (c *tcpServiceClient) Close() error { return c.raw.Close() }
+
+// NewHTTPClient returns the unified client over the HTTP/JSON codec.
+// baseURL is the server root (e.g. "http://127.0.0.1:7780"); hc may be
+// nil for http.DefaultClient. Unlike the TCP client, the result is
+// safe for concurrent use — the underlying http.Client pools
+// connections.
+func NewHTTPClient(baseURL string, hc *http.Client) authsvc.Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &httpServiceClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	c.Ops = authsvc.Ops{Doer: c}
+	return c
+}
+
+type httpServiceClient struct {
+	authsvc.Ops
+	base string
+	hc   *http.Client
+}
+
+func (c *httpServiceClient) Do(ctx context.Context, req authsvc.Request) (authsvc.Response, error) {
+	var (
+		httpReq *http.Request
+		err     error
+	)
+	path := c.base + "/v1/" + string(req.Op)
+	if req.Op == authsvc.OpPing {
+		httpReq, err = http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	} else {
+		var body bytes.Buffer
+		if err := json.NewEncoder(&body).Encode(wireRequest(req)); err != nil {
+			return authsvc.Response{}, fmt.Errorf("authproto: encoding request: %w", err)
+		}
+		httpReq, err = http.NewRequestWithContext(ctx, http.MethodPost, path, &body)
+		if httpReq != nil {
+			httpReq.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return authsvc.Response{}, fmt.Errorf("authproto: building request: %w", err)
+	}
+	httpResp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return authsvc.Response{}, err
+	}
+	defer httpResp.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return authsvc.Response{}, fmt.Errorf("authproto: decoding response (status %d): %w",
+			httpResp.StatusCode, err)
+	}
+	return resp.service(), nil
+}
+
+func (c *httpServiceClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}

@@ -2,25 +2,78 @@ package authproto
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
+
+	"clickpass/internal/authsvc"
 )
 
-// HTTPHandler exposes the server over HTTP:
+// HTTPHandler exposes the service over HTTP:
 //
 //	POST /v1/enroll  {"user": ..., "clicks": [{"x":..,"y":..}, ...]}
 //	POST /v1/login   same body
+//	POST /v1/change  adds "new_clicks"
 //	GET  /v1/ping
 //
-// Responses are the same Response JSON as the TCP protocol. Login
-// failures return 401, lockouts 429, malformed requests 400.
+// Responses are the same Response JSON as the TCP protocol, and every
+// request — ping included — runs through the same authsvc pipeline as
+// the TCP front, so both transports share one admission limiter and
+// one metrics registry. Login failures return 401, lockouts and rate
+// limits 429, malformed requests 400, duplicate enrollments 409,
+// admission/deadline refusals 503.
+//
+// The administrative lockout reset is deliberately NOT routed here:
+// an unauthenticated public reset would let an online guesser clear
+// the failed-attempt counter and defeat the §5.1 lockout. It lives on
+// AdminHandler, which deployments bind to a separate, non-public
+// listener (pwserver's -metrics address).
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, Response{OK: true})
+		resp := s.HandleContext(r.Context(), Request{Op: OpPing})
+		writeJSON(w, statusFor(resp), resp)
 	})
 	mux.HandleFunc("/v1/enroll", s.httpOp(OpEnroll))
 	mux.HandleFunc("/v1/login", s.httpOp(OpLogin))
+	mux.HandleFunc("/v1/change", s.httpOp(OpChange))
 	return mux
+}
+
+// AdminHandler exposes the operator surface — separate from the
+// public HTTPHandler so deployments can bind it to a loopback or
+// otherwise protected listener:
+//
+//	POST /v1/reset  {"user": ...}   clear an account's lockout
+//	GET  /metrics                   pipeline counters as JSON
+//
+// Reset requests run through the same pipeline as everything else
+// (admitted, counted, deadline-bounded).
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/reset", s.httpOp(OpReset))
+	mux.Handle("/metrics", s.metrics.Handler())
+	return mux
+}
+
+// decodeHTTPRequest decodes one HTTP/JSON request body into the wire
+// request for op. It is the whole HTTP decode path — shared by the
+// handler, the fuzzer, and the TCP/HTTP round-trip property test — so
+// the two transports cannot drift in how they read a request.
+func decodeHTTPRequest(op Op, body io.Reader) (Request, error) {
+	var req Request
+	dec := json.NewDecoder(io.LimitReader(body, MaxFrame+1))
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("authproto: malformed request body: %w", err)
+	}
+	// Exactly one JSON value, like a TCP frame: json.Unmarshal on a
+	// frame body rejects trailing bytes, so the streaming decoder must
+	// too or the transports drift.
+	if _, err := dec.Token(); err != io.EOF {
+		return Request{}, fmt.Errorf("authproto: trailing data after request body")
+	}
+	req.Op = op
+	return req, nil
 }
 
 func (s *Server) httpOp(op Op) http.HandlerFunc {
@@ -29,24 +82,33 @@ func (s *Server) httpOp(op Op) http.HandlerFunc {
 			writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "POST required"})
 			return
 		}
-		var req Request
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxFrame))
-		if err := dec.Decode(&req); err != nil {
+		req, err := decodeHTTPRequest(op, http.MaxBytesReader(w, r.Body, MaxFrame))
+		if err != nil {
 			writeJSON(w, http.StatusBadRequest, Response{Error: "malformed request body"})
 			return
 		}
-		req.Op = op
-		resp := s.Handle(req)
-		status := http.StatusOK
-		switch {
-		case resp.Locked:
-			status = http.StatusTooManyRequests
-		case !resp.OK && op == OpLogin:
-			status = http.StatusUnauthorized
-		case !resp.OK:
-			status = http.StatusBadRequest
-		}
-		writeJSON(w, status, resp)
+		resp := s.HandleContext(r.Context(), req)
+		writeJSON(w, statusFor(resp), resp)
+	}
+}
+
+// statusFor maps a typed service outcome to its HTTP status.
+func statusFor(resp Response) int {
+	switch authsvc.Code(resp.Code) {
+	case authsvc.CodeOK:
+		return http.StatusOK
+	case authsvc.CodeLocked, authsvc.CodeThrottled:
+		return http.StatusTooManyRequests
+	case authsvc.CodeDenied:
+		return http.StatusUnauthorized
+	case authsvc.CodeExists:
+		return http.StatusConflict
+	case authsvc.CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case authsvc.CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
 	}
 }
 

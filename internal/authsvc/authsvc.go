@@ -1,0 +1,348 @@
+// Package authsvc is the transport-agnostic core of the PassPoints
+// authentication service. It owns the business rules — enroll, login,
+// change, administrative reset, and the per-account failed-attempt
+// lockout of §5.1 — behind a single Handle(ctx, Request) Response
+// entry point over versioned, typed request/response values.
+//
+// Transports (the framed-TCP codec, the HTTP/JSON mux, TLS — all in
+// internal/authproto) are thin codecs over this package: they decode
+// bytes into a Request, call one shared Handler, and encode the
+// Response back out. Cross-cutting concerns — admission through a
+// shared par.Limiter, per-user rate limiting, deadline propagation,
+// panic containment, metrics — compose as Middleware around the
+// Service, so every front end shares one pipeline, one concurrency
+// limit, and one set of counters.
+package authsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/passpoints"
+	"clickpass/internal/vault"
+)
+
+// Version is the current wire-type version. Requests that do not carry
+// an explicit version (legacy frames) are interpreted as version 1;
+// requests from the future are refused with CodeInvalid rather than
+// half-understood.
+const Version = 1
+
+// Op identifies a request type.
+type Op string
+
+// Service operations.
+const (
+	OpPing   Op = "ping"
+	OpEnroll Op = "enroll"
+	OpLogin  Op = "login"
+	OpChange Op = "change" // replace the password after verifying the old one
+	OpReset  Op = "reset"  // administrative: clear an account's lockout
+)
+
+// Request is one versioned service request. The zero Version means
+// "version 1" so that legacy clients that never learned the field keep
+// working unchanged.
+type Request struct {
+	Version   int             `json:"v,omitempty"`
+	Op        Op              `json:"op"`
+	User      string          `json:"user,omitempty"`
+	Clicks    []dataset.Click `json:"clicks,omitempty"`
+	NewClicks []dataset.Click `json:"new_clicks,omitempty"`
+}
+
+// Code is the typed outcome of a request — the enum that replaces the
+// stringly OK/Locked flags the wire protocol grew up with. Transports
+// map codes to their local idiom (HTTP status, TCP response flags);
+// the strings themselves are wire-stable.
+type Code string
+
+// Response codes.
+const (
+	// CodeOK: the request succeeded.
+	CodeOK Code = "ok"
+	// CodeDenied: authentication failed (wrong password — or an
+	// unknown user, deliberately indistinguishable).
+	CodeDenied Code = "denied"
+	// CodeLocked: the account is locked out (§5.1 online-attack
+	// defense); an administrative reset is required.
+	CodeLocked Code = "locked"
+	// CodeThrottled: the per-user rate limit rejected the request.
+	CodeThrottled Code = "throttled"
+	// CodeExists: enrollment refused because the user already exists.
+	CodeExists Code = "exists"
+	// CodeInvalid: the request is malformed (unknown op, missing user,
+	// bad click geometry, unsupported version).
+	CodeInvalid Code = "invalid"
+	// CodeUnavailable: the service could not take the request in time
+	// (admission timed out, deadline expired, shutting down).
+	CodeUnavailable Code = "unavailable"
+	// CodeInternal: the service itself failed (storage error, panic).
+	CodeInternal Code = "internal"
+)
+
+// Response is one versioned service response.
+type Response struct {
+	Version int    `json:"v,omitempty"`
+	Code    Code   `json:"code"`
+	Err     string `json:"error,omitempty"`
+	// Remaining is the failed-login budget left for the account: on a
+	// failure, how many attempts remain before lockout; on a
+	// successful login, the full budget.
+	Remaining int `json:"remaining,omitempty"`
+}
+
+// OK reports whether the request succeeded.
+func (r Response) OK() bool { return r.Code == CodeOK }
+
+// Locked reports whether the account is locked out.
+func (r Response) Locked() bool { return r.Code == CodeLocked }
+
+// Handler executes one request. Implementations must be safe for
+// concurrent use; ctx carries the request deadline and cancellation
+// from whatever transport accepted it.
+type Handler interface {
+	Handle(ctx context.Context, req Request) Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx context.Context, req Request) Response
+
+// Handle calls f.
+func (f HandlerFunc) Handle(ctx context.Context, req Request) Response { return f(ctx, req) }
+
+// Middleware wraps a Handler with one cross-cutting concern.
+type Middleware func(Handler) Handler
+
+// Chain composes middleware around h: the first element is outermost,
+// so Chain(h, a, b) handles a request as a(b(h)).
+func Chain(h Handler, mw ...Middleware) Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// Service is the stateful core: a vault.Store of enrolled records plus
+// the in-memory failed-attempt counters. It implements Handler and is
+// safe for concurrent use.
+type Service struct {
+	cfg     passpoints.Config
+	store   vault.Store
+	lockout int
+	// dummy is a throwaway record verified against on unknown-user
+	// logins, so that path costs the same hash work as a wrong
+	// password and cannot be used as a timing oracle for user
+	// enumeration.
+	dummy *passpoints.Record
+
+	mu       sync.Mutex
+	failures map[string]int
+}
+
+// DefaultLockout is the failed-attempt budget per account.
+const DefaultLockout = 10
+
+// NewService validates the configuration and returns the service
+// core. lockout <= 0 selects DefaultLockout. The store may be any
+// vault.Store — the single-lock file vault or the sharded store.
+func NewService(cfg passpoints.Config, store vault.Store, lockout int) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, fmt.Errorf("authsvc: nil store")
+	}
+	if lockout <= 0 {
+		lockout = DefaultLockout
+	}
+	dummy, err := passpoints.Enroll(cfg, "\x00dummy", dummyClicks(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("authsvc: building dummy record: %w", err)
+	}
+	return &Service{
+		cfg:      cfg,
+		store:    store,
+		lockout:  lockout,
+		dummy:    dummy,
+		failures: make(map[string]int),
+	}, nil
+}
+
+// dummyClicks spreads cfg.Clicks deterministic points across the image
+// for the timing-equalization record.
+func dummyClicks(cfg passpoints.Config) []geom.Point {
+	pts := make([]geom.Point, cfg.Clicks)
+	for i := range pts {
+		pts[i] = geom.Pt((i*71+13)%cfg.Image.W, (i*53+29)%cfg.Image.H)
+	}
+	return pts
+}
+
+// Lockout returns the configured failed-attempt budget.
+func (s *Service) Lockout() int { return s.lockout }
+
+// Handle executes one request against the store. It implements
+// Handler and is the innermost stage of every transport's pipeline.
+func (s *Service) Handle(ctx context.Context, req Request) Response {
+	if req.Version > Version {
+		return Response{Version: Version, Code: CodeInvalid,
+			Err: fmt.Sprintf("unsupported version %d", req.Version)}
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{Version: Version, Code: CodeUnavailable, Err: "deadline exceeded"}
+	}
+	switch req.Op {
+	case OpPing:
+		return Response{Version: Version, Code: CodeOK}
+	case OpEnroll:
+		return s.enroll(ctx, req)
+	case OpLogin:
+		return s.login(ctx, req)
+	case OpChange:
+		return s.change(ctx, req)
+	case OpReset:
+		s.mu.Lock()
+		delete(s.failures, req.User)
+		s.mu.Unlock()
+		return Response{Version: Version, Code: CodeOK}
+	default:
+		return Response{Version: Version, Code: CodeInvalid,
+			Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Service) enroll(ctx context.Context, req Request) Response {
+	if req.User == "" {
+		return Response{Version: Version, Code: CodeInvalid, Err: "user required"}
+	}
+	if resp, expired := deadlineCheck(ctx); expired {
+		return resp
+	}
+	rec, err := passpoints.Enroll(s.cfg, req.User, clicksToPoints(req.Clicks))
+	if err != nil {
+		return Response{Version: Version, Code: CodeInvalid, Err: err.Error()}
+	}
+	if err := s.store.Put(rec); err != nil {
+		if errors.Is(err, vault.ErrExists) {
+			return Response{Version: Version, Code: CodeExists, Err: "user already enrolled"}
+		}
+		return Response{Version: Version, Code: CodeInternal, Err: err.Error()}
+	}
+	return Response{Version: Version, Code: CodeOK}
+}
+
+// login authenticates one attempt. Unknown users and wrong passwords
+// share the failure path end to end: both consume a lockout attempt,
+// both return byte-identical responses, and both perform one full
+// digest comparison — the unknown-user branch against the dummy
+// record — so response timing does not reveal which names exist.
+func (s *Service) login(ctx context.Context, req Request) Response {
+	if req.User == "" {
+		return Response{Version: Version, Code: CodeInvalid, Err: "user required"}
+	}
+	if resp, expired := deadlineCheck(ctx); expired {
+		return resp
+	}
+	s.mu.Lock()
+	failed := s.failures[req.User]
+	s.mu.Unlock()
+	if failed >= s.lockout {
+		return Response{Version: Version, Code: CodeLocked, Err: "account locked"}
+	}
+	rec, err := s.store.Get(req.User)
+	if err != nil {
+		// Equivalent work to the known-user path: a real hash compare,
+		// discarded. The response is built by the same fail() as a
+		// wrong password.
+		_, _ = passpoints.Verify(s.cfg, s.dummy, clicksToPoints(req.Clicks))
+		return s.fail(req.User)
+	}
+	ok, err := passpoints.Verify(s.cfg, rec, clicksToPoints(req.Clicks))
+	if err != nil || !ok {
+		return s.fail(req.User)
+	}
+	s.mu.Lock()
+	delete(s.failures, req.User)
+	s.mu.Unlock()
+	return Response{Version: Version, Code: CodeOK, Remaining: s.lockout}
+}
+
+// change replaces an account's password after verifying the old one.
+// Failed old-password checks consume lockout attempts exactly like
+// failed logins, so change cannot be used to bypass rate limiting.
+func (s *Service) change(ctx context.Context, req Request) Response {
+	resp := s.login(ctx, Request{Op: OpLogin, User: req.User, Clicks: req.Clicks})
+	if !resp.OK() {
+		return resp
+	}
+	if resp, expired := deadlineCheck(ctx); expired {
+		return resp
+	}
+	rec, err := passpoints.Enroll(s.cfg, req.User, clicksToPoints(req.NewClicks))
+	if err != nil {
+		return Response{Version: Version, Code: CodeInvalid, Err: err.Error()}
+	}
+	if err := s.store.Replace(rec); err != nil {
+		return Response{Version: Version, Code: CodeInternal, Err: err.Error()}
+	}
+	return Response{Version: Version, Code: CodeOK}
+}
+
+// maxFailureEntries caps the failed-attempt map: login floods with
+// attacker-chosen (mostly nonexistent) user names must not grow
+// server memory without bound — the same discipline as the rate
+// limiter's maxRateBuckets.
+const maxFailureEntries = 1 << 16
+
+func (s *Service) fail(user string) Response {
+	s.mu.Lock()
+	if _, tracked := s.failures[user]; !tracked && len(s.failures) >= maxFailureEntries {
+		s.sweepFailures()
+	}
+	s.failures[user]++
+	remaining := s.lockout - s.failures[user]
+	s.mu.Unlock()
+	if remaining <= 0 {
+		return Response{Version: Version, Code: CodeLocked, Err: "account locked"}
+	}
+	return Response{Version: Version, Code: CodeDenied, Err: "login failed", Remaining: remaining}
+}
+
+// sweepFailures evicts sub-lockout counters when the map is at
+// capacity, called with s.mu held. Locked accounts are never evicted
+// — a name flood cannot lift an existing lockout — at the cost of
+// resetting partial counters (an attacker mid-guess gets fresh
+// attempts but pays the flood to earn them). If every entry is locked
+// the map may exceed the cap; each such entry cost the flooder a full
+// lockout's worth of requests, so growth is at least lockout-fold
+// more expensive than the counter flood this bounds.
+func (s *Service) sweepFailures() {
+	for user, n := range s.failures {
+		if n < s.lockout {
+			delete(s.failures, user)
+		}
+	}
+}
+
+// deadlineCheck refuses a request whose context has already expired —
+// the cooperative deadline gate placed before each hash-heavy stage.
+// (It cannot interrupt a blocked store call; see WithDeadline.)
+func deadlineCheck(ctx context.Context) (Response, bool) {
+	if ctx.Err() != nil {
+		return Response{Version: Version, Code: CodeUnavailable, Err: "deadline exceeded"}, true
+	}
+	return Response{}, false
+}
+
+func clicksToPoints(clicks []dataset.Click) []geom.Point {
+	pts := make([]geom.Point, len(clicks))
+	for i, c := range clicks {
+		pts[i] = c.Point()
+	}
+	return pts
+}

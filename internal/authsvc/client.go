@@ -1,0 +1,68 @@
+package authsvc
+
+import (
+	"context"
+	"fmt"
+
+	"clickpass/internal/dataset"
+)
+
+// Doer sends one request over some transport and returns the service's
+// response. Transport errors (broken connection, unreachable host) are
+// returned as err; service-level refusals come back inside Response.
+type Doer interface {
+	Do(ctx context.Context, req Request) (Response, error)
+}
+
+// Client is the unified client surface: one interface, interchangeable
+// TCP and HTTP implementations (internal/authproto), so tests and
+// loadtest drive either transport through identical code.
+type Client interface {
+	Doer
+	// Ping checks liveness.
+	Ping(ctx context.Context) error
+	// Enroll registers a new password.
+	Enroll(ctx context.Context, user string, clicks []dataset.Click) (Response, error)
+	// Login attempts authentication.
+	Login(ctx context.Context, user string, clicks []dataset.Click) (Response, error)
+	// Change replaces the password after verifying the old one.
+	Change(ctx context.Context, user string, old, new []dataset.Click) (Response, error)
+	// Close releases the transport.
+	Close() error
+}
+
+// Ops derives the full Client op surface from a Doer, so a transport
+// implementation only writes Do and Close:
+//
+//	c := &tcpClient{...}
+//	c.Ops = authsvc.Ops{Doer: c}
+type Ops struct {
+	Doer
+}
+
+// Ping checks liveness.
+func (o Ops) Ping(ctx context.Context) error {
+	resp, err := o.Do(ctx, Request{Version: Version, Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return fmt.Errorf("authsvc: ping rejected: %s", resp.Err)
+	}
+	return nil
+}
+
+// Enroll registers a new password.
+func (o Ops) Enroll(ctx context.Context, user string, clicks []dataset.Click) (Response, error) {
+	return o.Do(ctx, Request{Version: Version, Op: OpEnroll, User: user, Clicks: clicks})
+}
+
+// Login attempts authentication.
+func (o Ops) Login(ctx context.Context, user string, clicks []dataset.Click) (Response, error) {
+	return o.Do(ctx, Request{Version: Version, Op: OpLogin, User: user, Clicks: clicks})
+}
+
+// Change replaces the password after verifying the old one.
+func (o Ops) Change(ctx context.Context, user string, old, new []dataset.Click) (Response, error) {
+	return o.Do(ctx, Request{Version: Version, Op: OpChange, User: user, Clicks: old, NewClicks: new})
+}

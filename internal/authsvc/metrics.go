@@ -1,0 +1,122 @@
+package authsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the serving pipeline's observability signals:
+// request counts by op and by outcome code, latency (total, max, and
+// per-request mean via the snapshot), and the in-flight gauge with its
+// high-water mark. One Metrics instance is shared by every transport
+// of a server, so the numbers describe the service, not one front end.
+//
+// The two concerns attach at different pipeline depths (see
+// WithMetrics and WithInFlight): counts and latency are recorded
+// outermost, so refused and throttled requests — the load an
+// overloaded server sheds — are visible in by_code; the in-flight
+// gauge runs inside admission, so its high-water mark is provably
+// capped by the shared limiter.
+//
+// Safe for concurrent use; the zero value is ready.
+type Metrics struct {
+	inFlight atomic.Int64
+	peak     atomic.Int64
+
+	mu       sync.Mutex
+	byOp     map[Op]int64
+	byCode   map[Code]int64
+	requests int64
+	latTotal time.Duration
+	latMax   time.Duration
+}
+
+// enter marks a request entering the handled (admitted) phase.
+func (m *Metrics) enter() {
+	n := m.inFlight.Add(1)
+	for {
+		p := m.peak.Load()
+		if n <= p || m.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// leave marks a request leaving the handled phase.
+func (m *Metrics) leave() { m.inFlight.Add(-1) }
+
+// observe records one finished request's outcome and latency.
+func (m *Metrics) observe(op Op, code Code, d time.Duration) {
+	m.mu.Lock()
+	if m.byOp == nil {
+		m.byOp = make(map[Op]int64)
+		m.byCode = make(map[Code]int64)
+	}
+	m.byOp[op]++
+	m.byCode[code]++
+	m.requests++
+	m.latTotal += d
+	if d > m.latMax {
+		m.latMax = d
+	}
+	m.mu.Unlock()
+}
+
+// InFlight returns the number of requests currently being handled.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// Peak returns the high-water mark of the in-flight gauge — the
+// observable proof that a shared admission limiter really caps the
+// combined transports.
+func (m *Metrics) Peak() int64 { return m.peak.Load() }
+
+// Snapshot is a point-in-time copy of the counters, JSON-ready for the
+// metrics endpoint.
+type Snapshot struct {
+	Requests  int64          `json:"requests"`
+	InFlight  int64          `json:"in_flight"`
+	Peak      int64          `json:"peak_in_flight"`
+	ByOp      map[Op]int64   `json:"by_op,omitempty"`
+	ByCode    map[Code]int64 `json:"by_code,omitempty"`
+	LatMeanUs float64        `json:"latency_mean_us"`
+	LatMaxUs  float64        `json:"latency_max_us"`
+}
+
+// Snapshot copies the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		InFlight: m.inFlight.Load(),
+		Peak:     m.peak.Load(),
+	}
+	m.mu.Lock()
+	s.Requests = m.requests
+	if len(m.byOp) > 0 {
+		s.ByOp = make(map[Op]int64, len(m.byOp))
+		for k, v := range m.byOp {
+			s.ByOp[k] = v
+		}
+		s.ByCode = make(map[Code]int64, len(m.byCode))
+		for k, v := range m.byCode {
+			s.ByCode[k] = v
+		}
+	}
+	if m.requests > 0 {
+		s.LatMeanUs = float64(m.latTotal.Microseconds()) / float64(m.requests)
+	}
+	s.LatMaxUs = float64(m.latMax.Microseconds())
+	m.mu.Unlock()
+	return s
+}
+
+// Handler serves the snapshot as JSON — pwserver's -metrics endpoint.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+}

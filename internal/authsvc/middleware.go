@@ -1,0 +1,191 @@
+package authsvc
+
+import (
+	"context"
+	"log"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"clickpass/internal/par"
+)
+
+// WithRecover contains panics escaping the rest of the pipeline: the
+// request gets a CodeInternal response instead of taking down the
+// transport goroutine (and, for TCP, the whole process). Outermost in
+// every production chain.
+func WithRecover() Middleware {
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) (resp Response) {
+			defer func() {
+				if r := recover(); r != nil {
+					log.Printf("authsvc: handler panicked: %v\n%s", r, debug.Stack())
+					resp = Response{Version: Version, Code: CodeInternal, Err: "internal error"}
+				}
+			}()
+			return next.Handle(ctx, req)
+		})
+	}
+}
+
+// WithAdmission gates every request through one shared par.Limiter —
+// the single concurrency budget all transports draw from, closing the
+// seam where net/http used to spawn unboundedly past the TCP worker
+// pool. A request whose context expires while queued is refused with
+// CodeUnavailable instead of being served late.
+func WithAdmission(lim *par.Limiter) Middleware {
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) Response {
+			if err := lim.AcquireContext(ctx); err != nil {
+				return Response{Version: Version, Code: CodeUnavailable, Err: "server busy"}
+			}
+			defer lim.Release()
+			return next.Handle(ctx, req)
+		})
+	}
+}
+
+// WithDeadline attaches a deadline to requests arriving without one.
+// Compose it outside WithAdmission so the deadline bounds time queued
+// for a limiter slot (queued requests are refused with
+// CodeUnavailable when it expires). Inside the service the deadline
+// is checked between stages, not mid-syscall: a store call that
+// blocks indefinitely still blocks its goroutine — the deadline
+// bounds cooperative work, it is not a preemption mechanism. d <= 0
+// disables the middleware.
+func WithDeadline(d time.Duration) Middleware {
+	if d <= 0 {
+		return func(next Handler) Handler { return next }
+	}
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) Response {
+			if _, ok := ctx.Deadline(); !ok {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, d)
+				defer cancel()
+			}
+			return next.Handle(ctx, req)
+		})
+	}
+}
+
+// WithMetrics records request counts, outcome codes, and latency into
+// m. Place it outermost (just inside WithRecover) so every outcome is
+// counted — including CodeUnavailable and CodeThrottled responses
+// produced by inner middleware, the shed load an operator most needs
+// to see under overload — and so latency is the client-observed
+// number, queueing included.
+func WithMetrics(m *Metrics) Middleware {
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) Response {
+			t0 := time.Now()
+			// A panicking handler unwinds past the normal observe call;
+			// the deferred path records it as CodeInternal (matching the
+			// response WithRecover will synthesize) and lets the panic
+			// keep propagating — counted, not swallowed.
+			panicked := true
+			defer func() {
+				if panicked {
+					m.observe(req.Op, CodeInternal, time.Since(t0))
+				}
+			}()
+			resp := next.Handle(ctx, req)
+			panicked = false
+			m.observe(req.Op, resp.Code, time.Since(t0))
+			return resp
+		})
+	}
+}
+
+// WithInFlight tracks the in-flight gauge and its high-water mark in
+// m. Place it inside WithAdmission so the gauge counts requests being
+// handled, not requests queued for a slot — which makes its peak a
+// proof that the shared limiter caps the combined transports.
+func WithInFlight(m *Metrics) Middleware {
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) Response {
+			m.enter()
+			defer m.leave()
+			return next.Handle(ctx, req)
+		})
+	}
+}
+
+// WithUserRate enforces a per-user token bucket: at most burst
+// requests back to back, refilling at perSec requests per second.
+// Requests without a user (ping) pass through. perSec <= 0 disables
+// the middleware. Exceeding the budget returns CodeThrottled — the
+// cheap, steady-state complement to the lockout's hard stop. Compose
+// it outside WithAdmission so a flood aimed at one user is shed
+// before it competes for the shared concurrency budget.
+func WithUserRate(perSec float64, burst int) Middleware {
+	if perSec <= 0 {
+		return func(next Handler) Handler { return next }
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	rl := &userRate{perSec: perSec, burst: float64(burst), buckets: make(map[string]*bucket)}
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) Response {
+			if req.User != "" && !rl.allow(req.User, time.Now()) {
+				return Response{Version: Version, Code: CodeThrottled, Err: "rate limited"}
+			}
+			return next.Handle(ctx, req)
+		})
+	}
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxRateBuckets caps the tracked-user map: attacker-chosen user
+// names must not grow server memory without bound. At the cap, a
+// sweep drops every bucket that has refilled to full (idle users lose
+// nothing by eviction — a fresh bucket starts full).
+const maxRateBuckets = 1 << 16
+
+type userRate struct {
+	perSec float64
+	burst  float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func (r *userRate) allow(user string, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[user]
+	if !ok {
+		if len(r.buckets) >= maxRateBuckets {
+			r.sweep(now)
+		}
+		b = &bucket{tokens: r.burst, last: now}
+		r.buckets[user] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * r.perSec
+	if b.tokens > r.burst {
+		b.tokens = r.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweep evicts buckets whose elapsed idle time has refilled them to
+// full; they are indistinguishable from fresh buckets. If every
+// tracked user is mid-burst (pathological), the map briefly exceeds
+// the cap rather than dropping someone's throttle state.
+func (r *userRate) sweep(now time.Time) {
+	for user, b := range r.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*r.perSec >= r.burst {
+			delete(r.buckets, user)
+		}
+	}
+}

@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"testing"
 
+	"clickpass/internal/authsvc"
 	"clickpass/internal/vault"
 )
 
-// BenchmarkAuthSwarm measures end-to-end auth throughput over real TCP
-// at the ISSUE's load points — 1/8/64/256 concurrent clients — against
-// both store backends, on a read-heavy mix (1 password change per 10
+// BenchmarkAuthSwarm measures end-to-end auth throughput at the
+// standing load points — 1/8/64/256 concurrent clients — against both
+// store backends, on a read-heavy mix (1 password change per 10
 // logins). ns/op is per completed request; the ops/s metric is the
 // swarm throughput recorded in PERFORMANCE.md's "Server load" table.
 //
@@ -24,29 +25,53 @@ func BenchmarkAuthSwarm(b *testing.B) {
 	} {
 		for _, clients := range []int{1, 8, 64, 256} {
 			b.Run(fmt.Sprintf("%s/clients=%d", backend.name, clients), func(b *testing.B) {
-				store := backend.mk()
-				addr, shutdown := startServer(b, store, 256)
+				_, addr, shutdown := startServer(b, backend.mk(), 256)
 				defer shutdown()
-				users := enrollUsers(b, addr, clients)
-				ops := b.N/clients + 1
-				b.ResetTimer()
-				res, err := Run(Config{
-					Addr:         addr,
-					Clients:      clients,
-					OpsPerClient: ops,
-					Request:      AuthMix(users, userClicks, 10),
-					Check:        RequireOK,
-				})
-				b.StopTimer()
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.Errors != 0 {
-					b.Fatalf("swarm errors: %d (%s)", res.Errors, res)
-				}
-				b.ReportMetric(res.Throughput(), "ops/s")
-				b.ReportMetric(float64(res.P99.Microseconds()), "p99-µs")
+				benchSwarm(b, TCPTransport(addr, 0), addr, clients)
 			})
 		}
 	}
+}
+
+// BenchmarkAuthSwarmHTTP is the same swarm over the HTTP/JSON codec —
+// the apples-to-apples transport comparison in PERFORMANCE.md's
+// "Unified serving layer" section (both fronts run the identical
+// pipeline; the delta is pure codec overhead).
+//
+//	go test ./internal/loadtest -run NONE -bench AuthSwarmHTTP -benchtime 2000x
+func BenchmarkAuthSwarmHTTP(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("vault/clients=%d", clients), func(b *testing.B) {
+			srv, addr, shutdown := startServer(b, vault.New(), 256)
+			defer shutdown()
+			baseURL, closeHTTP := startHTTP(b, srv)
+			defer closeHTTP()
+			benchSwarm(b, HTTPTransport(baseURL), addr, clients)
+		})
+	}
+}
+
+// benchSwarm enrolls identities over TCP (enrollment is setup, not
+// measurement) and times one swarm run over the given transport.
+func benchSwarm(b *testing.B, dial func(int) (authsvc.Client, error), tcpAddr string, clients int) {
+	b.Helper()
+	users := enrollUsers(b, tcpAddr, clients)
+	ops := b.N/clients + 1
+	b.ResetTimer()
+	res, err := Run(Config{
+		Dial:         dial,
+		Clients:      clients,
+		OpsPerClient: ops,
+		Request:      AuthMix(users, userClicks, 10),
+		Check:        RequireOK,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors != 0 {
+		b.Fatalf("swarm errors: %d (%s)", res.Errors, res)
+	}
+	b.ReportMetric(res.Throughput(), "ops/s")
+	b.ReportMetric(float64(res.P99.Microseconds()), "p99-µs")
 }

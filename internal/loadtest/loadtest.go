@@ -1,44 +1,82 @@
-// Package loadtest drives client swarms against an authproto server
-// and reports throughput and latency percentiles — the capacity-
-// planning instrument behind PERFORMANCE.md's "Server load" section.
-// It measures the paper's online scenario (§5) at service scale: many
-// concurrent clients speaking the real TCP protocol, so the numbers
-// include framing, scheme verification, hashing, and store contention.
+// Package loadtest drives client swarms against an auth server and
+// reports throughput and latency percentiles — the capacity-planning
+// instrument behind PERFORMANCE.md's "Server load" and "Unified
+// serving layer" sections. It measures the paper's online scenario
+// (§5) at service scale: many concurrent clients speaking a real wire
+// protocol, so the numbers include the codec, scheme verification,
+// hashing, and store contention.
 //
-// The driver is deliberately dumb: every client opens one connection,
-// issues its ops back to back, and records wall-clock latency per op.
-// Aggregation happens after the swarm finishes, so the measurement
-// path adds no cross-client synchronization beyond the start gate.
+// The driver is transport-agnostic: a swarm runs over any
+// authsvc.Client factory, so the framed-TCP codec and the HTTP/JSON
+// codec are measured through identical code (TCPTransport,
+// HTTPTransport). The driver is deliberately dumb: every client owns
+// one transport handle, issues its ops back to back, and records
+// wall-clock latency per op. Aggregation happens after the swarm
+// finishes, so the measurement path adds no cross-client
+// synchronization beyond the start gate.
 package loadtest
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"clickpass/internal/authproto"
+	"clickpass/internal/authsvc"
 	"clickpass/internal/dataset"
 )
 
 // Config describes one swarm run.
 type Config struct {
-	// Addr is the server's TCP address.
-	Addr string
-	// Clients is the number of concurrent connections.
+	// Dial opens the client-th transport handle. TCPTransport and
+	// HTTPTransport build factories for the two shipped codecs; tests
+	// may inject anything that satisfies authsvc.Client.
+	Dial func(client int) (authsvc.Client, error)
+	// Clients is the number of concurrent swarm clients.
 	Clients int
 	// OpsPerClient is how many requests each client issues.
 	OpsPerClient int
-	// DialTimeout bounds connection setup (0 = 5s).
-	DialTimeout time.Duration
 	// Request builds the op-th request for the client-th connection.
 	// It must be safe for concurrent calls with distinct client
 	// numbers.
-	Request func(client, op int) authproto.Request
+	Request func(client, op int) authsvc.Request
 	// Check, if non-nil, classifies a response as an error (e.g. a
-	// login that must succeed coming back !OK). Transport failures are
-	// always errors.
-	Check func(client, op int, resp authproto.Response) error
+	// login that must succeed coming back denied). Transport failures
+	// are always errors.
+	Check func(client, op int, resp authsvc.Response) error
+}
+
+// TCPTransport returns a Dial factory over the framed-TCP codec: one
+// connection per swarm client. timeout bounds connection setup
+// (0 = 5s).
+func TCPTransport(addr string, timeout time.Duration) func(client int) (authsvc.Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return func(int) (authsvc.Client, error) {
+		return authproto.DialService(addr, timeout)
+	}
+}
+
+// HTTPTransport returns a Dial factory over the HTTP/JSON codec. Each
+// swarm client gets its own http.Client whose pool is capped at one
+// connection, mirroring the TCP swarm's one-connection-per-client
+// shape so the two transports measure comparable things.
+func HTTPTransport(baseURL string) func(client int) (authsvc.Client, error) {
+	return func(int) (authsvc.Client, error) {
+		hc := &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        1,
+				MaxIdleConnsPerHost: 1,
+				MaxConnsPerHost:     1,
+			},
+			Timeout: 30 * time.Second,
+		}
+		return authproto.NewHTTPClient(baseURL, hc), nil
+	}
 }
 
 // Result aggregates a swarm run.
@@ -63,15 +101,15 @@ func (r Result) Throughput() float64 {
 
 // String formats the result as one benchmark-style line.
 func (r Result) String() string {
-	return fmt.Sprintf("clients=%d ops=%d errs=%d %.0f ops/s p50=%s p99=%s max=%s",
-		r.Clients, r.Ops, r.Errors, r.Throughput(), r.P50, r.P99, r.Max)
+	return fmt.Sprintf("clients=%d ops=%d errs=%d %.0f ops/s p50=%s p95=%s p99=%s max=%s",
+		r.Clients, r.Ops, r.Errors, r.Throughput(), r.P50, r.P95, r.P99, r.Max)
 }
 
-// Run executes the swarm: Clients connections issuing OpsPerClient
-// requests each, all released together after every connection is
-// dialed. It returns an error only when the swarm could not run at
-// all (bad config, dial failure); per-op failures are counted in
-// Result.Errors.
+// Run executes the swarm: Clients transport handles issuing
+// OpsPerClient requests each, all released together after every
+// handle is dialed. It returns an error only when the swarm could not
+// run at all (bad config, dial failure); per-op failures are counted
+// in Result.Errors.
 func Run(cfg Config) (Result, error) {
 	if cfg.Clients <= 0 || cfg.OpsPerClient <= 0 {
 		return Result{}, fmt.Errorf("loadtest: clients %d and ops %d must be positive",
@@ -80,15 +118,14 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Request == nil {
 		return Result{}, fmt.Errorf("loadtest: nil request factory")
 	}
-	dialTO := cfg.DialTimeout
-	if dialTO <= 0 {
-		dialTO = 5 * time.Second
+	if cfg.Dial == nil {
+		return Result{}, fmt.Errorf("loadtest: nil transport factory")
 	}
 	// Dial everything first so the measured window contains only
 	// request traffic, not connection setup.
-	clients := make([]*authproto.Client, cfg.Clients)
+	clients := make([]authsvc.Client, cfg.Clients)
 	for i := range clients {
-		c, err := authproto.Dial(cfg.Addr, dialTO)
+		c, err := cfg.Dial(i)
 		if err != nil {
 			for _, open := range clients[:i] {
 				open.Close()
@@ -109,6 +146,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	stats := make([]clientStats, cfg.Clients)
 	start := make(chan struct{})
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for i := range clients {
 		wg.Add(1)
@@ -120,11 +158,11 @@ func Run(cfg Config) (Result, error) {
 			for op := 0; op < cfg.OpsPerClient; op++ {
 				req := cfg.Request(i, op)
 				t0 := time.Now()
-				resp, err := clients[i].Do(req)
+				resp, err := clients[i].Do(ctx, req)
 				lat := time.Since(t0)
 				if err != nil {
 					st.errs++
-					return // connection is dead; stop this client
+					return // transport is dead; stop this client
 				}
 				st.lats = append(st.lats, lat)
 				if cfg.Check != nil {
@@ -168,29 +206,31 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 // Replace plus two hash computations); the rest are logins (pure
 // reads). writePeriod <= 0 disables writes. Each client owns the
 // identity users[client%len(users)], which must already be enrolled
-// with clicksFor(user). AuthMix panics immediately on an empty user
-// list — in the caller's goroutine, not a swarm worker's.
-func AuthMix(users []string, clicksFor func(user string) []dataset.Click, writePeriod int) func(client, op int) authproto.Request {
+// with clicksFor(user). The mix is transport-agnostic — the same
+// factory drives TCP and HTTP swarms. AuthMix panics immediately on
+// an empty user list — in the caller's goroutine, not a swarm
+// worker's.
+func AuthMix(users []string, clicksFor func(user string) []dataset.Click, writePeriod int) func(client, op int) authsvc.Request {
 	if len(users) == 0 {
 		panic("loadtest: AuthMix requires at least one user")
 	}
-	return func(client, op int) authproto.Request {
+	return func(client, op int) authsvc.Request {
 		user := users[client%len(users)]
 		clicks := clicksFor(user)
 		if writePeriod > 0 && op%writePeriod == writePeriod-1 {
 			// Change to the same password: exercises the write path
 			// without invalidating the other clients' credentials.
-			return authproto.Request{Op: authproto.OpChange, User: user, Clicks: clicks, NewClicks: clicks}
+			return authsvc.Request{Version: authsvc.Version, Op: authsvc.OpChange, User: user, Clicks: clicks, NewClicks: clicks}
 		}
-		return authproto.Request{Op: authproto.OpLogin, User: user, Clicks: clicks}
+		return authsvc.Request{Version: authsvc.Version, Op: authsvc.OpLogin, User: user, Clicks: clicks}
 	}
 }
 
 // RequireOK is a Check that flags any non-OK response — the right
 // check for a mix whose every request is expected to succeed.
-func RequireOK(client, op int, resp authproto.Response) error {
-	if !resp.OK {
-		return fmt.Errorf("loadtest: client %d op %d refused: %s", client, op, resp.Error)
+func RequireOK(client, op int, resp authsvc.Response) error {
+	if !resp.OK() {
+		return fmt.Errorf("loadtest: client %d op %d refused: %s (%s)", client, op, resp.Err, resp.Code)
 	}
 	return nil
 }

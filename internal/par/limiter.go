@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"log"
 	"runtime/debug"
 	"sync"
@@ -37,6 +38,26 @@ func (l *Limiter) Cap() int { return cap(l.sem) }
 func (l *Limiter) Acquire() {
 	l.sem <- struct{}{}
 	l.wg.Add(1)
+}
+
+// AcquireContext blocks until a slot is free or ctx is done, claiming
+// the slot and returning nil in the first case and returning ctx's
+// error (with no slot held) in the second. It is the admission path
+// for request-scoped callers whose deadline must bound queueing, not
+// just handling.
+func (l *Limiter) AcquireContext(ctx context.Context) error {
+	// A pre-expired context must never admit, even when a slot is free:
+	// select would otherwise pick randomly between the two ready cases.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.wg.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // TryAcquire claims a slot if one is free without blocking.

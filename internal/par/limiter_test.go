@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -132,5 +133,34 @@ func TestLimiterAcquireBlocksUntilRelease(t *testing.T) {
 	}
 	l.Release()
 	wg.Wait()
+	l.Drain()
+}
+
+// TestLimiterAcquireContext: a free slot admits, a full limiter defers
+// to the context, and a pre-expired context never admits even when a
+// slot is available.
+func TestLimiterAcquireContext(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.AcquireContext(context.Background()); err != nil {
+		t.Fatalf("AcquireContext with free slot: %v", err)
+	}
+	// Full: a context that dies while queued returns its error, slotless.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.AcquireContext(ctx); err == nil {
+		t.Fatal("AcquireContext at capacity with expiring context returned nil")
+	}
+	l.Release()
+	// Pre-expired: must refuse even though the slot is free again.
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	if err := l.AcquireContext(dead); err == nil {
+		t.Fatal("AcquireContext with pre-expired context admitted")
+	}
+	// The refusals must not have leaked slots.
+	if err := l.AcquireContext(context.Background()); err != nil {
+		t.Fatalf("slot leaked by refused acquires: %v", err)
+	}
+	l.Release()
 	l.Drain()
 }
