@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json loadsmoke cover ci
+.PHONY: all build test vet race bench bench-json bench-store loadsmoke recovery-smoke docs-lint cover ci
 
 all: build vet test
 
@@ -34,6 +34,13 @@ bench:
 bench-json:
 	$(GO) run ./cmd/pwbench -out .
 
+# bench-store records the vault backends — including the durable
+# store at every fsync policy — on the auth mix and the pure-write
+# path as BENCH_store.json (the fsync-latency table in
+# PERFORMANCE.md's "Durable vault" section).
+bench-store:
+	$(GO) run ./cmd/pwbench -store -out .
+
 # loadsmoke is the CI server-load smoke: small client swarms against
 # both vault backends over BOTH transports (framed TCP and HTTP/JSON),
 # plus the shared-limiter check that combined TCP+HTTP in-flight
@@ -42,9 +49,23 @@ bench-json:
 loadsmoke:
 	$(GO) test ./internal/loadtest -run TestLoad -short -v
 
+# recovery-smoke is the CI crash drill: build the real pwserver, serve
+# a durable vault, enroll over the wire, SIGKILL it, restart on the
+# same logs, and assert every acked mutation (records + lockout
+# counters) survived.
+recovery-smoke:
+	$(GO) test ./cmd/pwserver -run TestRecoverySmoke -v
+
+# docs-lint gates godoc coverage: go vet plus the repo's doclint
+# checker (package comment on every internal/ and cmd/ package,
+# doc comment on every exported identifier under internal/).
+docs-lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/doclint
+
 # cover prints per-package coverage (CI publishes this to the Actions
 # summary).
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet test race loadsmoke
+ci: build docs-lint test race loadsmoke recovery-smoke

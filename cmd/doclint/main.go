@@ -1,0 +1,237 @@
+// Command doclint is the repo's godoc-coverage gate, run by `make
+// docs-lint` and CI. It enforces two rules with the standard library's
+// go/ast — no external linter dependency:
+//
+//  1. every package under the -pkgdoc trees carries a package comment
+//     (the one-paragraph orientation a reader gets from `go doc`);
+//  2. every exported top-level identifier — types, funcs, methods,
+//     consts, vars — in the -exported packages carries a doc comment.
+//
+// Usage:
+//
+//	doclint                          # repo defaults: package comments under
+//	                                 # internal/ and cmd/, exported-identifier
+//	                                 # comments in every internal/ package
+//	doclint -exported internal/vault # strict mode for one package
+//
+// Findings print as file:line: message, one per line; the exit status
+// is 1 if anything is missing, so CI fails when coverage regresses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		pkgdocArg   = flag.String("pkgdoc", "internal,cmd", "comma-separated directory trees whose packages must have a package comment")
+		exportedArg = flag.String("exported", "internal", "comma-separated directory trees whose exported identifiers must have doc comments")
+	)
+	flag.Parse()
+
+	var problems []string
+	for _, root := range splitList(*pkgdocArg) {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fatal(err)
+		}
+		for _, dir := range dirs {
+			p, err := checkDir(dir, false)
+			if err != nil {
+				fatal(err)
+			}
+			problems = append(problems, p...)
+		}
+	}
+	for _, root := range splitList(*exportedArg) {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fatal(err)
+		}
+		for _, dir := range dirs {
+			p, err := checkDir(dir, true)
+			if err != nil {
+				fatal(err)
+			}
+			problems = append(problems, p...)
+		}
+	}
+	// The pkgdoc and exported trees overlap, so the same finding can
+	// surface twice; report each once.
+	sort.Strings(problems)
+	seen := map[string]bool{}
+	deduped := problems[:0]
+	for _, p := range problems {
+		if !seen[p] {
+			seen[p] = true
+			deduped = append(deduped, p)
+		}
+	}
+	problems = deduped
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d missing doc comment(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// goDirs walks root and returns every directory containing .go files.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses one package directory (tests excluded — test
+// helpers are not API) and reports missing docs. Package comments are
+// always required; exported-identifier comments only when strict.
+func checkDir(dir string, strict bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("doclint: parsing %s: %w", dir, err)
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasDoc := false
+		var files []string
+		for path, f := range pkg.Files {
+			files = append(files, path)
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			sort.Strings(files)
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", files[0], name))
+		}
+		if !strict {
+			continue
+		}
+		for path, f := range pkg.Files {
+			_ = path
+			for _, decl := range f.Decls {
+				problems = append(problems, checkDecl(fset, decl)...)
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkDecl reports exported declarations without doc comments.
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var problems []string
+	missing := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || isExportedMethodOfUnexported(d) {
+			return nil
+		}
+		if d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			missing(d.Pos(), kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		// A doc comment on the grouped decl ("// Response codes.")
+		// covers its specs; otherwise each exported spec needs its own.
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && !groupDoc {
+					missing(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil || groupDoc {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						missing(n.Pos(), declKind(d.Tok), n.Name)
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// isExportedMethodOfUnexported reports whether d is a method on an
+// unexported receiver type — not part of the package API, so exempt.
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return !x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doclint:", err)
+	os.Exit(1)
+}

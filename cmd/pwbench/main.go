@@ -13,6 +13,7 @@
 //	pwbench                                  # all paths, workers 1/2/4/8
 //	pwbench -paths online,cohort -workers 1,8
 //	pwbench -out bench -benchtime 200ms      # CI smoke settings
+//	pwbench -store                           # vault backends -> BENCH_store.json
 package main
 
 import (
@@ -199,10 +200,20 @@ func main() {
 		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts (1 is the speedup baseline)")
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		benchtime = flag.String("benchtime", "1s", "per-measurement budget (testing -benchtime syntax)")
+		storeOnly = flag.Bool("store", false, "measure the vault store backends (incl. durable fsync policies) into BENCH_store.json instead of the engine paths")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fatal(err)
+	}
+	if *storeOnly {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := runStoreBench(*outDir); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	counts, err := parseWorkers(*workers)
 	if err != nil {

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"clickpass/internal/passpoints"
+	"clickpass/internal/vault"
+)
+
+// StoreRun is one (backend, op) measurement in BENCH_store.json.
+type StoreRun struct {
+	Backend     string  `json:"backend"`
+	Op          string  `json:"op"` // "readheavy" (10 Gets : 1 Replace) or "put" (fresh-user writes)
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// StoreBench is the BENCH_store.json document: the vault backends —
+// including the durable store at every fsync policy — on the
+// authentication front end's op mix, so the latency price of each
+// durability level is recorded per commit next to the engine numbers.
+type StoreBench struct {
+	Name       string     `json:"name"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"numcpu"`
+	Runs       []StoreRun `json:"runs"`
+}
+
+// storeBackends enumerates the measured stores. mk may return a
+// cleanup func (durable stores must close their logs).
+func storeBackends(dir string) []struct {
+	name string
+	mk   func() (vault.Store, func(), error)
+} {
+	durable := func(policy vault.SyncPolicy) func() (vault.Store, func(), error) {
+		return func() (vault.Store, func(), error) {
+			// A fresh directory per call: each measurement phase must
+			// start from an empty store like the in-memory backends do,
+			// not replay the previous phase's log.
+			wal, err := os.MkdirTemp(dir, "wal-"+policy.String()+"-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := vault.OpenDurable(wal, vault.DurableOptions{Sync: policy})
+			if err != nil {
+				return nil, nil, err
+			}
+			return d, func() { d.Close() }, nil
+		}
+	}
+	return []struct {
+		name string
+		mk   func() (vault.Store, func(), error)
+	}{
+		{"vault", func() (vault.Store, func(), error) { return vault.New(), func() {}, nil }},
+		{"sharded32", func() (vault.Store, func(), error) { return vault.NewSharded(32), func() {}, nil }},
+		{"durable-always", durable(vault.SyncAlways)},
+		{"durable-interval", durable(vault.SyncInterval)},
+		{"durable-never", durable(vault.SyncNever)},
+	}
+}
+
+// storeRecords builds n records without real hashing (the bench
+// measures the store, not the crypto).
+func storeRecords(n int) []*passpoints.Record {
+	recs := make([]*passpoints.Record, n)
+	for i := range recs {
+		recs[i] = &passpoints.Record{
+			User: fmt.Sprintf("u-%d", i), Kind: passpoints.KindCentered,
+			SquareSidePx: 13, Iterations: 2,
+			Salt: []byte{1, 2, 3, 4}, Digest: []byte{5, 6, 7, 8},
+		}
+	}
+	return recs
+}
+
+// runStoreBench measures every backend on the read-heavy mix and the
+// pure-write path, writes BENCH_store.json into outDir, and prints a
+// Markdown table.
+func runStoreBench(outDir string) error {
+	tmp, err := os.MkdirTemp("", "pwbench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	const users = 1024
+	bench := StoreBench{Name: "store", GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, backend := range storeBackends(tmp) {
+		// readheavy: the auth mix — 10 Gets per Replace over a
+		// pre-populated store.
+		s, cleanup, err := backend.mk()
+		if err != nil {
+			return err
+		}
+		recs := storeRecords(users)
+		for _, r := range recs {
+			if err := s.Put(r); err != nil {
+				cleanup()
+				return err
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec := recs[i%users]
+				if i%10 == 9 {
+					_ = s.Replace(rec)
+				} else {
+					if _, err := s.Get(rec.User); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		cleanup()
+		bench.Runs = append(bench.Runs, StoreRun{
+			Backend: backend.name, Op: "readheavy",
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+
+		// put: fresh-user enrollment writes — the path an fsync policy
+		// prices most directly.
+		s, cleanup, err = backend.mk()
+		if err != nil {
+			return err
+		}
+		// seq is monotonic across benchmark rounds: testing.Benchmark
+		// reruns the closure with growing b.N against the same store,
+		// so user names must never repeat. Each Put gets its own
+		// Record — stores keep the pointer, and the real enroll path
+		// allocates one per user anyway.
+		seq := 0
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seq++
+				rec := &passpoints.Record{User: fmt.Sprintf("w-%d", seq),
+					Kind: passpoints.KindCentered, SquareSidePx: 13,
+					Iterations: 2, Salt: []byte{1, 2, 3, 4}, Digest: []byte{5, 6, 7, 8}}
+				if err := s.Put(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cleanup()
+		bench.Runs = append(bench.Runs, StoreRun{
+			Backend: backend.name, Op: "put",
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "pwbench: measured store backend %s\n", backend.name)
+	}
+	out, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	file := filepath.Join(outDir, "BENCH_store.json")
+	if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pwbench: wrote %s\n", file)
+	fmt.Print(storeMarkdownTable(bench))
+	return nil
+}
+
+// storeMarkdownTable renders the backend comparison CI publishes.
+func storeMarkdownTable(bench StoreBench) string {
+	var b strings.Builder
+	b.WriteString("| backend | readheavy ns/op | put ns/op |\n|---|---|---|\n")
+	byKey := map[string]StoreRun{}
+	var order []string
+	for _, r := range bench.Runs {
+		byKey[r.Backend+"/"+r.Op] = r
+		if r.Op == "readheavy" {
+			order = append(order, r.Backend)
+		}
+	}
+	for _, name := range order {
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f |\n",
+			name, byKey[name+"/readheavy"].NsPerOp, byKey[name+"/put"].NsPerOp)
+	}
+	return b.String()
+}

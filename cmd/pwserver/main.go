@@ -11,10 +11,19 @@
 // its own address — bind it to loopback or a protected network, never
 // the public one. The lockout bounds online dictionary
 // attacks (§5.1): after N failed logins an account refuses further
-// attempts until an administrative reset. -shards selects the storage
-// backend (0 = single-lock vault, N > 0 = N-way sharded store; both
-// read and write the same file). SIGINT/SIGTERM drain in-flight
-// connections before exit.
+// attempts until an administrative reset.
+//
+// -backend selects storage (see README.md for the migration recipe):
+//
+//	memory   single-lock vault over a JSON snapshot at -vault
+//	sharded  -shards-way partitioned store, same JSON file
+//	durable  crash-safe append-log store; -vault names a directory,
+//	         -fsync/-compact-ratio tune it, and every enroll, change,
+//	         delete, and lockout write survives a kill -9
+//	auto     (default) memory, or sharded when -shards > 0 — the
+//	         pre-durable flag behavior, kept for compatibility
+//
+// SIGINT/SIGTERM drain in-flight connections before exit.
 package main
 
 import (
@@ -48,7 +57,11 @@ func main() {
 		iter        = flag.Int("iterations", 1000, "hash iterations")
 		lockout     = flag.Int("lockout", authproto.DefaultLockout, "failed attempts before lockout")
 		useTLS      = flag.Bool("tls", false, "wrap the TCP listener in TLS with an ephemeral self-signed certificate")
-		shards      = flag.Int("shards", 0, "vault shard count (0 = single-lock store, >0 = sharded store)")
+		backendArg  = flag.String("backend", "auto", "storage backend: memory, sharded, durable, or auto (-shards decides)")
+		shards      = flag.Int("shards", 0, "vault shard count (0 = backend default; with -backend auto, >0 selects the sharded store)")
+		fsyncArg    = flag.String("fsync", "always", "durable backend sync policy: always, interval, or never")
+		compactAt   = flag.Float64("compact-ratio", vault.DefaultCompactRatio, "durable backend: rewrite a shard log when garbage exceeds ratio x live records")
+		migrateFrom = flag.String("migrate-from", "", "durable backend: JSON snapshot to import into an empty log directory")
 		maxConns    = flag.Int("maxconns", authproto.DefaultMaxConns, "max in-flight requests across all fronts (and TCP connection pool size)")
 		userRate    = flag.Float64("userrate", 0, "per-user request rate limit in req/s across all fronts (0 = off)")
 		userBurst   = flag.Int("userburst", 5, "per-user burst budget for -userrate")
@@ -71,12 +84,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var store vault.Store
-	if *shards > 0 {
-		store, err = vault.OpenSharded(*vaultPath, *shards)
-	} else {
-		store, err = vault.Open(*vaultPath)
-	}
+	store, backend, closeStore, err := openBackend(*backendArg, *vaultPath, *shards, *fsyncArg, *compactAt, *migrateFrom)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,10 +104,6 @@ func main() {
 	}
 	if *tcpAddr == "" && *httpAddr == "" {
 		fatal(fmt.Errorf("nothing to serve: both -tcp and -http are empty"))
-	}
-	backend := "single-lock"
-	if *shards > 0 {
-		backend = fmt.Sprintf("%d-shard", *shards)
 	}
 	errc := make(chan error, 3)
 	if *tcpAddr != "" {
@@ -162,11 +166,76 @@ func main() {
 		if metricsSrv != nil {
 			_ = metricsSrv.Close()
 		}
+		// Flush and release the store only after the drain: "drained"
+		// means every acked response's mutation is in the log.
+		if cerr := closeStore(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pwserver: drain incomplete:", err)
 			os.Exit(1)
 		}
 		fmt.Println("pwserver: drained")
+	}
+}
+
+// openBackend builds the selected vault.Store. It returns the store, a
+// human-readable description for the startup banner, and a close func
+// (a no-op for the snapshot backends, a log flush-and-close for the
+// durable one).
+func openBackend(backend, path string, shards int, fsync string, compactRatio float64, migrateFrom string) (vault.Store, string, func() error, error) {
+	noClose := func() error { return nil }
+	if backend == "auto" {
+		if shards > 0 {
+			backend = "sharded"
+		} else {
+			backend = "memory"
+		}
+	}
+	switch backend {
+	case "memory":
+		v, err := vault.Open(path)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return v, "single-lock", noClose, nil
+	case "sharded":
+		s, err := vault.OpenSharded(path, shards)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return s, fmt.Sprintf("%d-shard", s.Shards()), noClose, nil
+	case "durable":
+		policy, err := vault.ParseSyncPolicy(fsync)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		d, err := vault.OpenDurable(path, vault.DurableOptions{
+			Shards:       shards,
+			Sync:         policy,
+			CompactRatio: compactRatio,
+		})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if migrateFrom != "" {
+			if d.Len() == 0 {
+				if err := d.ImportJSON(migrateFrom); err != nil {
+					d.Close()
+					// A failed import may leave a partial WAL; a silent
+					// retry would then skip migration (non-empty store)
+					// and serve half a vault, so say how to recover.
+					return nil, "", nil, fmt.Errorf("migrating %s: %w (the log directory %s may hold a partial import; remove it and retry)", migrateFrom, err, path)
+				}
+				fmt.Printf("pwserver: migrated %d records from %s into %s\n", d.Len(), migrateFrom, path)
+			} else {
+				fmt.Printf("pwserver: skipping -migrate-from %s: %s already holds %d records\n", migrateFrom, path, d.Len())
+			}
+		}
+		desc := fmt.Sprintf("durable %d-shard (fsync=%s)", d.Shards(), policy)
+		return d, desc, d.Close, nil
+	default:
+		return nil, "", nil, fmt.Errorf("unknown backend %q (want memory, sharded, durable or auto)", backend)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 
 	"clickpass/internal/dataset"
@@ -128,11 +129,15 @@ func Chain(h Handler, mw ...Middleware) Handler {
 }
 
 // Service is the stateful core: a vault.Store of enrolled records plus
-// the in-memory failed-attempt counters. It implements Handler and is
-// safe for concurrent use.
+// the per-account failed-attempt counters. It implements Handler and
+// is safe for concurrent use. When the store also implements
+// vault.LockoutStore (the durable backend does), every counter change
+// is written through to it and the counters are reloaded at startup,
+// so a restart does not hand an online attacker a fresh budget.
 type Service struct {
 	cfg     passpoints.Config
 	store   vault.Store
+	locks   vault.LockoutStore // store's lockout extension, or nil
 	lockout int
 	// dummy is a throwaway record verified against on unknown-user
 	// logins, so that path costs the same hash work as a wrong
@@ -164,13 +169,40 @@ func NewService(cfg passpoints.Config, store vault.Store, lockout int) (*Service
 	if err != nil {
 		return nil, fmt.Errorf("authsvc: building dummy record: %w", err)
 	}
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		store:    store,
 		lockout:  lockout,
 		dummy:    dummy,
 		failures: make(map[string]int),
-	}, nil
+	}
+	if locks, ok := store.(vault.LockoutStore); ok {
+		s.locks = locks
+		// Counters written by a previous run pick up where they left
+		// off — including full lockouts awaiting an admin reset.
+		for user, n := range locks.Lockouts() {
+			if n > 0 {
+				s.failures[user] = n
+			}
+		}
+	}
+	return s, nil
+}
+
+// persistLockout writes user's counter through the store's lockout
+// extension, if any. Always called after s.mu has been released —
+// the write may be a disk flush, and the tradeoff is documented at
+// the call site in fail. A storage error is logged and otherwise
+// ignored: refusing logins because a counter could not be journaled
+// would turn a disk hiccup into an outage, and the in-memory counter
+// still protects this process's lifetime.
+func (s *Service) persistLockout(user string, failures int) {
+	if s.locks == nil {
+		return
+	}
+	if err := s.locks.SetLockout(user, failures); err != nil {
+		log.Printf("authsvc: persisting lockout for %q: %v", user, err)
+	}
 }
 
 // dummyClicks spreads cfg.Clicks deterministic points across the image
@@ -207,8 +239,14 @@ func (s *Service) Handle(ctx context.Context, req Request) Response {
 		return s.change(ctx, req)
 	case OpReset:
 		s.mu.Lock()
-		delete(s.failures, req.User)
+		_, tracked := s.failures[req.User]
+		if tracked {
+			delete(s.failures, req.User)
+		}
 		s.mu.Unlock()
+		if tracked {
+			s.persistLockout(req.User, 0)
+		}
 		return Response{Version: Version, Code: CodeOK}
 	default:
 		return Response{Version: Version, Code: CodeInvalid,
@@ -267,8 +305,14 @@ func (s *Service) login(ctx context.Context, req Request) Response {
 		return s.fail(req.User)
 	}
 	s.mu.Lock()
-	delete(s.failures, req.User)
+	_, tracked := s.failures[req.User]
+	if tracked {
+		delete(s.failures, req.User)
+	}
 	s.mu.Unlock()
+	if tracked {
+		s.persistLockout(req.User, 0)
+	}
 	return Response{Version: Version, Code: CodeOK, Remaining: s.lockout}
 }
 
@@ -301,12 +345,37 @@ const maxFailureEntries = 1 << 16
 
 func (s *Service) fail(user string) Response {
 	s.mu.Lock()
+	var evicted []string
 	if _, tracked := s.failures[user]; !tracked && len(s.failures) >= maxFailureEntries {
-		s.sweepFailures()
+		evicted = s.sweepFailures()
 	}
 	s.failures[user]++
-	remaining := s.lockout - s.failures[user]
+	n := s.failures[user]
+	remaining := s.lockout - n
 	s.mu.Unlock()
+	// All journaled counter writes happen after releasing s.mu: on a
+	// durable fsync=always store each write is a disk flush, and
+	// holding the one service-wide mutex across it would serialize
+	// every login — counter clears included — behind attacker-paced
+	// failures (and a sweep's 64k eviction zeroes would stall the
+	// service for seconds). The cost is ordering: two racing updates
+	// for one user may journal out of order, so a restart can see a
+	// counter one step stale — never a lifted lockout, since the
+	// in-memory map (which is what locks accounts out) is updated
+	// under the lock above.
+	s.persistLockout(user, n)
+	if len(evicted) > 0 {
+		// A sweep evicts up to 64k entries; journaling their zeroes
+		// inline would pin this one request (and the WAL shard locks)
+		// for seconds on an fsync=always store, so hand the batch to a
+		// background goroutine. Losing the zeroes to a crash mid-batch
+		// only resurrects partial counters on the next restart.
+		go func() {
+			for _, u := range evicted {
+				s.persistLockout(u, 0)
+			}
+		}()
+	}
 	if remaining <= 0 {
 		return Response{Version: Version, Code: CodeLocked, Err: "account locked"}
 	}
@@ -314,19 +383,26 @@ func (s *Service) fail(user string) Response {
 }
 
 // sweepFailures evicts sub-lockout counters when the map is at
-// capacity, called with s.mu held. Locked accounts are never evicted
-// — a name flood cannot lift an existing lockout — at the cost of
-// resetting partial counters (an attacker mid-guess gets fresh
-// attempts but pays the flood to earn them). If every entry is locked
-// the map may exceed the cap; each such entry cost the flooder a full
-// lockout's worth of requests, so growth is at least lockout-fold
-// more expensive than the counter flood this bounds.
-func (s *Service) sweepFailures() {
+// capacity, called with s.mu held; it returns the evicted users so
+// the caller can persist their zeroes outside the lock. Locked
+// accounts are never evicted — a name flood cannot lift an existing
+// lockout — at the cost of resetting partial counters (an attacker
+// mid-guess gets fresh attempts but pays the flood to earn them). If
+// every entry is locked the map may exceed the cap; each such entry
+// cost the flooder a full lockout's worth of requests, so growth is
+// at least lockout-fold more expensive than the counter flood this
+// bounds.
+func (s *Service) sweepFailures() []string {
+	var evicted []string
 	for user, n := range s.failures {
 		if n < s.lockout {
 			delete(s.failures, user)
+			if s.locks != nil {
+				evicted = append(evicted, user)
+			}
 		}
 	}
+	return evicted
 }
 
 // deadlineCheck refuses a request whose context has already expired —

@@ -1,0 +1,113 @@
+package authsvc
+
+import (
+	"context"
+	"testing"
+
+	"clickpass/internal/vault"
+)
+
+// openDurable opens a durable store over dir for the lockout
+// persistence tests.
+func openDurable(t *testing.T, dir string) *vault.Durable {
+	t.Helper()
+	d, err := vault.OpenDurable(dir, vault.DurableOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestLockoutSurvivesRestart: failed-attempt counters written through
+// a LockoutStore must carry across a service restart — a rebooted
+// server must not hand an online attacker a fresh budget (§5.1), and
+// a locked account must stay locked until an explicit reset.
+func TestLockoutSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, 2)
+	ctx := context.Background()
+	const budget = 3
+
+	svc, err := NewService(cfg, openDurable(t, dir), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := svc.Handle(ctx, Request{Op: OpEnroll, User: "alice", Clicks: clicks(0)}); !resp.OK() {
+		t.Fatalf("enroll: %+v", resp)
+	}
+	// Burn one attempt for alice, all three for mallory (unknown users
+	// consume attempts too — and durably).
+	if resp := svc.Handle(ctx, Request{Op: OpLogin, User: "alice", Clicks: clicks(9)}); resp.Code != CodeDenied {
+		t.Fatalf("wrong-password login: %+v", resp)
+	}
+	for i := 0; i < budget; i++ {
+		svc.Handle(ctx, Request{Op: OpLogin, User: "mallory", Clicks: clicks(9)})
+	}
+	if resp := svc.Handle(ctx, Request{Op: OpLogin, User: "mallory", Clicks: clicks(9)}); resp.Code != CodeLocked {
+		t.Fatalf("mallory should be locked: %+v", resp)
+	}
+
+	// "Restart": a fresh service over a reopened store.
+	svc2, err := NewService(cfg, openDurable(t, dir), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice's burned attempt must still be burned: one more failure
+	// leaves budget-2 remaining, not budget-1.
+	resp := svc2.Handle(ctx, Request{Op: OpLogin, User: "alice", Clicks: clicks(9)})
+	if resp.Code != CodeDenied || resp.Remaining != budget-2 {
+		t.Errorf("after restart, alice failure = %+v, want denied with remaining %d", resp, budget-2)
+	}
+	// Mallory must still be locked without a single new attempt spent.
+	if resp := svc2.Handle(ctx, Request{Op: OpLogin, User: "mallory", Clicks: clicks(9)}); resp.Code != CodeLocked {
+		t.Errorf("lockout did not survive restart: %+v", resp)
+	}
+	// A successful login clears alice's counter durably...
+	if resp := svc2.Handle(ctx, Request{Op: OpLogin, User: "alice", Clicks: clicks(0)}); !resp.OK() {
+		t.Fatalf("correct login: %+v", resp)
+	}
+	// ...and an admin reset clears mallory's.
+	if resp := svc2.Handle(ctx, Request{Op: OpReset, User: "mallory"}); !resp.OK() {
+		t.Fatalf("reset: %+v", resp)
+	}
+
+	svc3, err := NewService(cfg, openDurable(t, dir), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = svc3.Handle(ctx, Request{Op: OpLogin, User: "alice", Clicks: clicks(9)})
+	if resp.Code != CodeDenied || resp.Remaining != budget-1 {
+		t.Errorf("cleared counter resurrected: %+v, want remaining %d", resp, budget-1)
+	}
+	resp = svc3.Handle(ctx, Request{Op: OpLogin, User: "mallory", Clicks: clicks(9)})
+	if resp.Code != CodeDenied || resp.Remaining != budget-1 {
+		t.Errorf("reset lockout resurrected: %+v, want denied with remaining %d", resp, budget-1)
+	}
+}
+
+// TestLockoutInMemoryStoreUnchanged: stores without the LockoutStore
+// extension keep the old semantics — counters reset with the process.
+func TestLockoutInMemoryStoreUnchanged(t *testing.T) {
+	ctx := context.Background()
+	store := vault.New()
+	svc, err := NewService(testConfig(t, 2), store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := svc.Handle(ctx, Request{Op: OpEnroll, User: "bob", Clicks: clicks(0)}); !resp.OK() {
+		t.Fatalf("enroll: %+v", resp)
+	}
+	svc.Handle(ctx, Request{Op: OpLogin, User: "bob", Clicks: clicks(9)})
+	svc.Handle(ctx, Request{Op: OpLogin, User: "bob", Clicks: clicks(9)})
+	if resp := svc.Handle(ctx, Request{Op: OpLogin, User: "bob", Clicks: clicks(0)}); resp.Code != CodeLocked {
+		t.Fatalf("bob should be locked: %+v", resp)
+	}
+	svc2, err := NewService(testConfig(t, 2), store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := svc2.Handle(ctx, Request{Op: OpLogin, User: "bob", Clicks: clicks(0)}); !resp.OK() {
+		t.Errorf("in-memory lockout should reset on restart: %+v", resp)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"clickpass/internal/par"
+	"clickpass/internal/vault"
 )
 
 // WithRecover contains panics escaping the rest of the pipeline: the
@@ -118,6 +119,12 @@ func WithInFlight(m *Metrics) Middleware {
 // cheap, steady-state complement to the lockout's hard stop. Compose
 // it outside WithAdmission so a flood aimed at one user is shed
 // before it competes for the shared concurrency budget.
+//
+// The bucket table is partitioned into rateShards independently
+// locked maps keyed by FNV-1a of the user — the vault's split,
+// reapplied — so concurrent requests for different users do not
+// serialize on one mutex the way they did when every bucket lived in
+// a single guarded map.
 func WithUserRate(perSec float64, burst int) Middleware {
 	if perSec <= 0 {
 		return func(next Handler) Handler { return next }
@@ -125,7 +132,7 @@ func WithUserRate(perSec float64, burst int) Middleware {
 	if burst < 1 {
 		burst = 1
 	}
-	rl := &userRate{perSec: perSec, burst: float64(burst), buckets: make(map[string]*bucket)}
+	rl := newUserRate(perSec, burst)
 	return func(next Handler) Handler {
 		return HandlerFunc(func(ctx context.Context, req Request) Response {
 			if req.User != "" && !rl.allow(req.User, time.Now()) {
@@ -141,36 +148,58 @@ type bucket struct {
 	last   time.Time
 }
 
-// maxRateBuckets caps the tracked-user map: attacker-chosen user
+// maxRateBuckets caps the tracked-user table: attacker-chosen user
 // names must not grow server memory without bound. At the cap, a
 // sweep drops every bucket that has refilled to full (idle users lose
 // nothing by eviction — a fresh bucket starts full).
 const maxRateBuckets = 1 << 16
 
+// rateShards is the bucket-table partition count; a power of two so
+// the shard pick is a mask, not a division.
+const rateShards = 32
+
 type userRate struct {
 	perSec float64
 	burst  float64
+	shards [rateShards]rateShard
+}
 
+type rateShard struct {
 	mu      sync.Mutex
 	buckets map[string]*bucket
 }
 
+func newUserRate(perSec float64, burst int) *userRate {
+	r := &userRate{perSec: perSec, burst: float64(burst)}
+	for i := range r.shards {
+		r.shards[i].buckets = make(map[string]*bucket)
+	}
+	return r
+}
+
 func (r *userRate) allow(user string, now time.Time) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	b, ok := r.buckets[user]
+	sh := &r.shards[vault.FNV32a(user)&(rateShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.buckets[user]
 	if !ok {
-		if len(r.buckets) >= maxRateBuckets {
-			r.sweep(now)
+		if len(sh.buckets) >= maxRateBuckets/rateShards {
+			sh.sweep(now, r.perSec, r.burst)
 		}
 		b = &bucket{tokens: r.burst, last: now}
-		r.buckets[user] = b
+		sh.buckets[user] = b
 	}
-	b.tokens += now.Sub(b.last).Seconds() * r.perSec
-	if b.tokens > r.burst {
-		b.tokens = r.burst
+	// now is read before the lock is acquired, so two racing requests
+	// can reach the bucket out of timestamp order; a negative elapsed
+	// must not drain tokens (at high refill rates it would throttle
+	// legitimate traffic), so only refill when the clock moved forward.
+	if el := now.Sub(b.last); el > 0 {
+		b.tokens += el.Seconds() * r.perSec
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.last = now
 	}
-	b.last = now
 	if b.tokens < 1 {
 		return false
 	}
@@ -178,14 +207,15 @@ func (r *userRate) allow(user string, now time.Time) bool {
 	return true
 }
 
-// sweep evicts buckets whose elapsed idle time has refilled them to
-// full; they are indistinguishable from fresh buckets. If every
-// tracked user is mid-burst (pathological), the map briefly exceeds
-// the cap rather than dropping someone's throttle state.
-func (r *userRate) sweep(now time.Time) {
-	for user, b := range r.buckets {
-		if b.tokens+now.Sub(b.last).Seconds()*r.perSec >= r.burst {
-			delete(r.buckets, user)
+// sweep evicts this shard's buckets whose elapsed idle time has
+// refilled them to full; they are indistinguishable from fresh
+// buckets. If every tracked user is mid-burst (pathological), the
+// shard briefly exceeds its slice of the cap rather than dropping
+// someone's throttle state. Caller holds sh.mu.
+func (sh *rateShard) sweep(now time.Time, perSec, burst float64) {
+	for user, b := range sh.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*perSec >= burst {
+			delete(sh.buckets, user)
 		}
 	}
 }

@@ -1,0 +1,43 @@
+package authsvc
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkUserRate measures the per-user rate limiter on the hot
+// admit path: many goroutines, each request for one of `users`
+// distinct names, budget high enough that nothing is throttled (the
+// bench measures bookkeeping, not shedding). Before PR 5 every bucket
+// lived in one mutex-guarded map, so this bench serialized on that
+// lock; the fnv-sharded bucket map removes the single point of
+// contention (numbers in PERFORMANCE.md "Durable vault").
+func BenchmarkUserRate(b *testing.B) {
+	noop := HandlerFunc(func(ctx context.Context, req Request) Response {
+		return Response{Version: Version, Code: CodeOK}
+	})
+	for _, users := range []int{1, 64, 4096} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			h := WithUserRate(1e6, 1<<30)(noop)
+			names := make([]string, users)
+			for i := range names {
+				names[i] = fmt.Sprintf("u-%d", i)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					req := Request{Op: OpLogin, User: names[i%users]}
+					if resp := h.Handle(ctx, req); resp.Code != CodeOK {
+						b.Error("unexpected throttle")
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}

@@ -9,27 +9,45 @@ import (
 )
 
 // BenchmarkAuthSwarm measures end-to-end auth throughput at the
-// standing load points — 1/8/64/256 concurrent clients — against both
-// store backends, on a read-heavy mix (1 password change per 10
-// logins). ns/op is per completed request; the ops/s metric is the
-// swarm throughput recorded in PERFORMANCE.md's "Server load" table.
+// standing load points — 1/8/64/256 concurrent clients — against the
+// in-memory backends and the durable store at every fsync policy, on
+// a read-heavy mix (1 password change per 10 logins; the writes are
+// what the fsync policy prices). ns/op is per completed request; the
+// ops/s metric is the swarm throughput recorded in PERFORMANCE.md's
+// "Server load" and "Durable vault" tables.
 //
 //	go test ./internal/loadtest -run NONE -bench AuthSwarm -benchtime 2000x
 func BenchmarkAuthSwarm(b *testing.B) {
 	for _, backend := range []struct {
 		name string
-		mk   func() vault.Store
+		mk   func(tb testing.TB) vault.Store
 	}{
-		{"vault", func() vault.Store { return vault.New() }},
-		{"sharded32", func() vault.Store { return vault.NewSharded(32) }},
+		{"vault", func(testing.TB) vault.Store { return vault.New() }},
+		{"sharded32", func(testing.TB) vault.Store { return vault.NewSharded(32) }},
+		{"durable-always", mkDurable(vault.SyncAlways)},
+		{"durable-interval", mkDurable(vault.SyncInterval)},
+		{"durable-never", mkDurable(vault.SyncNever)},
 	} {
 		for _, clients := range []int{1, 8, 64, 256} {
 			b.Run(fmt.Sprintf("%s/clients=%d", backend.name, clients), func(b *testing.B) {
-				_, addr, shutdown := startServer(b, backend.mk(), 256)
+				_, addr, shutdown := startServer(b, backend.mk(b), 256)
 				defer shutdown()
 				benchSwarm(b, TCPTransport(addr, 0), addr, clients)
 			})
 		}
+	}
+}
+
+// mkDurable builds a durable-store factory at the given fsync policy,
+// rooted in a per-benchmark temp dir.
+func mkDurable(policy vault.SyncPolicy) func(tb testing.TB) vault.Store {
+	return func(tb testing.TB) vault.Store {
+		d, err := vault.OpenDurable(tb.TempDir(), vault.DurableOptions{Sync: policy})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { d.Close() })
+		return d
 	}
 }
 

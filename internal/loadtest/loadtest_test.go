@@ -101,7 +101,7 @@ func enrollUsers(tb testing.TB, addr string, n int) []string {
 }
 
 // TestLoadSwarmSmoke is the CI smoke point (go test -run TestLoad
-// -short): a small swarm against both store backends and both
+// -short): a small swarm against all three store backends and both
 // transports must complete with zero errors and sane measurements.
 func TestLoadSwarmSmoke(t *testing.T) {
 	clientCount, ops := 16, 10
@@ -110,12 +110,20 @@ func TestLoadSwarmSmoke(t *testing.T) {
 	}
 	for _, tc := range []struct {
 		name  string
-		store func() vault.Store
+		store func(tb testing.TB) vault.Store
 	}{
-		{"vault", func() vault.Store { return vault.New() }},
-		{"sharded", func() vault.Store { return vault.NewSharded(0) }},
+		{"vault", func(testing.TB) vault.Store { return vault.New() }},
+		{"sharded", func(testing.TB) vault.Store { return vault.NewSharded(0) }},
+		{"durable", func(tb testing.TB) vault.Store {
+			d, err := vault.OpenDurable(tb.TempDir(), vault.DurableOptions{})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			tb.Cleanup(func() { d.Close() })
+			return d
+		}},
 	} {
-		srv, addr, shutdown := startServer(t, tc.store(), 64)
+		srv, addr, shutdown := startServer(t, tc.store(t), 64)
 		baseURL, closeHTTP := startHTTP(t, srv)
 		users := enrollUsers(t, addr, clientCount)
 		for _, transport := range []struct {

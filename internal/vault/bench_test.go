@@ -34,14 +34,20 @@ func BenchmarkStoreReadHeavy(b *testing.B) {
 	const users = 1024
 	for _, backend := range []struct {
 		name string
-		mk   func() Store
+		mk   func(tb testing.TB) Store
 	}{
-		{"vault", func() Store { return New() }},
-		{"sharded32", func() Store { return NewSharded(32) }},
+		{"vault", func(testing.TB) Store { return New() }},
+		{"sharded32", func(testing.TB) Store { return NewSharded(32) }},
+		// The durable backend at the cheap end of the fsync range: the
+		// mix is 90% Gets (log-free), so this isolates the append cost
+		// under contention; fsync pricing lives in pwbench -store.
+		{"durable32-never", func(tb testing.TB) Store {
+			return openDurableT(tb, DurableOptions{Shards: 32, Sync: SyncNever})
+		}},
 	} {
 		for _, workers := range []int{1, 8, 64} {
 			b.Run(fmt.Sprintf("%s/goroutines=%d", backend.name, workers), func(b *testing.B) {
-				s := backend.mk()
+				s := backend.mk(b)
 				recs := benchRecords(users)
 				for _, r := range recs {
 					if err := s.Put(r); err != nil {

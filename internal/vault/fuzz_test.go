@@ -8,10 +8,14 @@ import (
 )
 
 // FuzzOpen: arbitrary vault-file bytes must never panic the loaders,
-// and the two Store backends must agree byte-for-byte on what is a
-// valid password file. Seeds cover the failure classes the format
-// rejects by contract: duplicate users, records without a user, and
-// truncated JSON.
+// and all three Store backends must agree byte-for-byte on what is a
+// valid password file — Vault and Sharded load it directly, Durable
+// through its ImportJSON migration path. Accepted input additionally
+// round-trips through the durable backend's append log: every
+// imported record is re-encoded as a WAL entry, replayed on reopen,
+// and must come back identical. Seeds cover the failure classes the
+// format rejects by contract: duplicate users, records without a
+// user, and truncated JSON.
 func FuzzOpen(f *testing.F) {
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`[{"user":"a","kind":"centered","square_side_px":13}]`))
@@ -40,24 +44,44 @@ func FuzzOpen(f *testing.F) {
 		if (vErr == nil) != (sErr == nil) {
 			t.Fatalf("backends disagree: Open err=%v, OpenSharded err=%v", vErr, sErr)
 		}
+		d, dOpenErr := OpenDurable(filepath.Join(dir, "wal"), DurableOptions{Shards: 3, Sync: SyncNever, NoAutoCompact: true})
+		if dOpenErr != nil {
+			t.Fatal(dOpenErr)
+		}
+		defer func() { d.Close() }() // d is rebound on reopen below
+		dErr := d.ImportJSON(path)
+		if (vErr == nil) != (dErr == nil) {
+			t.Fatalf("backends disagree: Open err=%v, ImportJSON err=%v", vErr, dErr)
+		}
 		if vErr != nil {
 			return
 		}
 		// Accepted input: both stores must hold the same records, and the
 		// parsed state must survive a save/reload cycle.
-		if v.Len() != s.Len() {
-			t.Fatalf("backends loaded different counts: %d vs %d", v.Len(), s.Len())
+		if v.Len() != s.Len() || v.Len() != d.Len() {
+			t.Fatalf("backends loaded different counts: %d vs %d vs %d", v.Len(), s.Len(), d.Len())
 		}
-		vUsers, sUsers := v.Users(), s.Users()
+		// The imported records must also survive a WAL replay: reopen
+		// the log directory and compare against the other backends.
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		d, dOpenErr = OpenDurable(filepath.Join(dir, "wal"), DurableOptions{Shards: 3, Sync: SyncNever, NoAutoCompact: true})
+		if dOpenErr != nil {
+			t.Fatalf("reopening WAL written from accepted input: %v", dOpenErr)
+		}
+		vUsers, sUsers, dUsers := v.Users(), s.Users(), d.Users()
 		for i := range vUsers {
-			if vUsers[i] != sUsers[i] {
-				t.Fatalf("backends loaded different users: %v vs %v", vUsers, sUsers)
+			if vUsers[i] != sUsers[i] || vUsers[i] != dUsers[i] {
+				t.Fatalf("backends loaded different users: %v vs %v vs %v", vUsers, sUsers, dUsers)
 			}
 			vr, _ := v.Get(vUsers[i])
 			sr, _ := s.Get(vUsers[i])
+			dr, _ := d.Get(vUsers[i])
 			vb, _ := json.Marshal(vr)
 			sb, _ := json.Marshal(sr)
-			if string(vb) != string(sb) {
+			db, _ := json.Marshal(dr)
+			if string(vb) != string(sb) || string(vb) != string(db) {
 				t.Fatalf("user %q differs across backends", vUsers[i])
 			}
 		}

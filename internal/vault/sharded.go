@@ -67,16 +67,9 @@ func OpenSharded(path string, n int) (*Sharded, error) {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-// shardFor picks the shard by FNV-1a of the user name, inlined over
-// the string so the hot Get/Put path stays allocation-free (hash/fnv
-// would heap-allocate its state and a []byte copy per call).
+// shardFor picks the shard by FNV-1a of the user name (see FNV32a).
 func (s *Sharded) shardFor(user string) *shard {
-	h := uint32(2166136261)
-	for i := 0; i < len(user); i++ {
-		h ^= uint32(user[i])
-		h *= 16777619
-	}
-	return &s.shards[h%uint32(len(s.shards))]
+	return &s.shards[FNV32a(user)%uint32(len(s.shards))]
 }
 
 // Put stores a record for a new user.

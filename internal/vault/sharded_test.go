@@ -11,24 +11,48 @@ import (
 	"clickpass/internal/passpoints"
 )
 
+// storeImpl is one Store implementation under conformance test.
+// persistent marks backends whose in-memory form still has real
+// backing storage (Save must succeed rather than fail).
+type storeImpl struct {
+	name       string
+	mk         func(tb testing.TB) Store
+	persistent bool
+}
+
 // storeImpls enumerates every Store implementation so the conformance
-// tests below run identically over both; a third backend only has to
-// add a row here.
-func storeImpls() map[string]func() Store {
-	return map[string]func() Store{
-		"vault":    func() Store { return New() },
-		"sharded":  func() Store { return NewSharded(8) },
-		"sharded1": func() Store { return NewSharded(1) }, // degenerate: one shard must still be correct
+// tests below run identically over all of them; a new backend only
+// has to add a row here.
+func storeImpls() []storeImpl {
+	return []storeImpl{
+		{"vault", func(testing.TB) Store { return New() }, false},
+		{"sharded", func(testing.TB) Store { return NewSharded(8) }, false},
+		// Degenerate single-shard stores must still be correct.
+		{"sharded1", func(testing.TB) Store { return NewSharded(1) }, false},
+		{"durable", func(tb testing.TB) Store { return openDurableT(tb, DurableOptions{Shards: 8}) }, true},
+		{"durable1", func(tb testing.TB) Store { return openDurableT(tb, DurableOptions{Shards: 1}) }, true},
 	}
+}
+
+// openDurableT opens a Durable store in a fresh temp dir and closes it
+// when the test ends.
+func openDurableT(tb testing.TB, opts DurableOptions) *Durable {
+	tb.Helper()
+	d, err := OpenDurable(tb.TempDir(), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { d.Close() })
+	return d
 }
 
 // TestStoreConformance runs the Store contract over every
 // implementation: Put/Get/Replace/Delete semantics, sorted iteration,
 // and the sentinel errors callers branch on.
 func TestStoreConformance(t *testing.T) {
-	for name, mk := range storeImpls() {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
+	for _, impl := range storeImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			s := impl.mk(t)
 			if s.Len() != 0 || len(s.Users()) != 0 || len(s.All()) != 0 {
 				t.Fatal("fresh store not empty")
 			}
@@ -93,12 +117,17 @@ func TestStoreConformance(t *testing.T) {
 	}
 }
 
-// TestStoreInMemorySaveFails: Save without a backing file must fail on
-// every implementation.
+// TestStoreInMemorySaveFails: Save without a backing file must fail —
+// except on persistent backends (Durable), whose logs are the backing
+// file, so Save reduces to a flush and must succeed.
 func TestStoreInMemorySaveFails(t *testing.T) {
-	for name, mk := range storeImpls() {
-		if err := mk().Save(); err == nil {
-			t.Errorf("%s: Save on in-memory store should fail", name)
+	for _, impl := range storeImpls() {
+		err := impl.mk(t).Save()
+		if impl.persistent && err != nil {
+			t.Errorf("%s: Save on persistent store failed: %v", impl.name, err)
+		}
+		if !impl.persistent && err == nil {
+			t.Errorf("%s: Save on in-memory store should fail", impl.name)
 		}
 	}
 }

@@ -4,11 +4,13 @@ import "clickpass/internal/passpoints"
 
 // Store is the narrow interface the authentication server and tools
 // program against: a keyed collection of PassPoints records with an
-// atomic snapshot-to-disk operation. Two implementations ship with the
-// package — the single-lock file-backed Vault and the fnv-keyed
-// Sharded store whose reads scale with cores — and the contract is
-// enforced by a shared conformance test (storetest in sharded_test.go)
-// rather than by each caller's assumptions.
+// atomic snapshot-to-disk operation. Three implementations ship with
+// the package — the single-lock file-backed Vault, the fnv-keyed
+// Sharded store whose reads scale with cores, and the crash-safe
+// Durable store that logs every mutation to a per-shard append-only
+// file — and the contract is enforced by a shared conformance test
+// (storeImpls in sharded_test.go) rather than by each caller's
+// assumptions.
 //
 // All implementations must be safe for concurrent use. Get returns
 // ErrNotFound for missing users; Put returns ErrExists for duplicates;
@@ -35,8 +37,38 @@ type Store interface {
 	SaveTo(path string) error
 }
 
-// Both implementations must satisfy the interface.
+// LockoutStore is an optional Store extension for backends that can
+// persist per-account failed-attempt counters alongside the records.
+// The auth service type-asserts its store against this interface: when
+// present, every lockout change is written through (and reloaded at
+// startup), so the §5.1 online-attack defense survives a restart
+// instead of handing every attacker a fresh budget. The in-memory
+// backends deliberately do not implement it.
+type LockoutStore interface {
+	// SetLockout durably records user's failed-attempt count;
+	// failures <= 0 clears the entry.
+	SetLockout(user string, failures int) error
+	// Lockouts returns a copy of every persisted counter.
+	Lockouts() map[string]int
+}
+
+// All implementations must satisfy the interface.
 var (
 	_ Store = (*Vault)(nil)
 	_ Store = (*Sharded)(nil)
 )
+
+// FNV32a returns the FNV-1a hash of s — the partitioning hash every
+// fnv-sharded structure in the repo keys on (the sharded store, the
+// durable store's logs, authsvc's rate-limiter buckets). The byte
+// loop is inlined rather than using hash/fnv so hot paths stay
+// allocation-free (hash/fnv heap-allocates its state and a []byte
+// copy per call).
+func FNV32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

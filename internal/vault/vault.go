@@ -1,11 +1,15 @@
 // Package vault is the server-side "password file": a store of
 // PassPoints records keyed by user name behind the Store interface.
-// Two implementations ship: Vault, the original single-RWMutex map
-// with an atomic file-backed save, and Sharded, an fnv-partitioned
-// store whose reads scale with cores. Both speak the same on-disk JSON
-// format. Stealing this file is the offline-attack scenario of the
-// paper's §5.1 — it exposes salts, iteration counts, clear grid
-// identifiers and digests, but no click-points.
+// Three implementations ship: Vault, the original single-RWMutex map
+// with an atomic file-backed save; Sharded, an fnv-partitioned store
+// whose reads scale with cores; and Durable, the crash-safe backend
+// that appends every mutation to a checksummed per-shard log before
+// acking and replays the logs on startup. All three speak the same
+// on-disk JSON snapshot format (Durable via SaveTo/ImportJSON), so a
+// deployment can migrate between backends in place. Stealing this
+// state is the offline-attack scenario of the paper's §5.1 — it
+// exposes salts, iteration counts, clear grid identifiers and
+// digests, but no click-points.
 package vault
 
 import (

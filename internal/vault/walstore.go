@@ -1,0 +1,932 @@
+package vault
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clickpass/internal/passpoints"
+)
+
+// SyncPolicy selects when the durable store fsyncs a shard's log after
+// appending a mutation. It is the knob that trades acked-write
+// durability against write latency; see the package's PERFORMANCE.md
+// "Durable vault" table for measured costs.
+type SyncPolicy int
+
+// Sync policies, strongest first.
+const (
+	// SyncAlways fsyncs after every append: an acked mutation survives
+	// both a process kill and an OS crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs dirty shards on a background timer
+	// (DurableOptions.SyncEvery). An acked mutation survives a process
+	// kill immediately (the write() has happened) but may be lost to an
+	// OS crash inside the sync window.
+	SyncInterval
+	// SyncNever leaves syncing to the OS page cache (and Close). Acked
+	// mutations survive a process kill but not an OS crash.
+	SyncNever
+)
+
+// String returns the policy's flag spelling ("always", "interval",
+// "never").
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag spellings accepted by
+// pwserver: "always", "interval", "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("vault: unknown sync policy %q (want always, interval or never)", s)
+	}
+}
+
+// DefaultCompactRatio is the garbage-to-live threshold at which a
+// shard's log is rewritten: compaction triggers when a log holds more
+// than ratio× as many dead records (overwritten, deleted, stale
+// lockout counters) as live entries.
+const DefaultCompactRatio = 2.0
+
+// compactMinEntries is the floor below which a shard log is never
+// compacted — rewriting a hundred-record file buys nothing and the
+// ratio test is noisy at small counts.
+const compactMinEntries = 256
+
+// DurableOptions configures OpenDurable. The zero value selects
+// DefaultShards, SyncAlways, and DefaultCompactRatio with the
+// background compactor enabled.
+type DurableOptions struct {
+	// Shards is the log/lock partition count; <= 0 selects
+	// DefaultShards. The count is fixed when the directory is created
+	// and recorded in its meta.json: a record's log is chosen by
+	// hash(user) mod Shards, so changing the modulus under an existing
+	// directory would strand records in the wrong logs. Reopening with
+	// a different value silently keeps the on-disk count (check
+	// Shards() for the effective value); to re-partition, SaveTo a
+	// JSON snapshot and ImportJSON it into a fresh directory.
+	Shards int
+	// Sync is the fsync policy for appended mutations.
+	Sync SyncPolicy
+	// SyncEvery is the background fsync period under SyncInterval;
+	// <= 0 selects 100ms. Ignored under other policies.
+	SyncEvery time.Duration
+	// CompactRatio overrides DefaultCompactRatio; <= 0 selects the
+	// default.
+	CompactRatio float64
+	// NoAutoCompact disables the background compactor; Compact and
+	// CompactShard remain available for manual use (tests, tooling).
+	NoAutoCompact bool
+}
+
+// Durable is the crash-safe Store: the fnv-sharded in-memory map of
+// Sharded, with one append-only log file per shard as the source of
+// truth. Every mutation — Put, Replace, Delete, and lockout-counter
+// writes through the LockoutStore extension — appends one
+// length-prefixed, CRC32-checksummed record to its shard's log before
+// the call returns, so an acked write survives a crash (exactly how
+// durably is the SyncPolicy's call). OpenDurable replays the logs to
+// rebuild memory, truncating each log at the first torn or corrupt
+// record: everything acked before the tear is recovered, the torn
+// tail is dropped.
+//
+// Logs only grow, so a background compactor (or an explicit Compact)
+// rewrites a shard's log from its live map once dead records outgrow
+// CompactRatio× the live set. SaveTo still exports the canonical JSON
+// snapshot shared by Vault and Sharded, and ImportJSON loads one, so
+// a deployment can migrate between backends in either direction.
+type Durable struct {
+	dir    string
+	opts   DurableOptions
+	shards []walShard
+	closed atomic.Bool
+
+	kick chan int      // compactor nudge, carries a shard index
+	stop chan struct{} // closes to stop background goroutines
+	bg   sync.WaitGroup
+}
+
+// walShard is one log-backed partition. The mutex covers both the map
+// and the file: an append and its map update are atomic with respect
+// to other writers, and compaction swaps the file under the same lock.
+type walShard struct {
+	mu       sync.Mutex
+	records  map[string]*passpoints.Record
+	lockouts map[string]int
+	f        *os.File
+	path     string
+	off      int64 // committed log length; failed appends roll back to it
+	entries  int   // records in the log since its last rewrite
+	dirty    bool  // has unsynced appends (SyncInterval bookkeeping)
+	buf      []byte
+}
+
+// Durable implements Store and the LockoutStore extension.
+var (
+	_ Store        = (*Durable)(nil)
+	_ LockoutStore = (*Durable)(nil)
+)
+
+// walEntry is the JSON payload of one log record. Op distinguishes
+// the three mutation classes; exactly one of Rec / Failures carries
+// the data.
+type walEntry struct {
+	// Op is "put" (store or overwrite Rec), "del" (remove User), or
+	// "lock" (set User's failed-attempt counter to Failures; 0 clears).
+	Op       string             `json:"op"`
+	User     string             `json:"user"`
+	Rec      *passpoints.Record `json:"rec,omitempty"`
+	Failures int                `json:"failures,omitempty"`
+}
+
+const (
+	walOpPut  = "put"
+	walOpDel  = "del"
+	walOpLock = "lock"
+)
+
+// walHeaderSize is the fixed per-record framing: a little-endian
+// uint32 payload length followed by the IEEE CRC32 of the payload.
+const walHeaderSize = 8
+
+// walMaxRecord bounds a decoded record length. A corrupt length field
+// must not make replay allocate gigabytes; no legitimate entry (one
+// user record) approaches this.
+const walMaxRecord = 1 << 26
+
+// shardLogName returns the log file name for shard i.
+func shardLogName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
+
+// OpenDurable opens (creating if needed) the append-log store rooted
+// at directory dir and replays every shard log into memory. A log
+// whose tail is torn — a partially written record from a crash — is
+// truncated at the tear, recovering every fully appended record and
+// dropping only the unacked tail. Close flushes and releases the
+// logs; an unclosed store's logs are still consistent (that is the
+// point), but Close is how a clean shutdown syncs SyncNever data.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.CompactRatio <= 0 {
+		opts.CompactRatio = DefaultCompactRatio
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vault: creating %s: %w", dir, err)
+	}
+	shards, err := loadOrInitMeta(dir, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	opts.Shards = shards
+	// A crash between CreateTemp and Rename (compaction, meta write)
+	// strands a ".compact-*"/".meta-*" temp file; clean them up here
+	// or repeated crashes leak shard-sized dead files forever. Safe:
+	// temps are only live inside a call holding the shard lock, and no
+	// other store instance may share the directory.
+	for _, pat := range []string{".compact-*", ".meta-*"} {
+		if stale, _ := filepath.Glob(filepath.Join(dir, pat)); len(stale) > 0 {
+			for _, f := range stale {
+				_ = os.Remove(f)
+			}
+		}
+	}
+	d := &Durable{
+		dir:    dir,
+		opts:   opts,
+		shards: make([]walShard, opts.Shards),
+		kick:   make(chan int, opts.Shards),
+		stop:   make(chan struct{}),
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.records = make(map[string]*passpoints.Record)
+		sh.lockouts = make(map[string]int)
+		sh.path = filepath.Join(dir, shardLogName(i))
+		if err := sh.open(); err != nil {
+			d.closeFiles()
+			return nil, err
+		}
+	}
+	if err := syncDir(dir); err != nil {
+		d.closeFiles()
+		return nil, err
+	}
+	if !opts.NoAutoCompact {
+		d.bg.Add(1)
+		go d.compactLoop()
+	}
+	if opts.Sync == SyncInterval {
+		d.bg.Add(1)
+		go d.syncLoop()
+	}
+	return d, nil
+}
+
+// open replays the shard's log (truncating a torn tail) and leaves the
+// file open for appends.
+func (sh *walShard) open() error {
+	f, err := os.OpenFile(sh.path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return fmt.Errorf("vault: opening %s: %w", sh.path, err)
+	}
+	sh.f = f
+	n, off, err := replayLog(f, func(e *walEntry) { sh.apply(e) })
+	if err != nil {
+		f.Close()
+		sh.f = nil
+		return err
+	}
+	sh.entries = n
+	sh.off = off
+	return nil
+}
+
+// apply folds one decoded entry into the shard's maps. Replay-time
+// only; live mutations update the maps inline after their append.
+func (sh *walShard) apply(e *walEntry) {
+	switch e.Op {
+	case walOpPut:
+		if e.Rec != nil && e.Rec.User != "" {
+			sh.records[e.Rec.User] = e.Rec
+		}
+	case walOpDel:
+		delete(sh.records, e.User)
+	case walOpLock:
+		if e.Failures > 0 {
+			sh.lockouts[e.User] = e.Failures
+		} else {
+			delete(sh.lockouts, e.User)
+		}
+	}
+}
+
+// replayLog streams records from the start of f, calling apply for
+// each intact one. At the first torn or corrupt record it truncates f
+// there — dropping that record and everything after it — and seeks to
+// the new end so the caller can append. It returns the number of
+// intact records and the log length they occupy.
+func replayLog(f *os.File, apply func(*walEntry)) (int, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("vault: seeking %s: %w", f.Name(), err)
+	}
+	var (
+		r       = bufio.NewReader(f)
+		off     int64 // start offset of the record being decoded
+		n       int
+		header  [walHeaderSize]byte
+		payload []byte
+	)
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// io.EOF: clean end. ErrUnexpectedEOF: torn header.
+			break
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > walMaxRecord {
+			break // corrupt length field
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt payload
+		}
+		var e walEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			break // checksummed garbage: treat like corruption
+		}
+		apply(&e)
+		off += walHeaderSize + int64(length)
+		n++
+	}
+	// Never truncate silently: a crash's torn tail is under one
+	// record, but a corrupt byte early in a big log discards every
+	// acked record after it — the operator's only chance to reach for
+	// a snapshot is this line, because the evidence is gone after the
+	// truncate.
+	if size, err := f.Seek(0, io.SeekEnd); err == nil && size > off {
+		log.Printf("vault: %s: dropping %d bytes after record %d (torn or corrupt tail)",
+			f.Name(), size-off, n)
+	}
+	if err := f.Truncate(off); err != nil {
+		return 0, 0, fmt.Errorf("vault: truncating torn tail of %s: %w", f.Name(), err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("vault: seeking %s: %w", f.Name(), err)
+	}
+	return n, off, nil
+}
+
+// append encodes e, writes it to the shard's log in one write call,
+// and fsyncs under SyncAlways. Caller holds sh.mu. The map mutation
+// must happen only after append returns nil: a failed append means
+// the mutation was never acked — and to keep that contract honest in
+// both directions, a failed write or sync rolls the log back to the
+// last committed offset. Without the rollback, torn bytes from a
+// failed append would sit in front of later successful records
+// (replay would truncate them all away), and a record whose fsync
+// failed would resurrect on restart despite the caller being told it
+// failed.
+func (sh *walShard) append(e *walEntry, sync bool) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("vault: encoding log entry: %w", err)
+	}
+	need := walHeaderSize + len(payload)
+	if cap(sh.buf) < need {
+		sh.buf = make([]byte, need)
+	}
+	buf := sh.buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[walHeaderSize:], payload)
+	if _, err := sh.f.Write(buf); err != nil {
+		sh.rollback()
+		return fmt.Errorf("vault: appending to %s: %w", sh.path, err)
+	}
+	if sync {
+		if err := sh.f.Sync(); err != nil {
+			sh.rollback()
+			return fmt.Errorf("vault: syncing %s: %w", sh.path, err)
+		}
+	} else {
+		sh.dirty = true
+	}
+	sh.off += int64(need)
+	sh.entries++
+	return nil
+}
+
+// rollback truncates the log to the last committed offset after a
+// failed append, discarding any partially written record so the next
+// append starts clean. Best effort: if even the truncate fails the
+// log keeps the torn bytes and replay's CRC check contains the
+// damage to this shard's tail, same as a crash.
+func (sh *walShard) rollback() {
+	if err := sh.f.Truncate(sh.off); err != nil {
+		return
+	}
+	_, _ = sh.f.Seek(sh.off, io.SeekStart)
+}
+
+// live returns the shard's live entry count (records plus tracked
+// lockout counters). Caller holds sh.mu.
+func (sh *walShard) live() int { return len(sh.records) + len(sh.lockouts) }
+
+// Dir returns the store's log directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Shards returns the shard count.
+func (d *Durable) Shards() int { return len(d.shards) }
+
+// shardFor picks the shard by FNV-1a of the user name — the same
+// split as Sharded's (see FNV32a).
+func (d *Durable) shardFor(user string) (*walShard, int) {
+	i := int(FNV32a(user) % uint32(len(d.shards)))
+	return &d.shards[i], i
+}
+
+// errSkipAppend is returned by a mutate precondition to turn the call
+// into an acked no-op (nothing appended, nothing applied).
+var errSkipAppend = errors.New("vault: skip append")
+
+// mutate is the single write path: under the shard lock it runs pre
+// (which may refuse the mutation, or skip it via errSkipAppend),
+// appends e to the shard's log, and — only once the append has been
+// acked — applies update to the shard's maps. It nudges the compactor
+// when the shard's garbage crosses the configured ratio.
+func (d *Durable) mutate(user string, e *walEntry, pre func(*walShard) error, update func(*walShard)) error {
+	if d.closed.Load() {
+		return fmt.Errorf("vault: store is closed")
+	}
+	sh, i := d.shardFor(user)
+	sh.mu.Lock()
+	if sh.f == nil {
+		// Close won the race between our closed-flag check and the
+		// shard lock; without this re-check the append would fail with
+		// an unhelpful ErrInvalid from the nil file.
+		sh.mu.Unlock()
+		return fmt.Errorf("vault: store is closed")
+	}
+	if pre != nil {
+		if err := pre(sh); err != nil {
+			sh.mu.Unlock()
+			if err == errSkipAppend {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := sh.append(e, d.opts.Sync == SyncAlways); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	update(sh)
+	needCompact := sh.entries >= compactMinEntries &&
+		float64(sh.entries-sh.live()) > d.opts.CompactRatio*float64(max(sh.live(), 1))
+	sh.mu.Unlock()
+	if needCompact && !d.opts.NoAutoCompact {
+		select {
+		case d.kick <- i:
+		default: // compactor busy; it will be re-kicked by a later write
+		}
+	}
+	return nil
+}
+
+// Put stores a record for a new user, appending it to the user's
+// shard log before acking.
+func (d *Durable) Put(rec *passpoints.Record) error {
+	if rec == nil || rec.User == "" {
+		return fmt.Errorf("vault: record must have a user")
+	}
+	return d.mutate(rec.User, &walEntry{Op: walOpPut, Rec: rec},
+		func(sh *walShard) error {
+			if _, ok := sh.records[rec.User]; ok {
+				return ErrExists
+			}
+			return nil
+		},
+		func(sh *walShard) {
+			sh.records[rec.User] = rec
+		})
+}
+
+// Replace stores a record, overwriting any existing one (password
+// change), appending before acking.
+func (d *Durable) Replace(rec *passpoints.Record) error {
+	if rec == nil || rec.User == "" {
+		return fmt.Errorf("vault: record must have a user")
+	}
+	return d.mutate(rec.User, &walEntry{Op: walOpPut, Rec: rec}, nil, func(sh *walShard) {
+		sh.records[rec.User] = rec
+	})
+}
+
+// Get returns the record for user, or ErrNotFound.
+func (d *Durable) Get(user string) (*passpoints.Record, error) {
+	sh, _ := d.shardFor(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.records[user]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return rec, nil
+}
+
+// Delete removes a user's record; deleting a missing user is a no-op
+// and appends nothing.
+func (d *Durable) Delete(user string) {
+	_ = d.mutate(user, &walEntry{Op: walOpDel, User: user},
+		func(sh *walShard) error {
+			if _, ok := sh.records[user]; !ok {
+				return errSkipAppend
+			}
+			return nil
+		},
+		func(sh *walShard) {
+			delete(sh.records, user)
+		})
+}
+
+// SetLockout durably sets user's failed-attempt counter; failures <= 0
+// clears it. It implements LockoutStore: the auth service writes
+// every counter change through here so lockout state — the §5.1
+// online-attack defense — survives a restart instead of resetting to
+// a fresh attempt budget.
+func (d *Durable) SetLockout(user string, failures int) error {
+	if user == "" {
+		return fmt.Errorf("vault: lockout entry must name a user")
+	}
+	if failures < 0 {
+		failures = 0
+	}
+	return d.mutate(user, &walEntry{Op: walOpLock, User: user, Failures: failures}, nil, func(sh *walShard) {
+		if failures > 0 {
+			sh.lockouts[user] = failures
+		} else {
+			delete(sh.lockouts, user)
+		}
+	})
+}
+
+// Lockouts returns a copy of every persisted failed-attempt counter.
+func (d *Durable) Lockouts() map[string]int {
+	out := make(map[string]int)
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for u, n := range sh.lockouts {
+			out[u] = n
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Users returns all user names in sorted order.
+func (d *Durable) Users() []string {
+	users := make([]string, 0, d.Len())
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for u := range sh.records {
+			users = append(users, u)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(users)
+	return users
+}
+
+// Len returns the number of records.
+func (d *Durable) Len() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n += len(sh.records)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// All returns every record sorted by user — the attacker's view after
+// a password-file compromise.
+func (d *Durable) All() []*passpoints.Record {
+	recs := d.Snapshot()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
+	return recs
+}
+
+// Snapshot returns every record in shard order without the global
+// sort, per-shard-consistent exactly like Sharded.Snapshot.
+func (d *Durable) Snapshot() []*passpoints.Record {
+	recs := make([]*passpoints.Record, 0, d.Len())
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for _, r := range sh.records {
+			recs = append(recs, r)
+		}
+		sh.mu.Unlock()
+	}
+	return recs
+}
+
+// Save fsyncs every shard log. Durability is continuous for this
+// backend — the logs ARE the backing file — so Save's contract
+// ("persist current state") reduces to flushing whatever the sync
+// policy has deferred.
+func (d *Durable) Save() error {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		if sh.f == nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("vault: store is closed")
+		}
+		err := sh.f.Sync()
+		if err == nil {
+			sh.dirty = false
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("vault: syncing %s: %w", sh.path, err)
+		}
+	}
+	return nil
+}
+
+// SaveTo exports the store as the canonical sorted-JSON snapshot the
+// other two backends read and write — the migration/downgrade path
+// out of the log format.
+func (d *Durable) SaveTo(path string) error {
+	return writeRecords(path, d.All())
+}
+
+// ImportJSON loads a JSON snapshot (the Vault/Sharded on-disk format)
+// into an empty durable store, appending every record to its shard
+// log — the in-place migration path for a deployment moving off the
+// snapshot backends. It refuses to import over existing records.
+// Records are appended unsynced and flushed once per shard at the
+// end: per-record durability buys nothing here (a failed import is
+// retried from the snapshot anyway), and one fsync per shard instead
+// of per user keeps a million-record migration in seconds, not
+// hours.
+func (d *Durable) ImportJSON(path string) error {
+	if d.Len() > 0 {
+		return fmt.Errorf("vault: ImportJSON into non-empty store")
+	}
+	recs, err := loadRecords(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		// loadRecords already validated non-nil records and distinct,
+		// non-empty users.
+		sh, _ := d.shardFor(r.User)
+		sh.mu.Lock()
+		if sh.f == nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("vault: store is closed")
+		}
+		if err := sh.append(&walEntry{Op: walOpPut, Rec: r}, false); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		sh.records[r.User] = r
+		sh.mu.Unlock()
+	}
+	return d.Save()
+}
+
+// Compact synchronously rewrites every shard's log from its live map,
+// discarding dead records. (For this backend Compact rewrites the
+// logs themselves; use SaveTo for the JSON snapshot Sharded.Compact
+// produces.)
+func (d *Durable) Compact() error {
+	for i := range d.shards {
+		if err := d.CompactShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactShard rewrites shard i's log from its live map: the new log
+// is written to a temp file, fsynced, and renamed over the old one,
+// so a crash mid-compaction leaves the previous log intact. The shard
+// is write-locked for the duration.
+func (d *Durable) CompactShard(i int) error {
+	if i < 0 || i >= len(d.shards) {
+		return fmt.Errorf("vault: no shard %d", i)
+	}
+	sh := &d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		return fmt.Errorf("vault: store is closed")
+	}
+	tmp, err := os.CreateTemp(d.dir, ".compact-*")
+	if err != nil {
+		return fmt.Errorf("vault: compaction temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	ok := false
+	defer func() {
+		if !ok {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	w := bufio.NewWriter(tmp)
+	n := 0
+	writeEntry := func(e *walEntry) error {
+		payload, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		var header [walHeaderSize]byte
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(header[:]); err != nil {
+			return err
+		}
+		_, err = w.Write(payload)
+		n++
+		return err
+	}
+	for _, rec := range sh.records {
+		if err := writeEntry(&walEntry{Op: walOpPut, Rec: rec}); err != nil {
+			return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
+		}
+	}
+	for user, failures := range sh.lockouts {
+		if err := writeEntry(&walEntry{Op: walOpLock, User: user, Failures: failures}); err != nil {
+			return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("vault: syncing compacted %s: %w", sh.path, err)
+	}
+	// Size the new log before the rename commits it: failing here
+	// still leaves the old log live, whereas any error after the
+	// rename would leave sh.f pointing at the replaced inode and
+	// every later acked append would vanish on restart.
+	newOff, err := tmp.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("vault: sizing compacted %s: %w", sh.path, err)
+	}
+	if err := os.Rename(tmpName, sh.path); err != nil {
+		return fmt.Errorf("vault: committing compacted %s: %w", sh.path, err)
+	}
+	ok = true
+	// The rename does not invalidate tmp's descriptor: it now IS the
+	// shard log, positioned at end, ready for appends.
+	old := sh.f
+	sh.f = tmp
+	sh.off = newOff
+	sh.entries = n
+	sh.dirty = false
+	old.Close()
+	return syncDir(d.dir)
+}
+
+// compactLoop is the background compactor: it waits for shard indexes
+// kicked by writers and rewrites those logs. One log rewrite at a
+// time keeps the I/O burst bounded.
+func (d *Durable) compactLoop() {
+	defer d.bg.Done()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case i := <-d.kick:
+			// Re-check under the lock via CompactShard? The ratio may
+			// have been reset by an interleaved manual Compact; a
+			// redundant rewrite is merely wasted I/O, not a bug.
+			_ = d.CompactShard(i)
+		}
+	}
+}
+
+// syncLoop is the SyncInterval flusher: every SyncEvery it fsyncs
+// shards with unsynced appends.
+func (d *Durable) syncLoop() {
+	defer d.bg.Done()
+	t := time.NewTicker(d.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			for i := range d.shards {
+				sh := &d.shards[i]
+				sh.mu.Lock()
+				if sh.dirty && sh.f != nil {
+					// Only a successful sync clears dirty: a transient
+					// EIO/ENOSPC must be retried next tick, not
+					// silently turn acked data non-durable forever.
+					if err := sh.f.Sync(); err != nil {
+						log.Printf("vault: background sync of %s: %v", sh.path, err)
+					} else {
+						sh.dirty = false
+					}
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Close stops the background goroutines, fsyncs every log, and closes
+// the files. The store must not be used after Close; mutations on a
+// closed store fail.
+func (d *Durable) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(d.stop)
+	d.bg.Wait()
+	var firstErr error
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		if sh.f != nil {
+			if err := sh.f.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := sh.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// closeFiles releases shard files after a failed open, before any
+// background goroutine exists.
+func (d *Durable) closeFiles() {
+	for i := range d.shards {
+		if f := d.shards[i].f; f != nil {
+			f.Close()
+		}
+	}
+}
+
+// walMeta is the meta.json document pinning the directory's layout.
+type walMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// loadOrInitMeta reads the directory's shard count, writing meta.json
+// (atomically, before any log exists) on first creation. An existing
+// directory's count always wins over the caller's request — the logs
+// were partitioned under it.
+func loadOrInitMeta(dir string, want int) (int, error) {
+	path := filepath.Join(dir, "meta.json")
+	data, err := os.ReadFile(path)
+	if err == nil {
+		var m walMeta
+		if err := json.Unmarshal(data, &m); err != nil {
+			return 0, fmt.Errorf("vault: parsing %s: %w", path, err)
+		}
+		if m.Shards <= 0 {
+			return 0, fmt.Errorf("vault: %s has invalid shard count %d", path, m.Shards)
+		}
+		return m.Shards, nil
+	}
+	if !os.IsNotExist(err) {
+		return 0, fmt.Errorf("vault: reading %s: %w", path, err)
+	}
+	// Fresh directory — but refuse to guess if logs are already there
+	// (a hand-deleted meta.json must not silently re-partition them).
+	if logs, _ := filepath.Glob(filepath.Join(dir, "shard-*.wal")); len(logs) > 0 {
+		return 0, fmt.Errorf("vault: %s has shard logs but no meta.json", dir)
+	}
+	data, err = json.Marshal(walMeta{Version: 1, Shards: want})
+	if err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(dir, ".meta-*")
+	if err != nil {
+		return 0, fmt.Errorf("vault: meta temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("vault: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("vault: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return 0, fmt.Errorf("vault: committing %s: %w", path, err)
+	}
+	return want, nil
+}
+
+// syncDir fsyncs a directory so file creations and renames inside it
+// are themselves durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("vault: opening %s for sync: %w", dir, err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("vault: syncing %s: %w", dir, err)
+	}
+	return nil
+}
