@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-store loadsmoke recovery-smoke docs-lint cover ci
+.PHONY: all build test vet race bench bench-json bench-store bench-diff loadsmoke storm-smoke recovery-smoke docs-lint cover ci
 
 all: build vet test
 
@@ -49,6 +49,27 @@ bench-store:
 loadsmoke:
 	$(GO) test ./internal/loadtest -run TestLoad -short -v
 
+# storm-smoke is the CI overload drill: a 10x login storm against a
+# small-capacity HTTP front. The bounded-queue admission policy must
+# engage (sheds observed), refuse fast (shed p50 under the service
+# time), keep accepted-request p99 in the uncontended regime, and hold
+# goodput near capacity; retrying clients must then land ~all ops via
+# jittered backoff honoring Retry-After (PERFORMANCE.md "Login storm").
+storm-smoke:
+	$(GO) test ./internal/loadtest -run TestStorm -v
+
+# bench-diff guards the perf trajectory: re-run the harness (smoke
+# -benchtime) into a scratch directory and compare against the
+# committed BENCH_*.json baselines in the repo root, failing when any
+# case is more than 25% slower after median normalization (the median
+# ratio across all cases absorbs machine-speed differences, so only
+# relative regressions trip it).
+DIFF_OUT ?= /tmp/pwbench-diff
+bench-diff:
+	$(GO) run ./cmd/pwbench -out $(DIFF_OUT) -benchtime 100ms
+	$(GO) run ./cmd/pwbench -store -out $(DIFF_OUT) -benchtime 100ms
+	$(GO) run ./cmd/pwbench -diff . -out $(DIFF_OUT)
+
 # recovery-smoke is the CI crash drill: build the real pwserver, serve
 # a durable vault, enroll over the wire, SIGKILL it, restart on the
 # same logs, and assert every acked mutation (records + lockout
@@ -68,4 +89,4 @@ docs-lint:
 cover:
 	$(GO) test -cover ./...
 
-ci: build docs-lint test race loadsmoke recovery-smoke
+ci: build docs-lint test race loadsmoke storm-smoke recovery-smoke

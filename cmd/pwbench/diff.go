@@ -1,0 +1,189 @@
+package main
+
+// The -diff mode: compare a fresh set of BENCH_*.json files against a
+// committed baseline set and fail on perf regressions. Raw ns/op is
+// not comparable across machines (CI runners vary run to run), so the
+// comparison normalizes every case's new/old ratio by the median ratio
+// across ALL cases: a uniformly slower machine moves the median, not
+// the verdict, while a single path that regressed relative to its
+// peers sticks out above it. The threshold is the allowed normalized
+// slowdown in percent (default 25).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// diffRun is the shape-agnostic view of one measurement: engine
+// documents key runs by workers, the store document by backend/op.
+// Only ns_per_op is compared; the other fields identify the case.
+type diffRun struct {
+	Workers int     `json:"workers"`
+	Backend string  `json:"backend"`
+	Op      string  `json:"op"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// key renders the case identity within its bench document.
+func (r diffRun) key() string {
+	if r.Backend != "" {
+		return r.Backend + "/" + r.Op
+	}
+	return fmt.Sprintf("w=%d", r.Workers)
+}
+
+// diffDoc is the common envelope of every BENCH_*.json document.
+type diffDoc struct {
+	Name string    `json:"name"`
+	Runs []diffRun `json:"runs"`
+}
+
+// diffPair is one matched (baseline, current) measurement.
+type diffPair struct {
+	Bench string  // document name ("online", "store", ...)
+	Key   string  // case within the document ("w=4", "vault/put", ...)
+	OldNs float64 // baseline ns/op
+	NewNs float64 // current ns/op
+	Ratio float64 // NewNs / OldNs
+	Norm  float64 // Ratio / median ratio across all pairs
+}
+
+// loadDiffDoc parses one BENCH_*.json file into the generic shape.
+func loadDiffDoc(path string) (diffDoc, error) {
+	var doc diffDoc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// matchPairs joins baseline and current runs by case key; cases present
+// on only one side are dropped (a renamed or added path is not a
+// regression).
+func matchPairs(name string, old, cur diffDoc) []diffPair {
+	byKey := map[string]diffRun{}
+	for _, r := range cur.Runs {
+		byKey[r.key()] = r
+	}
+	var pairs []diffPair
+	for _, o := range old.Runs {
+		n, ok := byKey[o.key()]
+		if !ok || o.NsPerOp <= 0 || n.NsPerOp <= 0 {
+			continue
+		}
+		pairs = append(pairs, diffPair{
+			Bench: name, Key: o.key(),
+			OldNs: o.NsPerOp, NewNs: n.NsPerOp,
+			Ratio: n.NsPerOp / o.NsPerOp,
+		})
+	}
+	return pairs
+}
+
+// normalize fills each pair's Norm: its ratio divided by the median
+// ratio across all pairs. The median absorbs a uniformly faster or
+// slower machine so only relative regressions trip the threshold.
+func normalize(pairs []diffPair) {
+	if len(pairs) == 0 {
+		return
+	}
+	ratios := make([]float64, len(pairs))
+	for i, p := range pairs {
+		ratios[i] = p.Ratio
+	}
+	sort.Float64s(ratios)
+	med := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		med = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	if med <= 0 {
+		med = 1
+	}
+	for i := range pairs {
+		pairs[i].Norm = pairs[i].Ratio / med
+	}
+}
+
+// regressions returns the pairs whose normalized slowdown exceeds
+// thresholdPct percent.
+func regressions(pairs []diffPair, thresholdPct float64) []diffPair {
+	var out []diffPair
+	for _, p := range pairs {
+		if p.Norm > 1+thresholdPct/100 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// diffTable renders the comparison as the Markdown table CI publishes;
+// rows over the threshold are marked REGRESSION.
+func diffTable(pairs []diffPair, thresholdPct float64) string {
+	var b strings.Builder
+	b.WriteString("| bench | case | baseline ns/op | current ns/op | ratio | normalized | |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, p := range pairs {
+		flag := ""
+		if p.Norm > 1+thresholdPct/100 {
+			flag = "REGRESSION"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.0f | %.0f | %.2f | %.2f | %s |\n",
+			p.Bench, p.Key, p.OldNs, p.NewNs, p.Ratio, p.Norm, flag)
+	}
+	return b.String()
+}
+
+// runDiff compares every BENCH_*.json under baselineDir against its
+// counterpart in currentDir, prints the comparison table, and returns
+// an error naming each case whose normalized slowdown exceeds
+// thresholdPct. Baseline documents with no counterpart are skipped
+// with a warning (the current run may measure a subset).
+func runDiff(baselineDir, currentDir string, thresholdPct float64) error {
+	files, err := filepath.Glob(filepath.Join(baselineDir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	var pairs []diffPair
+	compared := 0
+	for _, file := range files {
+		curFile := filepath.Join(currentDir, filepath.Base(file))
+		if _, err := os.Stat(curFile); err != nil {
+			fmt.Fprintf(os.Stderr, "pwbench: no current %s; skipping\n", filepath.Base(file))
+			continue
+		}
+		old, err := loadDiffDoc(file)
+		if err != nil {
+			return err
+		}
+		cur, err := loadDiffDoc(curFile)
+		if err != nil {
+			return err
+		}
+		pairs = append(pairs, matchPairs(old.Name, old, cur)...)
+		compared++
+	}
+	if compared == 0 || len(pairs) == 0 {
+		return fmt.Errorf("nothing to diff: no matching BENCH_*.json between %s and %s", baselineDir, currentDir)
+	}
+	normalize(pairs)
+	fmt.Print(diffTable(pairs, thresholdPct))
+	if bad := regressions(pairs, thresholdPct); len(bad) > 0 {
+		var names []string
+		for _, p := range bad {
+			names = append(names, fmt.Sprintf("%s/%s %.0f%% slower", p.Bench, p.Key, (p.Norm-1)*100))
+		}
+		return fmt.Errorf("%d case(s) regressed beyond %g%%: %s",
+			len(bad), thresholdPct, strings.Join(names, "; "))
+	}
+	fmt.Fprintf(os.Stderr, "pwbench: %d cases within %g%% of baseline\n", len(pairs), thresholdPct)
+	return nil
+}

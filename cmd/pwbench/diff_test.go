@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBenchFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffRunKey(t *testing.T) {
+	if got := (diffRun{Workers: 4}).key(); got != "w=4" {
+		t.Errorf("engine key = %q, want w=4", got)
+	}
+	if got := (diffRun{Backend: "vault", Op: "put"}).key(); got != "vault/put" {
+		t.Errorf("store key = %q, want vault/put", got)
+	}
+}
+
+func TestMatchPairsDropsUnmatchedAndZero(t *testing.T) {
+	old := diffDoc{Runs: []diffRun{
+		{Workers: 1, NsPerOp: 100},
+		{Workers: 2, NsPerOp: 50},
+		{Workers: 8, NsPerOp: 0},  // degenerate baseline: dropped
+		{Workers: 16, NsPerOp: 9}, // no current counterpart: dropped
+	}}
+	cur := diffDoc{Runs: []diffRun{
+		{Workers: 1, NsPerOp: 110},
+		{Workers: 2, NsPerOp: 40},
+		{Workers: 8, NsPerOp: 10},
+	}}
+	pairs := matchPairs("online", old, cur)
+	if len(pairs) != 2 {
+		t.Fatalf("matched %d pairs, want 2: %+v", len(pairs), pairs)
+	}
+	if pairs[0].Ratio != 1.1 || pairs[1].Ratio != 0.8 {
+		t.Errorf("ratios = %v, %v; want 1.1, 0.8", pairs[0].Ratio, pairs[1].Ratio)
+	}
+}
+
+// TestNormalizeAbsorbsMachineSpeed: every case 2x slower (a slower CI
+// runner) normalizes to 1.0 everywhere — no regression. One case 2x
+// slower while its peers hold is a genuine relative regression.
+func TestNormalizeAbsorbsMachineSpeed(t *testing.T) {
+	uniform := []diffPair{{Ratio: 2}, {Ratio: 2}, {Ratio: 2}}
+	normalize(uniform)
+	for i, p := range uniform {
+		if p.Norm != 1 {
+			t.Errorf("uniform[%d].Norm = %v, want 1", i, p.Norm)
+		}
+	}
+	if len(regressions(uniform, 25)) != 0 {
+		t.Error("uniformly slow machine flagged as a regression")
+	}
+
+	oneBad := []diffPair{
+		{Bench: "online", Key: "w=1", Ratio: 1},
+		{Bench: "online", Key: "w=2", Ratio: 1.02},
+		{Bench: "online", Key: "w=4", Ratio: 0.98},
+		{Bench: "cohort", Key: "w=1", Ratio: 2},
+	}
+	normalize(oneBad)
+	bad := regressions(oneBad, 25)
+	if len(bad) != 1 || bad[0].Key != "w=1" || bad[0].Bench != "cohort" {
+		t.Fatalf("regressions = %+v, want exactly cohort/w=1", bad)
+	}
+}
+
+func TestNormalizeEvenCountUsesMidpointMedian(t *testing.T) {
+	pairs := []diffPair{{Ratio: 1}, {Ratio: 3}}
+	normalize(pairs)
+	if pairs[0].Norm != 0.5 || pairs[1].Norm != 1.5 {
+		t.Errorf("Norms = %v, %v; want 0.5, 1.5 (median 2)", pairs[0].Norm, pairs[1].Norm)
+	}
+}
+
+func TestDiffTableFlagsRegressions(t *testing.T) {
+	pairs := []diffPair{
+		{Bench: "online", Key: "w=1", OldNs: 100, NewNs: 100, Ratio: 1, Norm: 1},
+		{Bench: "store", Key: "vault/put", OldNs: 100, NewNs: 200, Ratio: 2, Norm: 2},
+	}
+	table := diffTable(pairs, 25)
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), table)
+	}
+	if strings.Contains(lines[2], "REGRESSION") {
+		t.Errorf("clean row flagged: %s", lines[2])
+	}
+	if !strings.Contains(lines[3], "REGRESSION") {
+		t.Errorf("2x row not flagged: %s", lines[3])
+	}
+}
+
+// TestRunDiffEndToEnd drives the file-level entry point over both
+// document shapes: a clean comparison passes, a >threshold relative
+// slowdown fails and names the case, and baseline files with no
+// current counterpart are skipped rather than fatal.
+func TestRunDiffEndToEnd(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeBenchFile(t, base, "BENCH_online.json", `{"name":"online","runs":[
+		{"workers":1,"ns_per_op":1000},{"workers":4,"ns_per_op":300}]}`)
+	writeBenchFile(t, base, "BENCH_store.json", `{"name":"store","runs":[
+		{"backend":"vault","op":"put","ns_per_op":500},
+		{"backend":"vault","op":"readheavy","ns_per_op":40}]}`)
+	writeBenchFile(t, base, "BENCH_orphan.json", `{"name":"orphan","runs":[{"workers":1,"ns_per_op":1}]}`)
+
+	writeBenchFile(t, cur, "BENCH_online.json", `{"name":"online","runs":[
+		{"workers":1,"ns_per_op":1050},{"workers":4,"ns_per_op":310}]}`)
+	writeBenchFile(t, cur, "BENCH_store.json", `{"name":"store","runs":[
+		{"backend":"vault","op":"put","ns_per_op":510},
+		{"backend":"vault","op":"readheavy","ns_per_op":41}]}`)
+	if err := runDiff(base, cur, 25); err != nil {
+		t.Fatalf("clean diff failed: %v", err)
+	}
+
+	// vault/put goes 3x while everything else holds: must fail and say so.
+	writeBenchFile(t, cur, "BENCH_store.json", `{"name":"store","runs":[
+		{"backend":"vault","op":"put","ns_per_op":1500},
+		{"backend":"vault","op":"readheavy","ns_per_op":41}]}`)
+	err := runDiff(base, cur, 25)
+	if err == nil {
+		t.Fatal("3x slowdown passed the diff")
+	}
+	if !strings.Contains(err.Error(), "store/vault/put") {
+		t.Errorf("regression error does not name the case: %v", err)
+	}
+
+	// An empty current dir is a hard error, not a silent pass.
+	if err := runDiff(base, t.TempDir(), 25); err == nil {
+		t.Error("diff against an empty dir passed")
+	}
+}

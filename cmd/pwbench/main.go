@@ -14,6 +14,7 @@
 //	pwbench -paths online,cohort -workers 1,8
 //	pwbench -out bench -benchtime 200ms      # CI smoke settings
 //	pwbench -store                           # vault backends -> BENCH_store.json
+//	pwbench -diff . -out bench               # compare bench/ vs committed baselines
 package main
 
 import (
@@ -201,8 +202,16 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		benchtime = flag.String("benchtime", "1s", "per-measurement budget (testing -benchtime syntax)")
 		storeOnly = flag.Bool("store", false, "measure the vault store backends (incl. durable fsync policies) into BENCH_store.json instead of the engine paths")
+		diffDir   = flag.String("diff", "", "run no benchmarks; compare BENCH_*.json in -out against the baselines in this directory and exit 1 on regressions")
+		threshold = flag.Float64("threshold", 25, "with -diff: fail when a case is more than this percent slower than baseline after median normalization")
 	)
 	flag.Parse()
+	if *diffDir != "" {
+		if err := runDiff(*diffDir, *outDir, *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fatal(err)
 	}

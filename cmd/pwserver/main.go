@@ -6,12 +6,17 @@
 // Both fronts are thin codecs over one authsvc pipeline: -maxconns is
 // a single admission budget shared by TCP and HTTP (combined in-flight
 // requests never exceed it) and -userrate adds a per-user token
-// bucket. -metrics starts the admin surface (request counters,
-// latency, and in-flight gauge as JSON, plus the lockout reset) on
-// its own address — bind it to loopback or a protected network, never
-// the public one. The lockout bounds online dictionary
-// attacks (§5.1): after N failed logins an account refuses further
-// attempts until an administrative reset.
+// bucket. -queue bounds the admission wait queue (default 4x
+// maxconns): past the per-priority watermarks, work is shed with fast
+// "overloaded" responses (logins shed last) instead of queueing
+// toward its deadline; -queue 0 restores unbounded queueing. -chaos
+// injects deterministic faults (dev only) and -logjson emits one
+// structured log line per request. -metrics starts the admin surface
+// (Prometheus exposition at /metrics, JSON at /metrics.json, plus the
+// lockout reset) on its own address — bind it to loopback or a
+// protected network, never the public one. The lockout bounds online
+// dictionary attacks (§5.1): after N failed logins an account refuses
+// further attempts until an administrative reset.
 //
 // -backend selects storage (see README.md for the migration recipe):
 //
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"clickpass/internal/authproto"
+	"clickpass/internal/authsvc"
 	"clickpass/internal/core"
 	"clickpass/internal/geom"
 	"clickpass/internal/passpoints"
@@ -65,6 +71,10 @@ func main() {
 		maxConns    = flag.Int("maxconns", authproto.DefaultMaxConns, "max in-flight requests across all fronts (and TCP connection pool size)")
 		userRate    = flag.Float64("userrate", 0, "per-user request rate limit in req/s across all fronts (0 = off)")
 		userBurst   = flag.Int("userburst", 5, "per-user burst budget for -userrate")
+		queue       = flag.Int("queue", -1, "overload policy: bounded admission wait queue depth; low-priority ops shed at watermarks (-1 = 4x maxconns, 0 = legacy unbounded queueing)")
+		retryAfter  = flag.Duration("retry-after", authsvc.DefaultRetryAfter, "retry hint returned with shed (overloaded) responses")
+		chaos       = flag.String("chaos", "", "dev fault injection, e.g. seed=7,err=0.01,latrate=0.05,lat=25ms (empty = off)")
+		logJSON     = flag.Bool("logjson", false, "emit one structured JSON log line per request to stderr")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -101,6 +111,26 @@ func main() {
 	srv.SetMaxConns(*maxConns)
 	if *userRate > 0 {
 		srv.SetUserRate(*userRate, *userBurst)
+	}
+	queueDepth := *queue
+	if queueDepth < 0 {
+		queueDepth = 4 * *maxConns
+	}
+	if queueDepth > 0 {
+		srv.SetOverload(authsvc.OverloadPolicy{Queue: queueDepth, RetryAfter: *retryAfter})
+		fmt.Printf("pwserver: overload policy on (queue %d, normal/low sheds at %d/%d waiting)\n",
+			queueDepth, int(float64(queueDepth)*authsvc.DefaultNormalMark), int(float64(queueDepth)*authsvc.DefaultLowMark))
+	}
+	if *chaos != "" {
+		faults, err := authsvc.ParseFaultSpec(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetFaults(faults)
+		fmt.Printf("pwserver: CHAOS MODE: %s (dev only — injected faults are live)\n", *chaos)
+	}
+	if *logJSON {
+		srv.SetLogWriter(os.Stderr)
 	}
 	if *tcpAddr == "" && *httpAddr == "" {
 		fatal(fmt.Errorf("nothing to serve: both -tcp and -http are empty"))

@@ -22,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"clickpass/internal/authsvc"
@@ -72,6 +74,10 @@ type Request struct {
 	Clicks []dataset.Click `json:"clicks,omitempty"`
 	// NewClicks carries the replacement password for OpChange.
 	NewClicks []dataset.Click `json:"new_clicks,omitempty"`
+	// BudgetMs is the additive deadline-budget field: how many more
+	// milliseconds the client will wait, queueing included. Zero
+	// (legacy clients) means no budget.
+	BudgetMs int `json:"budget_ms,omitempty"`
 }
 
 // service converts the wire request to the service's typed request.
@@ -82,6 +88,7 @@ func (r Request) service() authsvc.Request {
 		User:      r.User,
 		Clicks:    r.Clicks,
 		NewClicks: r.NewClicks,
+		BudgetMs:  r.BudgetMs,
 	}
 }
 
@@ -93,6 +100,7 @@ func wireRequest(req authsvc.Request) Request {
 		User:      req.User,
 		Clicks:    req.Clicks,
 		NewClicks: req.NewClicks,
+		BudgetMs:  req.BudgetMs,
 	}
 }
 
@@ -106,17 +114,22 @@ type Response struct {
 	Error     string `json:"error,omitempty"`
 	Locked    bool   `json:"locked,omitempty"`
 	Remaining int    `json:"remaining,omitempty"` // login attempts left
+	// RetryAfterMs accompanies code=overloaded: the server's hint for
+	// when a retry may be admitted (also the Retry-After header on
+	// HTTP). Additive; legacy servers never send it.
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
 }
 
 // wireResponse converts a service response to its wire shape.
 func wireResponse(resp authsvc.Response) Response {
 	return Response{
-		V:         resp.Version,
-		OK:        resp.OK(),
-		Code:      string(resp.Code),
-		Error:     resp.Err,
-		Locked:    resp.Locked(),
-		Remaining: resp.Remaining,
+		V:            resp.Version,
+		OK:           resp.OK(),
+		Code:         string(resp.Code),
+		Error:        resp.Err,
+		Locked:       resp.Locked(),
+		Remaining:    resp.Remaining,
+		RetryAfterMs: resp.RetryAfterMs,
 	}
 }
 
@@ -126,7 +139,8 @@ func wireResponse(resp authsvc.Response) Response {
 // legacy semantic).
 func (r Response) service() authsvc.Response {
 	if r.Code != "" {
-		return authsvc.Response{Version: r.V, Code: authsvc.Code(r.Code), Err: r.Error, Remaining: r.Remaining}
+		return authsvc.Response{Version: r.V, Code: authsvc.Code(r.Code), Err: r.Error,
+			Remaining: r.Remaining, RetryAfterMs: r.RetryAfterMs}
 	}
 	code := authsvc.CodeDenied
 	switch {
@@ -153,6 +167,9 @@ type Server struct {
 	userRate   float64
 	userBurst  int
 	reqTimeout time.Duration
+	overload   authsvc.OverloadPolicy
+	faults     authsvc.FaultOptions
+	logw       io.Writer
 
 	connMu     sync.Mutex
 	conns      map[net.Conn]*connState
@@ -188,22 +205,46 @@ func (s *Server) rebuild() {
 	//   - Metrics outside everything but Recover, so refused and
 	//     throttled responses show up in by_code and latency is the
 	//     client-observed number.
-	//   - Deadline outside admission, so the request timeout bounds
-	//     *queueing* too: a request stuck behind a saturated limiter
-	//     for reqTimeout is refused with CodeUnavailable instead of
-	//     parking its transport goroutine forever.
+	//   - Log just inside Metrics: it installs the per-request
+	//     annotation the overload stage fills in (queue wait,
+	//     shed/deadline outcome) and emits one line per request with
+	//     the final code.
+	//   - Deadline outside admission, so the request timeout — clamped
+	//     to the request's propagated budget — bounds *queueing* too: a
+	//     request stuck behind a saturated limiter is refused with
+	//     CodeUnavailable instead of parking its transport goroutine
+	//     forever.
 	//   - UserRate outside admission, so a flood aimed at one user is
 	//     shed before it competes for the shared concurrency budget.
+	//   - Overload (or plain Admission when no policy is set) owns the
+	//     shared limiter: bounded wait queue, priority watermarks,
+	//     fast CodeOverloaded sheds.
 	//   - InFlight inside admission, so the gauge's high-water mark is
 	//     provably capped by the limiter.
-	s.handler = authsvc.Chain(s.svc,
+	//   - Faults innermost: an injected latency spike must occupy a
+	//     real admission slot — that is how a slow dependency actually
+	//     starves a server, and what the overload policy must absorb.
+	mw := []authsvc.Middleware{
 		authsvc.WithRecover(),
 		authsvc.WithMetrics(s.metrics),
+	}
+	if s.logw != nil {
+		mw = append(mw, authsvc.WithLog(s.logw))
+	}
+	mw = append(mw,
 		authsvc.WithDeadline(s.reqTimeout),
 		authsvc.WithUserRate(s.userRate, s.userBurst),
-		authsvc.WithAdmission(s.limiter),
-		authsvc.WithInFlight(s.metrics),
 	)
+	if s.overload.Queue > 0 {
+		mw = append(mw, authsvc.WithOverload(s.limiter, s.overload, s.metrics))
+	} else {
+		mw = append(mw, authsvc.WithAdmission(s.limiter))
+	}
+	mw = append(mw, authsvc.WithInFlight(s.metrics))
+	if s.faults.Enabled() {
+		mw = append(mw, authsvc.WithFaults(s.faults))
+	}
+	s.handler = authsvc.Chain(s.svc, mw...)
 }
 
 // SetMaxConns bounds both the shared request-admission limiter (all
@@ -224,6 +265,35 @@ func (s *Server) SetMaxConns(n int) {
 // serving.
 func (s *Server) SetUserRate(perSec float64, burst int) {
 	s.userRate, s.userBurst = perSec, burst
+	s.rebuild()
+}
+
+// SetOverload enables priority admission and load shedding: the
+// shared limiter's wait queue is bounded at pol.Queue, low-priority
+// work sheds at the policy's watermarks with fast CodeOverloaded
+// responses, and requests that outlive their deadline in the queue
+// are dropped before touching the vault. pol.Queue <= 0 restores the
+// legacy unbounded-queue WithAdmission. Call before serving.
+func (s *Server) SetOverload(pol authsvc.OverloadPolicy) {
+	s.overload = pol
+	s.rebuild()
+}
+
+// SetFaults enables deterministic fault injection (latency spikes and
+// injected errors) at the innermost pipeline stage — the pwserver
+// -chaos switch. A zero FaultOptions disables it. Call before
+// serving; for storage-level faults wrap the store with
+// vault.NewFlaky before NewServer.
+func (s *Server) SetFaults(o authsvc.FaultOptions) {
+	s.faults = o
+	s.rebuild()
+}
+
+// SetLogWriter enables the structured request log: one JSON line per
+// request (id, op, user, code, latency, queue wait, shed/deadline
+// outcome) written to w. nil disables it. Call before serving.
+func (s *Server) SetLogWriter(w io.Writer) {
+	s.logw = w
 	s.rebuild()
 }
 
@@ -272,14 +342,32 @@ func (s *Server) Serve(l net.Listener) error {
 	defer s.unregisterListener(l)
 	lim := par.NewLimiter(s.maxConns)
 	defer lim.Drain()
+	var acceptDelay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
-			return err
+			if !transientAcceptError(err) {
+				return err
+			}
+			// Transient accept failure (EMFILE under descriptor
+			// exhaustion, aborted handshakes, timeouts): hot-looping
+			// here would burn a core re-hitting the same condition and,
+			// for EMFILE, prevent the descriptors we are waiting on from
+			// ever draining. Back off exponentially with jitter —
+			// doubling to a 1s cap, desynchronized so multiple accept
+			// loops (TCP + TLS) do not retry in lockstep.
+			if acceptDelay == 0 {
+				acceptDelay = 5 * time.Millisecond
+			} else if acceptDelay *= 2; acceptDelay > time.Second {
+				acceptDelay = time.Second
+			}
+			time.Sleep(acceptDelay/2 + rand.N(acceptDelay/2))
+			continue
 		}
+		acceptDelay = 0
 		// Track before the shutdown check: once a connection is in
 		// s.conns, Shutdown cannot report "drained" without either
 		// waiting for it or (below) seeing it refused. The flag is read
@@ -309,6 +397,25 @@ func (s *Server) Serve(l net.Listener) error {
 			s.serveConnState(conn, st)
 		})
 	}
+}
+
+// transientAcceptError classifies accept failures worth retrying
+// with backoff: descriptor exhaustion (EMFILE/ENFILE), kernel buffer
+// pressure (ENOBUFS/ENOMEM), handshakes the peer aborted before we
+// got to them (ECONNABORTED/ECONNRESET), interrupted syscalls, and
+// net.Error timeouts. Anything else (a closed or broken listener) is
+// fatal to the accept loop.
+func transientAcceptError(err error) bool {
+	for _, errno := range []syscall.Errno{
+		syscall.EMFILE, syscall.ENFILE, syscall.ENOBUFS, syscall.ENOMEM,
+		syscall.ECONNABORTED, syscall.ECONNRESET, syscall.EINTR,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Shutdown gracefully stops the server: new connections are refused,

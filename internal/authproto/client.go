@@ -46,6 +46,23 @@ type tcpServiceClient struct {
 	broken bool
 }
 
+// stampBudget propagates the context deadline as the request's wire
+// budget (budget_ms) when the caller did not set one explicitly: the
+// server then drops the request once the caller has given up —
+// including time spent in the admission queue — instead of serving it
+// into the void. An already-expired deadline stamps nothing; the
+// entry ctx.Err() checks refuse the call first.
+func stampBudget(ctx context.Context, req *authsvc.Request) {
+	if req.BudgetMs != 0 {
+		return
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.BudgetMs = int(ms)
+		}
+	}
+}
+
 func (c *tcpServiceClient) Do(ctx context.Context, req authsvc.Request) (authsvc.Response, error) {
 	if err := ctx.Err(); err != nil {
 		return authsvc.Response{}, err
@@ -53,6 +70,7 @@ func (c *tcpServiceClient) Do(ctx context.Context, req authsvc.Request) (authsvc
 	if c.broken {
 		return authsvc.Response{}, fmt.Errorf("authproto: connection out of sync after a failed exchange; dial a new client")
 	}
+	stampBudget(ctx, &req)
 	// The frame exchange honors the context's deadline via the
 	// connection deadline; cancellation without a deadline falls back
 	// to the entry check above.
@@ -92,6 +110,7 @@ type httpServiceClient struct {
 }
 
 func (c *httpServiceClient) Do(ctx context.Context, req authsvc.Request) (authsvc.Response, error) {
+	stampBudget(ctx, &req)
 	var (
 		httpReq *http.Request
 		err     error

@@ -68,6 +68,9 @@ func randomRequest(rng *rand.Rand) authsvc.Request {
 	if req.Op == OpChange {
 		req.NewClicks = mkClicks()
 	}
+	if rng.Intn(3) == 0 {
+		req.BudgetMs = 1 + rng.Intn(30_000)
+	}
 	return req
 }
 

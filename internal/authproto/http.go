@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"clickpass/internal/authsvc"
 )
@@ -32,6 +33,7 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, r *http.Request) {
 		resp := s.HandleContext(r.Context(), Request{Op: OpPing})
+		setRetryAfter(w, resp)
 		writeJSON(w, statusFor(resp), resp)
 	})
 	mux.HandleFunc("/v1/enroll", s.httpOp(OpEnroll))
@@ -45,14 +47,16 @@ func (s *Server) HTTPHandler() http.Handler {
 // otherwise protected listener:
 //
 //	POST /v1/reset  {"user": ...}   clear an account's lockout
-//	GET  /metrics                   pipeline counters as JSON
+//	GET  /metrics                   Prometheus text exposition
+//	GET  /metrics.json              the same registry as JSON
 //
 // Reset requests run through the same pipeline as everything else
 // (admitted, counted, deadline-bounded).
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reset", s.httpOp(OpReset))
-	mux.Handle("/metrics", s.metrics.Handler())
+	mux.Handle("/metrics", s.metrics.PrometheusHandler())
+	mux.Handle("/metrics.json", s.metrics.Handler())
 	return mux
 }
 
@@ -88,8 +92,20 @@ func (s *Server) httpOp(op Op) http.HandlerFunc {
 			return
 		}
 		resp := s.HandleContext(r.Context(), req)
+		setRetryAfter(w, resp)
 		writeJSON(w, statusFor(resp), resp)
 	}
+}
+
+// setRetryAfter surfaces an overload shed's retry hint as the
+// standard Retry-After header (whole seconds, rounded up so "500ms"
+// does not become "retry immediately").
+func setRetryAfter(w http.ResponseWriter, resp Response) {
+	if authsvc.Code(resp.Code) != authsvc.CodeOverloaded || resp.RetryAfterMs <= 0 {
+		return
+	}
+	secs := (resp.RetryAfterMs + 999) / 1000
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // statusFor maps a typed service outcome to its HTTP status.
@@ -103,7 +119,7 @@ func statusFor(resp Response) int {
 		return http.StatusUnauthorized
 	case authsvc.CodeExists:
 		return http.StatusConflict
-	case authsvc.CodeUnavailable:
+	case authsvc.CodeUnavailable, authsvc.CodeOverloaded:
 		return http.StatusServiceUnavailable
 	case authsvc.CodeInternal:
 		return http.StatusInternalServerError

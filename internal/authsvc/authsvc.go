@@ -54,6 +54,14 @@ type Request struct {
 	User      string          `json:"user,omitempty"`
 	Clicks    []dataset.Click `json:"clicks,omitempty"`
 	NewClicks []dataset.Click `json:"new_clicks,omitempty"`
+	// BudgetMs is the client's end-to-end deadline budget in
+	// milliseconds — how long the client is still willing to wait,
+	// queueing included. Additive (zero = no budget, legacy clients
+	// never send it); WithDeadline clamps the server deadline to it, so
+	// a request that burned its budget waiting for an admission slot is
+	// dropped before it touches the vault instead of being served late
+	// to a caller that already gave up.
+	BudgetMs int `json:"budget_ms,omitempty"`
 }
 
 // Code is the typed outcome of a request — the enum that replaces the
@@ -82,6 +90,13 @@ const (
 	// CodeUnavailable: the service could not take the request in time
 	// (admission timed out, deadline expired, shutting down).
 	CodeUnavailable Code = "unavailable"
+	// CodeOverloaded: the request was shed by the overload policy —
+	// the admission wait queue crossed this priority's watermark, so
+	// the server refused fast (sub-millisecond) rather than queueing
+	// work it would eventually deadline. The response's RetryAfterMs
+	// (Retry-After on HTTP) hints when to try again; retrying clients
+	// must back off with jitter.
+	CodeOverloaded Code = "overloaded"
 	// CodeInternal: the service itself failed (storage error, panic).
 	CodeInternal Code = "internal"
 )
@@ -95,6 +110,10 @@ type Response struct {
 	// failure, how many attempts remain before lockout; on a
 	// successful login, the full budget.
 	Remaining int `json:"remaining,omitempty"`
+	// RetryAfterMs accompanies CodeOverloaded: the server's hint, in
+	// milliseconds, for when a retry has a chance of being admitted.
+	// HTTP transports also surface it as a Retry-After header.
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
 }
 
 // OK reports whether the request succeeded.
@@ -293,12 +312,20 @@ func (s *Service) login(ctx context.Context, req Request) Response {
 		return Response{Version: Version, Code: CodeLocked, Err: "account locked"}
 	}
 	rec, err := s.store.Get(req.User)
-	if err != nil {
+	if errors.Is(err, vault.ErrNotFound) {
 		// Equivalent work to the known-user path: a real hash compare,
 		// discarded. The response is built by the same fail() as a
 		// wrong password.
 		_, _ = passpoints.Verify(s.cfg, s.dummy, clicksToPoints(req.Clicks))
 		return s.fail(req.User)
+	}
+	if err != nil {
+		// A storage fault is not a wrong password: it must neither leak
+		// an attempt from the account's lockout budget nor (under a
+		// flaky store) deny a correct credential as if it were guessed
+		// wrong. Only ErrNotFound rides the indistinguishable fail path
+		// above; infrastructure errors surface as CodeInternal.
+		return Response{Version: Version, Code: CodeInternal, Err: "storage error"}
 	}
 	ok, err := passpoints.Verify(s.cfg, rec, clicksToPoints(req.Clicks))
 	if err != nil || !ok {

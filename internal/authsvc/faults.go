@@ -1,0 +1,149 @@
+package authsvc
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultOptions configures WithFaults, the service-layer half of the
+// fault-injection harness (the storage half is vault.NewFlaky). All
+// decisions come from one seeded generator, so a chaos run is
+// reproducible: same seed, same request order, same faults.
+type FaultOptions struct {
+	// Seed initializes the deterministic fault stream; 0 means 1.
+	Seed uint64
+	// ErrRate is the probability ([0,1]) a request is answered with an
+	// injected CodeInternal instead of being handled.
+	ErrRate float64
+	// LatencyRate is the probability ([0,1]) a request is delayed by
+	// Latency before being handled — a slow-dependency spike that
+	// holds its admission slot, which is exactly how real latency
+	// turns into overload.
+	LatencyRate float64
+	// Latency is the injected spike duration; 0 selects 10ms.
+	Latency time.Duration
+}
+
+// Enabled reports whether any fault is configured.
+func (o FaultOptions) Enabled() bool { return o.ErrRate > 0 || o.LatencyRate > 0 }
+
+func (o FaultOptions) latency() time.Duration {
+	if o.Latency <= 0 {
+		return 10 * time.Millisecond
+	}
+	return o.Latency
+}
+
+// ParseFaultSpec parses a pwserver -chaos specification: a
+// comma-separated list of key=value pairs, e.g.
+//
+//	seed=7,err=0.01,latrate=0.05,lat=25ms
+//
+// Keys: seed (uint), err (probability of an injected internal
+// error), latrate (probability of a latency spike), lat (spike
+// duration). Unknown keys and out-of-range probabilities are errors;
+// an empty spec returns a disabled FaultOptions.
+func ParseFaultSpec(spec string) (FaultOptions, error) {
+	var o FaultOptions
+	if strings.TrimSpace(spec) == "" {
+		return o, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return o, fmt.Errorf("authsvc: fault spec %q: want key=value", part)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return o, fmt.Errorf("authsvc: fault seed %q: %w", val, err)
+			}
+			o.Seed = n
+		case "err", "latrate":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return o, fmt.Errorf("authsvc: fault rate %s=%q: want a probability in [0,1]", key, val)
+			}
+			if key == "err" {
+				o.ErrRate = p
+			} else {
+				o.LatencyRate = p
+			}
+		case "lat":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return o, fmt.Errorf("authsvc: fault latency %q: want a duration", val)
+			}
+			o.Latency = d
+		default:
+			return o, fmt.Errorf("authsvc: unknown fault key %q (want seed, err, latrate, lat)", key)
+		}
+	}
+	return o, nil
+}
+
+// faultRNG is a mutex-guarded splitmix64 stream: cheap, seedable, and
+// deterministic, so fault schedules replay exactly under a fixed
+// request order. Shared by WithFaults and vault's Flaky wrapper
+// (duplicated there to keep the packages independent).
+type faultRNG struct {
+	mu sync.Mutex
+	s  uint64
+}
+
+func newFaultRNG(seed uint64) *faultRNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return &faultRNG{s: seed}
+}
+
+// float returns the next value in [0,1).
+func (r *faultRNG) float() float64 {
+	r.mu.Lock()
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	r.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// WithFaults injects deterministic, seeded faults into the pipeline —
+// latency spikes and internal-error responses at configured rates —
+// for chaos testing (pwserver -chaos) and the fault-torture suite.
+// Compose it innermost (inside admission and the in-flight gauge) so
+// an injected latency spike occupies a real concurrency slot: that is
+// how a slow dependency actually starves a server, and it is what the
+// overload policy must absorb. Disabled options return the identity
+// middleware.
+func WithFaults(o FaultOptions) Middleware {
+	if !o.Enabled() {
+		return func(next Handler) Handler { return next }
+	}
+	rng := newFaultRNG(o.Seed)
+	spike := o.latency()
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) Response {
+			if o.LatencyRate > 0 && rng.float() < o.LatencyRate {
+				t := time.NewTimer(spike)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return Response{Version: Version, Code: CodeUnavailable, Err: "deadline exceeded"}
+				}
+			}
+			if o.ErrRate > 0 && rng.float() < o.ErrRate {
+				return Response{Version: Version, Code: CodeInternal, Err: "injected fault"}
+			}
+			return next.Handle(ctx, req)
+		})
+	}
+}

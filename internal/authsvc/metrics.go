@@ -2,7 +2,11 @@ package authsvc
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +29,9 @@ import (
 type Metrics struct {
 	inFlight atomic.Int64
 	peak     atomic.Int64
+	// sheds counts CodeOverloaded refusals by admission priority —
+	// the load the overload policy deliberately turned away.
+	sheds [numPriorities]atomic.Int64
 
 	mu       sync.Mutex
 	byOp     map[Op]int64
@@ -32,6 +39,27 @@ type Metrics struct {
 	requests int64
 	latTotal time.Duration
 	latMax   time.Duration
+	// latBuckets is a cumulative-style histogram over latBounds
+	// (bucket i counts requests with latency <= latBounds[i]; the last
+	// slot is +Inf), stored as per-bucket counts and summed on export.
+	latBuckets [len(latBounds) + 1]int64
+	// Queue-wait observations from the overload middleware: time
+	// admitted requests spent parked for a limiter slot.
+	queueWaitN     int64
+	queueWaitTotal time.Duration
+	queueWaitMax   time.Duration
+}
+
+// latBounds are the latency histogram bucket upper bounds. The
+// geometric spacing covers the repo's whole dynamic range: sub-ms
+// shed refusals at the bottom, fsync-bound durable writes and
+// queue-delayed storm traffic at the top.
+var latBounds = [...]time.Duration{
+	100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 10 * time.Second,
 }
 
 // enter marks a request entering the handled (admitted) phase.
@@ -62,7 +90,39 @@ func (m *Metrics) observe(op Op, code Code, d time.Duration) {
 	if d > m.latMax {
 		m.latMax = d
 	}
+	i := 0
+	for ; i < len(latBounds); i++ {
+		if d <= latBounds[i] {
+			break
+		}
+	}
+	m.latBuckets[i]++
 	m.mu.Unlock()
+}
+
+// observeShed counts one request refused with CodeOverloaded at the
+// given admission priority.
+func (m *Metrics) observeShed(p Priority) { m.sheds[p].Add(1) }
+
+// observeQueueWait records the time an admitted request spent waiting
+// for a limiter slot.
+func (m *Metrics) observeQueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.queueWaitN++
+	m.queueWaitTotal += d
+	if d > m.queueWaitMax {
+		m.queueWaitMax = d
+	}
+	m.mu.Unlock()
+}
+
+// Sheds returns the total CodeOverloaded refusals across priorities.
+func (m *Metrics) Sheds() int64 {
+	var n int64
+	for i := range m.sheds {
+		n += m.sheds[i].Load()
+	}
+	return n
 }
 
 // InFlight returns the number of requests currently being handled.
@@ -83,6 +143,12 @@ type Snapshot struct {
 	ByCode    map[Code]int64 `json:"by_code,omitempty"`
 	LatMeanUs float64        `json:"latency_mean_us"`
 	LatMaxUs  float64        `json:"latency_max_us"`
+	// ShedByPriority counts overload refusals per admission priority.
+	ShedByPriority map[string]int64 `json:"shed_by_priority,omitempty"`
+	// QueueWaitMeanUs / QueueWaitMaxUs describe time admitted requests
+	// spent parked for a limiter slot.
+	QueueWaitMeanUs float64 `json:"queue_wait_mean_us,omitempty"`
+	QueueWaitMaxUs  float64 `json:"queue_wait_max_us,omitempty"`
 }
 
 // Snapshot copies the current counters.
@@ -90,6 +156,14 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		InFlight: m.inFlight.Load(),
 		Peak:     m.peak.Load(),
+	}
+	for i := range m.sheds {
+		if n := m.sheds[i].Load(); n > 0 {
+			if s.ShedByPriority == nil {
+				s.ShedByPriority = make(map[string]int64, numPriorities)
+			}
+			s.ShedByPriority[Priority(i).String()] = n
+		}
 	}
 	m.mu.Lock()
 	s.Requests = m.requests
@@ -107,6 +181,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.LatMeanUs = float64(m.latTotal.Microseconds()) / float64(m.requests)
 	}
 	s.LatMaxUs = float64(m.latMax.Microseconds())
+	if m.queueWaitN > 0 {
+		s.QueueWaitMeanUs = float64(m.queueWaitTotal.Microseconds()) / float64(m.queueWaitN)
+		s.QueueWaitMaxUs = float64(m.queueWaitMax.Microseconds())
+	}
 	m.mu.Unlock()
 	return s
 }
@@ -118,5 +196,98 @@ func (m *Metrics) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(m.Snapshot())
+	})
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): counters by op and code, the
+// in-flight gauge and its peak, per-priority shed counters,
+// queue-wait aggregates, and the request latency histogram with
+// cumulative le buckets.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	type sample struct {
+		op    Op
+		code  Code
+		count int64
+	}
+	var (
+		ops, codes []sample
+		requests   int64
+		latTotal   time.Duration
+		buckets    [len(latBounds) + 1]int64
+		qwN        int64
+		qwTotal    time.Duration
+		qwMax      time.Duration
+	)
+	m.mu.Lock()
+	for op, n := range m.byOp {
+		ops = append(ops, sample{op: op, count: n})
+	}
+	for code, n := range m.byCode {
+		codes = append(codes, sample{code: code, count: n})
+	}
+	requests = m.requests
+	latTotal = m.latTotal
+	buckets = m.latBuckets
+	qwN, qwTotal, qwMax = m.queueWaitN, m.queueWaitTotal, m.queueWaitMax
+	m.mu.Unlock()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].op < ops[j].op })
+	sort.Slice(codes, func(i, j int) bool { return codes[i].code < codes[j].code })
+
+	fmt.Fprintf(w, "# HELP authsvc_requests_total Requests handled, by operation.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_requests_total counter\n")
+	for _, s := range ops {
+		fmt.Fprintf(w, "authsvc_requests_total{op=%q} %d\n", s.op, s.count)
+	}
+	fmt.Fprintf(w, "# HELP authsvc_responses_total Responses issued, by outcome code.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_responses_total counter\n")
+	for _, s := range codes {
+		fmt.Fprintf(w, "authsvc_responses_total{code=%q} %d\n", s.code, s.count)
+	}
+	fmt.Fprintf(w, "# HELP authsvc_in_flight Requests currently being handled.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_in_flight gauge\n")
+	fmt.Fprintf(w, "authsvc_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "# HELP authsvc_in_flight_peak High-water mark of the in-flight gauge.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_in_flight_peak gauge\n")
+	fmt.Fprintf(w, "authsvc_in_flight_peak %d\n", m.peak.Load())
+	fmt.Fprintf(w, "# HELP authsvc_shed_total Requests refused with code=overloaded, by admission priority.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_shed_total counter\n")
+	for i := range m.sheds {
+		fmt.Fprintf(w, "authsvc_shed_total{priority=%q} %d\n", Priority(i), m.sheds[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP authsvc_queue_wait_seconds_sum Total time admitted requests spent queued for a limiter slot.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_seconds_sum counter\n")
+	fmt.Fprintf(w, "authsvc_queue_wait_seconds_sum %s\n", promFloat(qwTotal.Seconds()))
+	fmt.Fprintf(w, "# HELP authsvc_queue_wait_seconds_count Admitted requests that reported a queue wait.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_seconds_count counter\n")
+	fmt.Fprintf(w, "authsvc_queue_wait_seconds_count %d\n", qwN)
+	fmt.Fprintf(w, "# HELP authsvc_queue_wait_seconds_max Longest observed queue wait.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_seconds_max gauge\n")
+	fmt.Fprintf(w, "authsvc_queue_wait_seconds_max %s\n", promFloat(qwMax.Seconds()))
+	fmt.Fprintf(w, "# HELP authsvc_request_duration_seconds Request latency, queueing included.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_request_duration_seconds histogram\n")
+	var cum int64
+	for i, bound := range latBounds {
+		cum += buckets[i]
+		fmt.Fprintf(w, "authsvc_request_duration_seconds_bucket{le=%q} %d\n",
+			promFloat(bound.Seconds()), cum)
+	}
+	cum += buckets[len(latBounds)]
+	fmt.Fprintf(w, "authsvc_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "authsvc_request_duration_seconds_sum %s\n", promFloat(latTotal.Seconds()))
+	fmt.Fprintf(w, "authsvc_request_duration_seconds_count %d\n", requests)
+}
+
+// promFloat formats a float the way Prometheus text exposition
+// expects: shortest round-trippable decimal.
+func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// PrometheusHandler serves the registry in Prometheus text exposition
+// format — the scrape target mounted at /metrics on pwserver's admin
+// listener (the JSON snapshot moves to /metrics.json).
+func (m *Metrics) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
 	})
 }

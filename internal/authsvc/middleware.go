@@ -46,24 +46,34 @@ func WithAdmission(lim *par.Limiter) Middleware {
 	}
 }
 
-// WithDeadline attaches a deadline to requests arriving without one.
-// Compose it outside WithAdmission so the deadline bounds time queued
-// for a limiter slot (queued requests are refused with
-// CodeUnavailable when it expires). Inside the service the deadline
-// is checked between stages, not mid-syscall: a store call that
-// blocks indefinitely still blocks its goroutine — the deadline
-// bounds cooperative work, it is not a preemption mechanism. d <= 0
-// disables the middleware.
+// WithDeadline attaches a deadline to requests arriving without one,
+// and clamps it to the request's propagated budget: a client that
+// says it will only wait req.BudgetMs more milliseconds gets a
+// deadline of min(d, budget), so work the caller has already
+// abandoned is dropped — in the admission queue or at the next
+// cooperative check — instead of being served into the void. Compose
+// it outside admission so the deadline bounds time queued for a
+// limiter slot (queued requests are refused with CodeUnavailable when
+// it expires). Inside the service the deadline is checked between
+// stages, not mid-syscall: a store call that blocks indefinitely
+// still blocks its goroutine — the deadline bounds cooperative work,
+// it is not a preemption mechanism. d <= 0 disables the server-side
+// default; request budgets are still honored.
 func WithDeadline(d time.Duration) Middleware {
-	if d <= 0 {
-		return func(next Handler) Handler { return next }
-	}
 	return func(next Handler) Handler {
 		return HandlerFunc(func(ctx context.Context, req Request) Response {
-			if _, ok := ctx.Deadline(); !ok {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, d)
-				defer cancel()
+			eff := d
+			if b := time.Duration(req.BudgetMs) * time.Millisecond; b > 0 && (eff <= 0 || b < eff) {
+				eff = b
+			}
+			if eff > 0 {
+				// Tighten only: an already-stricter transport deadline
+				// (e.g. the HTTP server's) stands.
+				if dl, ok := ctx.Deadline(); !ok || time.Until(dl) > eff {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, eff)
+					defer cancel()
+				}
 			}
 			return next.Handle(ctx, req)
 		})

@@ -1,0 +1,91 @@
+package authsvc
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusExposition checks the scrape surface: metric
+// families present with HELP/TYPE, cumulative (monotone) histogram
+// buckets ending at +Inf == _count, and the shed counter labeled by
+// priority.
+func TestWritePrometheusExposition(t *testing.T) {
+	var m Metrics
+	m.observe(OpLogin, CodeOK, 300*time.Microsecond)
+	m.observe(OpLogin, CodeDenied, 2*time.Millisecond)
+	m.observe(OpEnroll, CodeOK, 40*time.Millisecond)
+	m.observe(OpLogin, CodeOverloaded, 50*time.Microsecond)
+	m.observeShed(PriorityLow)
+	m.observeShed(PriorityLow)
+	m.observeShed(PriorityHigh)
+	m.observeQueueWait(3 * time.Millisecond)
+
+	srv := httptest.NewServer(m.PrometheusHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		`authsvc_requests_total{op="enroll"} 1`,
+		`authsvc_requests_total{op="login"} 3`,
+		`authsvc_responses_total{code="ok"} 2`,
+		`authsvc_responses_total{code="overloaded"} 1`,
+		`authsvc_shed_total{priority="low"} 2`,
+		`authsvc_shed_total{priority="high"} 1`,
+		`authsvc_shed_total{priority="normal"} 0`,
+		`authsvc_queue_wait_seconds_count 1`,
+		`authsvc_request_duration_seconds_count 4`,
+		`# TYPE authsvc_request_duration_seconds histogram`,
+		`# TYPE authsvc_requests_total counter`,
+		`# TYPE authsvc_in_flight gauge`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Histogram buckets must be cumulative and end at +Inf == count.
+	var last int64 = -1
+	var infSeen bool
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "authsvc_request_duration_seconds_bucket") {
+			continue
+		}
+		val, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if val < last {
+			t.Fatalf("non-cumulative bucket: %q after %d", line, last)
+		}
+		last = val
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if val != 4 {
+				t.Errorf("+Inf bucket = %d, want 4 (the observation count)", val)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket")
+	}
+	// 300us lands in the le=0.0005 bucket, 50us in le=0.0001.
+	if !strings.Contains(body, `authsvc_request_duration_seconds_bucket{le="0.0001"} 1`) {
+		t.Errorf("50us shed not in the first bucket:\n%s", body)
+	}
+}

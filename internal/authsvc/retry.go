@@ -1,0 +1,293 @@
+package authsvc
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy configures NewRetryClient: capped exponential backoff
+// with full jitter, plus a per-client circuit breaker so a fleet of
+// retrying clients cannot synchronize into the very storm the server
+// is shedding.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included; <= 0
+	// selects DefaultRetryAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff cap for the first retry; it doubles per
+	// attempt up to MaxDelay, and the actual sleep is drawn uniformly
+	// from [0, cap) — "full jitter", the decorrelation that spreads a
+	// reconnect herd over the whole window instead of letting every
+	// client hammer the server on the same schedule. <= 0 selects
+	// DefaultRetryBase.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window; <= 0 selects DefaultRetryMax.
+	MaxDelay time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// retryable failures; 0 selects DefaultBreakerThreshold, < 0
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses before
+	// half-opening for a single probe; <= 0 selects
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+}
+
+// Retry-policy defaults.
+const (
+	// DefaultRetryAttempts is the total tries per call.
+	DefaultRetryAttempts = 4
+	// DefaultRetryBase is the first retry's backoff cap.
+	DefaultRetryBase = 25 * time.Millisecond
+	// DefaultRetryMax caps the backoff window.
+	DefaultRetryMax = 2 * time.Second
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// opens the circuit.
+	DefaultBreakerThreshold = 8
+	// DefaultBreakerCooldown is how long an open circuit refuses
+	// before half-opening.
+	DefaultBreakerCooldown = time.Second
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBase
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMax
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = DefaultBreakerCooldown
+	}
+	return p
+}
+
+// ErrCircuitOpen is returned by a RetryClient whose circuit breaker
+// is open: recent calls failed consecutively, so the client fails
+// fast locally instead of feeding an overloaded or dead server.
+var ErrCircuitOpen = errors.New("authsvc: circuit breaker open")
+
+// RetryStats are a RetryClient's cumulative counters.
+type RetryStats struct {
+	// Calls is the number of Do invocations.
+	Calls int64
+	// Retries is the number of re-sent requests (excludes firsts).
+	Retries int64
+	// Overloaded counts CodeOverloaded responses observed.
+	Overloaded int64
+	// BreakerOpens counts closed->open transitions.
+	BreakerOpens int64
+	// BreakerFastFails counts calls refused locally by an open
+	// circuit.
+	BreakerFastFails int64
+}
+
+// RetryClient wraps a Client with the overload-aware retry discipline:
+//
+//   - CodeOverloaded responses are retried for every op — a shed
+//     request provably never reached the service — waiting at least
+//     the server's RetryAfterMs hint, under full-jitter backoff.
+//   - Transport errors and CodeUnavailable are retried only for
+//     idempotent ops (ping, login, reset): a broken connection cannot
+//     prove an enroll or change did not commit before dying.
+//   - A circuit breaker counts consecutive retryable failures; once
+//     open, calls fail fast with ErrCircuitOpen until a cooldown
+//     passes, then a single half-open probe decides whether to close
+//     it. Storms therefore collapse to one probe per client per
+//     cooldown instead of a synchronized reconnect herd.
+//
+// Safe for concurrent use iff the wrapped client is (the HTTP client
+// is; the TCP client serializes).
+type RetryClient struct {
+	Ops
+	inner  Client
+	policy RetryPolicy
+
+	calls      atomic.Int64
+	retries    atomic.Int64
+	overloaded atomic.Int64
+	opens      atomic.Int64
+	fastFails  atomic.Int64
+
+	// sleep and rnd are injection points for deterministic tests.
+	sleep func(ctx context.Context, d time.Duration) error
+	rnd   func() float64
+
+	mu       sync.Mutex
+	failures int       // consecutive retryable failures
+	openedAt time.Time // zero when closed
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewRetryClient wraps inner with the retry policy. Closing the
+// RetryClient closes inner.
+func NewRetryClient(inner Client, policy RetryPolicy) *RetryClient {
+	c := &RetryClient{
+		inner:  inner,
+		policy: policy.withDefaults(),
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+		rnd: rand.Float64,
+	}
+	c.Ops = Ops{Doer: c}
+	return c
+}
+
+// Stats returns the client's cumulative retry and breaker counters.
+func (c *RetryClient) Stats() RetryStats {
+	return RetryStats{
+		Calls:            c.calls.Load(),
+		Retries:          c.retries.Load(),
+		Overloaded:       c.overloaded.Load(),
+		BreakerOpens:     c.opens.Load(),
+		BreakerFastFails: c.fastFails.Load(),
+	}
+}
+
+// idempotent reports whether op can be blindly re-sent after a
+// transport failure that may or may not have executed it.
+func idempotent(op Op) bool {
+	switch op {
+	case OpPing, OpLogin, OpReset:
+		return true
+	}
+	return false
+}
+
+// admit consults the breaker before an attempt: closed and half-open
+// (probe) calls proceed; open calls fail fast. probe reports whether
+// this call holds the half-open probe slot.
+func (c *RetryClient) admit(now time.Time) (ok, probe bool) {
+	if c.policy.BreakerThreshold < 0 {
+		return true, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.openedAt.IsZero() {
+		return true, false
+	}
+	if now.Sub(c.openedAt) < c.policy.BreakerCooldown || c.probing {
+		return false, false
+	}
+	c.probing = true
+	return true, true
+}
+
+// settle records an attempt outcome in the breaker. retryable marks
+// failures that count toward opening (overload, transport, timeout);
+// a success or a definitive service answer closes the circuit.
+func (c *RetryClient) settle(retryableFailure, probe bool, now time.Time) {
+	if c.policy.BreakerThreshold < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if probe {
+		c.probing = false
+	}
+	if !retryableFailure {
+		c.failures = 0
+		c.openedAt = time.Time{}
+		return
+	}
+	c.failures++
+	if !c.openedAt.IsZero() {
+		// A failed half-open probe re-opens the window from now.
+		c.openedAt = now
+		return
+	}
+	if c.failures >= c.policy.BreakerThreshold {
+		c.openedAt = now
+		c.opens.Add(1)
+	}
+}
+
+// backoff returns the full-jitter sleep before retry attempt (1 =
+// first retry), at least floor (the server's Retry-After hint).
+func (c *RetryClient) backoff(attempt int, floor time.Duration) time.Duration {
+	window := c.policy.BaseDelay << (attempt - 1)
+	if window > c.policy.MaxDelay || window <= 0 {
+		window = c.policy.MaxDelay
+	}
+	d := time.Duration(c.rnd() * float64(window))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// Do sends the request, retrying per the policy. The context bounds
+// the whole exchange, backoff sleeps included.
+func (c *RetryClient) Do(ctx context.Context, req Request) (Response, error) {
+	c.calls.Add(1)
+	var (
+		lastResp Response
+		lastErr  error
+	)
+	for attempt := 1; ; attempt++ {
+		ok, probe := c.admit(time.Now())
+		if !ok {
+			c.fastFails.Add(1)
+			return Response{}, ErrCircuitOpen
+		}
+		resp, err := c.inner.Do(ctx, req)
+		lastResp, lastErr = resp, err
+
+		var (
+			retryable bool // counts toward the breaker
+			resend    bool // this call may try again
+			floor     time.Duration
+		)
+		switch {
+		case err != nil:
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The caller gave up; neither retry nor blame the server.
+				c.settle(false, probe, time.Now())
+				return resp, err
+			}
+			retryable = true
+			resend = idempotent(req.Op)
+		case resp.Code == CodeOverloaded:
+			c.overloaded.Add(1)
+			retryable = true
+			resend = true // a shed request never executed
+			floor = time.Duration(resp.RetryAfterMs) * time.Millisecond
+		case resp.Code == CodeUnavailable:
+			retryable = true
+			resend = idempotent(req.Op)
+		default:
+			// A definitive service answer — success, denial, lockout,
+			// throttle — means the server is alive and working.
+			c.settle(false, probe, time.Now())
+			return resp, nil
+		}
+		c.settle(retryable, probe, time.Now())
+		if !resend || attempt >= c.policy.MaxAttempts {
+			return lastResp, lastErr
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, floor)); err != nil {
+			return lastResp, err
+		}
+		c.retries.Add(1)
+	}
+}
+
+// Close closes the wrapped client.
+func (c *RetryClient) Close() error { return c.inner.Close() }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package loadtest
+
+// raceSlack is 1 without the race detector: the storm smoke asserts
+// its tight latency bounds (see slack_race_test.go).
+const raceSlack = 1

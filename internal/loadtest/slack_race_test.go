@@ -1,0 +1,11 @@
+//go:build race
+
+package loadtest
+
+// raceSlack widens the storm smoke's latency bounds under the race
+// detector: instrumentation multiplies the cost of every scheduler
+// hop and HTTP round-trip, so client-observed shed/accept latencies
+// are ~10x the uninstrumented numbers. The invariants (sheds happen,
+// refusals beat service time, goodput holds) are unchanged — only the
+// absolute clocks scale.
+const raceSlack = 10

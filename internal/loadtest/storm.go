@@ -1,0 +1,188 @@
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"clickpass/internal/authsvc"
+)
+
+// StormConfig describes a login-storm run: everyone reconnects at
+// once, at a multiple of the server's capacity — the overload shape
+// the admission policy exists for (a datacenter power-cycle, a
+// mobile-network flap, a cache of sessions invalidated in one go).
+// Unlike the steady-state swarm in Run, the storm's interesting
+// outputs are how the refused half of the traffic was treated: shed
+// latency (must be fast), deadline drops (must be few), and how close
+// accepted-request latency stays to the uncontended baseline.
+type StormConfig struct {
+	// Dial opens the client-th transport handle.
+	Dial func(client int) (authsvc.Client, error)
+	// Clients is the storm size — typically 10x the server's
+	// concurrency capacity.
+	Clients int
+	// OpsPerClient is how many requests each client fires, back to
+	// back (reconnect-and-retry pressure, not paced traffic).
+	OpsPerClient int
+	// Request builds the op-th request for the client-th connection.
+	Request func(client, op int) authsvc.Request
+	// Timeout, when > 0, is each op's context deadline — the budget
+	// the wire clients propagate to the server so queue-expired work
+	// is dropped, not served late.
+	Timeout time.Duration
+}
+
+// StormResult classifies every response of a storm run. Ops counts
+// completed request/response exchanges (Accepted + Shed + Deadline +
+// Throttled); transport failures are tallied separately in Errors.
+type StormResult struct {
+	// Clients is the storm size; Ops counts completed exchanges.
+	Clients, Ops int
+	// Accepted requests got a definitive service answer (ok, denied,
+	// locked — the service did the work).
+	Accepted int
+	// Shed requests were refused with CodeOverloaded by the admission
+	// policy.
+	Shed int
+	// Deadline requests were dropped with CodeUnavailable (budget
+	// burned in queue or expired mid-pipeline).
+	Deadline int
+	// Throttled requests hit the per-user rate limit.
+	Throttled int
+	// Errors counts transport failures.
+	Errors int
+	// Elapsed is start gate to last client done.
+	Elapsed time.Duration
+	// Accepted-request latency percentiles.
+	AccP50, AccP99, AccMax time.Duration
+	// Shed-response latency percentiles — the proof refusals are
+	// cheap: a shed must cost microseconds, not a queue slot.
+	ShedP50, ShedP99, ShedMax time.Duration
+}
+
+// Goodput returns accepted (served) requests per second over the run.
+func (r StormResult) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Accepted) / r.Elapsed.Seconds()
+}
+
+// ShedRate returns the fraction of completed ops that were shed.
+func (r StormResult) ShedRate() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Ops)
+}
+
+// String formats the result as one benchmark-style line.
+func (r StormResult) String() string {
+	return fmt.Sprintf("clients=%d ops=%d accepted=%d shed=%d deadline=%d errs=%d goodput=%.0f/s acc_p99=%s shed_p99=%s",
+		r.Clients, r.Ops, r.Accepted, r.Shed, r.Deadline, r.Errors, r.Goodput(), r.AccP99, r.ShedP99)
+}
+
+// Storm fires the login storm: every client dials first, then all
+// release together and hammer their ops back to back. Responses are
+// classified by outcome code; accepted and shed latencies are
+// aggregated separately, because under overload they answer different
+// questions (is served traffic still fast? are refusals actually
+// cheap?).
+func Storm(cfg StormConfig) (StormResult, error) {
+	if cfg.Clients <= 0 || cfg.OpsPerClient <= 0 {
+		return StormResult{}, fmt.Errorf("loadtest: clients %d and ops %d must be positive",
+			cfg.Clients, cfg.OpsPerClient)
+	}
+	if cfg.Request == nil || cfg.Dial == nil {
+		return StormResult{}, fmt.Errorf("loadtest: storm needs Request and Dial factories")
+	}
+	clients := make([]authsvc.Client, cfg.Clients)
+	for i := range clients {
+		c, err := cfg.Dial(i)
+		if err != nil {
+			for _, open := range clients[:i] {
+				open.Close()
+			}
+			return StormResult{}, fmt.Errorf("loadtest: dialing client %d: %w", i, err)
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	type stats struct {
+		acc, shed                      []time.Duration
+		deadline, throttled, errs, ops int
+	}
+	all := make([]stats, cfg.Clients)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &all[i]
+			<-start
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				req := cfg.Request(i, op)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if cfg.Timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+				}
+				t0 := time.Now()
+				resp, err := clients[i].Do(ctx, req)
+				lat := time.Since(t0)
+				if cancel != nil {
+					cancel()
+				}
+				if err != nil {
+					st.errs++
+					return // transport is dead; this client gives up
+				}
+				st.ops++
+				switch {
+				case resp.Code == authsvc.CodeOverloaded:
+					st.shed = append(st.shed, lat)
+				case resp.Code == authsvc.CodeUnavailable:
+					st.deadline++
+				case resp.Code == authsvc.CodeThrottled:
+					st.throttled++
+				default:
+					st.acc = append(st.acc, lat)
+				}
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := StormResult{Clients: cfg.Clients, Elapsed: elapsed}
+	var acc, shed []time.Duration
+	for i := range all {
+		res.Ops += all[i].ops
+		res.Deadline += all[i].deadline
+		res.Throttled += all[i].throttled
+		res.Errors += all[i].errs
+		acc = append(acc, all[i].acc...)
+		shed = append(shed, all[i].shed...)
+	}
+	res.Accepted, res.Shed = len(acc), len(shed)
+	if len(acc) > 0 {
+		sort.Slice(acc, func(a, b int) bool { return acc[a] < acc[b] })
+		res.AccP50, res.AccP99, res.AccMax = percentile(acc, 0.50), percentile(acc, 0.99), acc[len(acc)-1]
+	}
+	if len(shed) > 0 {
+		sort.Slice(shed, func(a, b int) bool { return shed[a] < shed[b] })
+		res.ShedP50, res.ShedP99, res.ShedMax = percentile(shed, 0.50), percentile(shed, 0.99), shed[len(shed)-1]
+	}
+	return res, nil
+}

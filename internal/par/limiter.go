@@ -2,9 +2,11 @@ package par
 
 import (
 	"context"
+	"errors"
 	"log"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Limiter is the streaming counterpart of Map: a semaphore-bounded
@@ -19,6 +21,9 @@ import (
 type Limiter struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
+	// waiting counts callers parked in AcquireQueued — the wait-queue
+	// depth an overload policy reads to decide when to shed.
+	waiting atomic.Int64
 }
 
 // NewLimiter returns a limiter admitting at most limit concurrent
@@ -59,6 +64,52 @@ func (l *Limiter) AcquireContext(ctx context.Context) error {
 		return ctx.Err()
 	}
 }
+
+// ErrSaturated is returned by AcquireQueued when the bounded wait
+// queue is full: the request would eventually be served far past any
+// useful deadline, so it is refused immediately instead of parking.
+var ErrSaturated = errors.New("par: limiter wait queue full")
+
+// AcquireQueued is AcquireContext with a bounded wait queue: if no
+// slot is free and maxQueue callers (including this one) are already
+// waiting, it returns ErrSaturated immediately — never queue work
+// that will only be served after its deadline. maxQueue <= 0 means
+// "shed unless a slot is free right now". A caller admitted past the
+// queue check still honors ctx while parked. Callers with different
+// maxQueue values may share one limiter: each bounds the depth *it*
+// is willing to join, which is how priority admission is built —
+// low-priority work passes a smaller bound and sheds first as the
+// queue fills.
+func (l *Limiter) AcquireQueued(ctx context.Context, maxQueue int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.wg.Add(1)
+		return nil
+	default:
+	}
+	if maxQueue <= 0 {
+		return ErrSaturated
+	}
+	if n := l.waiting.Add(1); n > int64(maxQueue) {
+		l.waiting.Add(-1)
+		return ErrSaturated
+	}
+	defer l.waiting.Add(-1)
+	select {
+	case l.sem <- struct{}{}:
+		l.wg.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Waiting returns the current wait-queue depth: callers parked in
+// AcquireQueued. It is the watermark signal overload policies read.
+func (l *Limiter) Waiting() int { return int(l.waiting.Load()) }
 
 // TryAcquire claims a slot if one is free without blocking.
 func (l *Limiter) TryAcquire() bool {
