@@ -73,9 +73,12 @@ bench-diff:
 # recovery-smoke is the CI crash drill: build the real pwserver, serve
 # a durable vault, enroll over the wire, SIGKILL it, restart on the
 # same logs, and assert every acked mutation (records + lockout
-# counters) survived.
+# counters) survived. The pattern also picks up
+# TestRecoveryCheckpointSmoke, which re-runs the drill with the
+# background checkpointer ticking every 25ms so the SIGKILL lands in
+# or near a checkpoint+rotation window.
 recovery-smoke:
-	$(GO) test ./cmd/pwserver -run TestRecoverySmoke -v
+	$(GO) test ./cmd/pwserver -run TestRecovery -v
 
 # docs-lint gates godoc coverage: go vet plus the repo's doclint
 # checker (package comment on every internal/ and cmd/ package,

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"clickpass/internal/passpoints"
@@ -16,7 +18,7 @@ import (
 // StoreRun is one (backend, op) measurement in BENCH_store.json.
 type StoreRun struct {
 	Backend     string  `json:"backend"`
-	Op          string  `json:"op"` // "readheavy" (10 Gets : 1 Replace) or "put" (fresh-user writes)
+	Op          string  `json:"op"` // "readheavy" (10 Gets : 1 Replace), "put" (fresh-user writes), "put8" (8 concurrent writers, one log)
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -33,13 +35,22 @@ type StoreBench struct {
 	Runs       []StoreRun `json:"runs"`
 }
 
-// storeBackends enumerates the measured stores. mk may return a
-// cleanup func (durable stores must close their logs).
-func storeBackends(dir string) []struct {
-	name string
-	mk   func() (vault.Store, func(), error)
-} {
-	durable := func(policy vault.SyncPolicy) func() (vault.Store, func(), error) {
+// storeBackend is one measured store: mk builds the default-sharded
+// store the readheavy and put phases use; mkContended, when non-nil,
+// builds the single-log variant the concurrent put8 phase uses (all
+// writers on one shard — the contention group commit amortizes; a
+// default-sharded store would spread 8 writers so thin the coalescing
+// never engages). mk may return a cleanup func (durable stores must
+// close their logs).
+type storeBackend struct {
+	name        string
+	mk          func() (vault.Store, func(), error)
+	mkContended func() (vault.Store, func(), error)
+}
+
+// storeBackends enumerates the measured stores.
+func storeBackends(dir string) []storeBackend {
+	durable := func(policy vault.SyncPolicy, shards int) func() (vault.Store, func(), error) {
 		return func() (vault.Store, func(), error) {
 			// A fresh directory per call: each measurement phase must
 			// start from an empty store like the in-memory backends do,
@@ -48,22 +59,25 @@ func storeBackends(dir string) []struct {
 			if err != nil {
 				return nil, nil, err
 			}
-			d, err := vault.OpenDurable(wal, vault.DurableOptions{Sync: policy})
+			d, err := vault.OpenDurable(wal, vault.DurableOptions{
+				Sync:   policy,
+				Shards: shards,
+				// Compaction churn mid-measurement adds rename/unlink
+				// noise unrelated to the append path under test.
+				NoAutoCompact: shards == 1,
+			})
 			if err != nil {
 				return nil, nil, err
 			}
 			return d, func() { d.Close() }, nil
 		}
 	}
-	return []struct {
-		name string
-		mk   func() (vault.Store, func(), error)
-	}{
-		{"vault", func() (vault.Store, func(), error) { return vault.New(), func() {}, nil }},
-		{"sharded32", func() (vault.Store, func(), error) { return vault.NewSharded(32), func() {}, nil }},
-		{"durable-always", durable(vault.SyncAlways)},
-		{"durable-interval", durable(vault.SyncInterval)},
-		{"durable-never", durable(vault.SyncNever)},
+	return []storeBackend{
+		{"vault", func() (vault.Store, func(), error) { return vault.New(), func() {}, nil }, nil},
+		{"sharded32", func() (vault.Store, func(), error) { return vault.NewSharded(32), func() {}, nil }, nil},
+		{"durable-always", durable(vault.SyncAlways, 0), durable(vault.SyncAlways, 1)},
+		{"durable-interval", durable(vault.SyncInterval, 0), durable(vault.SyncInterval, 1)},
+		{"durable-never", durable(vault.SyncNever, 0), durable(vault.SyncNever, 1)},
 	}
 }
 
@@ -156,6 +170,58 @@ func runStoreBench(outDir string) error {
 			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
 		})
+
+		// put8: 8 goroutines writing fresh users into one contended log
+		// (single shard for the durable stores). Under `-fsync always`
+		// this is the group-commit case: concurrent appends coalesce
+		// into one fsync, so ns/op here should beat the sequential put
+		// row rather than match it. ns/op is wall time per op across
+		// all writers.
+		mk8 := backend.mkContended
+		if mk8 == nil {
+			mk8 = backend.mk
+		}
+		s, cleanup, err = mk8()
+		if err != nil {
+			return err
+		}
+		const putWriters = 8
+		round := 0
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			round++ // user names must stay unique across b.N reruns
+			var wg sync.WaitGroup
+			var fail atomic.Value
+			for g := 0; g < putWriters; g++ {
+				share := b.N / putWriters
+				if g < b.N%putWriters {
+					share++
+				}
+				wg.Add(1)
+				go func(g, share int) {
+					defer wg.Done()
+					for i := 0; i < share; i++ {
+						rec := &passpoints.Record{User: fmt.Sprintf("c%d-%d-%d", g, round, i),
+							Kind: passpoints.KindCentered, SquareSidePx: 13,
+							Iterations: 2, Salt: []byte{1, 2, 3, 4}, Digest: []byte{5, 6, 7, 8}}
+						if err := s.Put(rec); err != nil {
+							fail.Store(err)
+							return
+						}
+					}
+				}(g, share)
+			}
+			wg.Wait()
+			if err, ok := fail.Load().(error); ok {
+				b.Fatal(err)
+			}
+		})
+		cleanup()
+		bench.Runs = append(bench.Runs, StoreRun{
+			Backend: backend.name, Op: "put8",
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
 		fmt.Fprintf(os.Stderr, "pwbench: measured store backend %s\n", backend.name)
 	}
 	out, err := json.MarshalIndent(bench, "", "  ")
@@ -174,7 +240,7 @@ func runStoreBench(outDir string) error {
 // storeMarkdownTable renders the backend comparison CI publishes.
 func storeMarkdownTable(bench StoreBench) string {
 	var b strings.Builder
-	b.WriteString("| backend | readheavy ns/op | put ns/op |\n|---|---|---|\n")
+	b.WriteString("| backend | readheavy ns/op | put ns/op | put8 ns/op |\n|---|---|---|---|\n")
 	byKey := map[string]StoreRun{}
 	var order []string
 	for _, r := range bench.Runs {
@@ -184,8 +250,9 @@ func storeMarkdownTable(bench StoreBench) string {
 		}
 	}
 	for _, name := range order {
-		fmt.Fprintf(&b, "| %s | %.0f | %.0f |\n",
-			name, byKey[name+"/readheavy"].NsPerOp, byKey[name+"/put"].NsPerOp)
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.0f |\n",
+			name, byKey[name+"/readheavy"].NsPerOp, byKey[name+"/put"].NsPerOp,
+			byKey[name+"/put8"].NsPerOp)
 	}
 	return b.String()
 }

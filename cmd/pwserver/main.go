@@ -67,6 +67,8 @@ func main() {
 		shards      = flag.Int("shards", 0, "vault shard count (0 = backend default; with -backend auto, >0 selects the sharded store)")
 		fsyncArg    = flag.String("fsync", "always", "durable backend sync policy: always, interval, or never")
 		compactAt   = flag.Float64("compact-ratio", vault.DefaultCompactRatio, "durable backend: rewrite a shard log when garbage exceeds ratio x live records")
+		ckptEvery   = flag.Duration("checkpoint-every", 0, "durable backend: periodic per-shard checkpoint+log-rotation interval bounding startup replay (0 = off)")
+		ckptMin     = flag.Int("checkpoint-min", vault.DefaultCheckpointMin, "durable backend: skip checkpointing a shard with fewer than this many records since its last checkpoint")
 		migrateFrom = flag.String("migrate-from", "", "durable backend: JSON snapshot to import into an empty log directory")
 		maxConns    = flag.Int("maxconns", authproto.DefaultMaxConns, "max in-flight requests across all fronts (and TCP connection pool size)")
 		userRate    = flag.Float64("userrate", 0, "per-user request rate limit in req/s across all fronts (0 = off)")
@@ -94,7 +96,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	store, backend, closeStore, err := openBackend(*backendArg, *vaultPath, *shards, *fsyncArg, *compactAt, *migrateFrom)
+	store, backend, closeStore, err := openBackend(*backendArg, *vaultPath, *shards, *fsyncArg, *compactAt, *ckptEvery, *ckptMin, *migrateFrom)
 	if err != nil {
 		fatal(err)
 	}
@@ -213,7 +215,7 @@ func main() {
 // human-readable description for the startup banner, and a close func
 // (a no-op for the snapshot backends, a log flush-and-close for the
 // durable one).
-func openBackend(backend, path string, shards int, fsync string, compactRatio float64, migrateFrom string) (vault.Store, string, func() error, error) {
+func openBackend(backend, path string, shards int, fsync string, compactRatio float64, ckptEvery time.Duration, ckptMin int, migrateFrom string) (vault.Store, string, func() error, error) {
 	noClose := func() error { return nil }
 	if backend == "auto" {
 		if shards > 0 {
@@ -241,9 +243,11 @@ func openBackend(backend, path string, shards int, fsync string, compactRatio fl
 			return nil, "", nil, err
 		}
 		d, err := vault.OpenDurable(path, vault.DurableOptions{
-			Shards:       shards,
-			Sync:         policy,
-			CompactRatio: compactRatio,
+			Shards:          shards,
+			Sync:            policy,
+			CompactRatio:    compactRatio,
+			CheckpointEvery: ckptEvery,
+			CheckpointMin:   ckptMin,
 		})
 		if err != nil {
 			return nil, "", nil, err
@@ -263,6 +267,9 @@ func openBackend(backend, path string, shards int, fsync string, compactRatio fl
 			}
 		}
 		desc := fmt.Sprintf("durable %d-shard (fsync=%s)", d.Shards(), policy)
+		if ckptEvery > 0 {
+			desc += fmt.Sprintf(" (checkpoint every %s)", ckptEvery)
+		}
 		return d, desc, d.Close, nil
 	default:
 		return nil, "", nil, fmt.Errorf("unknown backend %q (want memory, sharded, durable or auto)", backend)

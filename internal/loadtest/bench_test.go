@@ -38,6 +38,56 @@ func BenchmarkAuthSwarm(b *testing.B) {
 	}
 }
 
+// BenchmarkAuthSwarmWrites is the group-commit stress: every op is a
+// password change (a durable append + fsync under `-fsync always`)
+// and the store runs a single shard, so all N concurrent clients
+// contend on one log — the worst case for per-append fsyncs and the
+// case group commit exists to fix (with the default 32 shards, 8
+// writers rarely share a log and there is nothing to coalesce). The
+// PR 7 numbers in PERFORMANCE.md's "Group commit" table come from
+// here.
+//
+//	go test ./internal/loadtest -run NONE -bench AuthSwarmWrites -benchtime 1000x
+func BenchmarkAuthSwarmWrites(b *testing.B) {
+	mk := func(tb testing.TB) vault.Store {
+		// NoAutoCompact: the bench times the commit path; background
+		// compaction mid-run adds rename/unlink churn whose cost (and,
+		// on discard-mounted filesystems, device flush behaviour) is
+		// unrelated to what this benchmark compares across PRs.
+		d, err := vault.OpenDurable(tb.TempDir(), vault.DurableOptions{Sync: vault.SyncAlways, Shards: 1, NoAutoCompact: true})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { d.Close() })
+		return d
+	}
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("durable-always/clients=%d", clients), func(b *testing.B) {
+			_, addr, shutdown := startServer(b, mk(b), 256)
+			defer shutdown()
+			users := enrollUsers(b, addr, clients)
+			ops := b.N/clients + 1
+			b.ResetTimer()
+			res, err := Run(Config{
+				Dial:         TCPTransport(addr, 0),
+				Clients:      clients,
+				OpsPerClient: ops,
+				Request:      AuthMix(users, userClicks, 1),
+				Check:        RequireOK,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Errors != 0 {
+				b.Fatalf("swarm errors: %d (%s)", res.Errors, res)
+			}
+			b.ReportMetric(res.Throughput(), "ops/s")
+			b.ReportMetric(float64(res.P99.Microseconds()), "p99-µs")
+		})
+	}
+}
+
 // mkDurable builds a durable-store factory at the given fsync policy,
 // rooted in a per-benchmark temp dir.
 func mkDurable(policy vault.SyncPolicy) func(tb testing.TB) vault.Store {

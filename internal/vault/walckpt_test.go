@@ -1,0 +1,305 @@
+package vault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ckptOps drives a deterministic mutation history — puts, replaces,
+// deletes, lockout sets and clears — against d. from/to bound the
+// versions so the same history can be split across a checkpoint.
+func ckptOps(t *testing.T, d *Durable, from, to int) {
+	t.Helper()
+	for v := from; v < to; v++ {
+		user := fmt.Sprintf("user-%02d", v%13)
+		if err := d.Replace(versionedRecord(user, v)); err != nil {
+			t.Fatal(err)
+		}
+		switch v % 7 {
+		case 2:
+			if err := d.SetLockout(user, v%5+1); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			if err := d.SetLockout(user, 0); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			d.Delete(fmt.Sprintf("user-%02d", (v+1)%13))
+		}
+	}
+}
+
+// saveBytes exports d's canonical JSON snapshot and returns its bytes.
+func saveBytes(t *testing.T, d *Durable) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := d.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCheckpointEquivalence: recovering from checkpoint + log tail
+// must reproduce byte-identical state to both the live store it
+// snapshotted and a control store that replayed the same history from
+// a never-checkpointed full log.
+func TestCheckpointEquivalence(t *testing.T) {
+	opts := DurableOptions{Shards: 4, Sync: SyncNever, NoAutoCompact: true}
+	d := openDurableT(t, opts)
+	control := openDurableT(t, opts)
+
+	ckptOps(t, d, 0, 120)
+	ckptOps(t, control, 0, 120)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckptOps(t, d, 120, 160)
+	ckptOps(t, control, 120, 160)
+
+	// The checkpoint actually happened: every shard rotated to a
+	// marker-led log with its snapshot alongside.
+	ckpts, err := filepath.Glob(filepath.Join(d.Dir(), "shard-*.ckpt"))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoint files written (err %v)", err)
+	}
+
+	live := saveBytes(t, d)
+	back := reopen(t, d)
+	recovered := saveBytes(t, back)
+	if string(recovered) != string(live) {
+		t.Error("checkpoint+tail recovery diverged from the live state it snapshotted")
+	}
+	if got := saveBytes(t, control); string(got) != string(live) {
+		t.Error("checkpointed store diverged from full-log control replaying the same history")
+	}
+	if locks, want := back.Lockouts(), control.Lockouts(); len(locks) != len(want) {
+		t.Errorf("recovered %d lockouts, control has %d", len(locks), len(want))
+	}
+}
+
+// TestCheckpointBoundsReplay: startup replay after a checkpoint is
+// O(records appended since), independent of how much history came
+// before — the point of checkpointing. Two stores with 10x different
+// pre-checkpoint histories must replay the same small tail count.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	const tail = 7
+	replayed := func(history int) int {
+		opts := DurableOptions{Shards: 1, Sync: SyncNever, NoAutoCompact: true}
+		d := openDurableT(t, opts)
+		ckptOps(t, d, 0, history)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		ckptOps(t, d, history, history+tail)
+		back := reopen(t, d)
+		n := 0
+		for i := range back.shards {
+			n += back.shards[i].sinceCkpt // records replayed from the log at open
+		}
+		return n
+	}
+	small := replayed(60)
+	large := replayed(600)
+	if small != large {
+		t.Errorf("replay count depends on pre-checkpoint history: %d (60-op history) vs %d (600-op history)", small, large)
+	}
+	// ckptOps appends at most 2 records per version (mutation +
+	// lockout write); the tail must be bounded by that, nowhere near
+	// the full history.
+	if large > 2*tail {
+		t.Errorf("replayed %d records after a checkpoint, want <= %d (the post-checkpoint tail)", large, 2*tail)
+	}
+}
+
+// TestCheckpointCrashWindows copies the store directory at the two
+// in-protocol crash points — via the test hooks between a checkpoint
+// file's rename and the log rotation, and between a compacted log's
+// rename and the stale-checkpoint removal — and proves each copy
+// reopens to the full pre-crash state.
+func TestCheckpointCrashWindows(t *testing.T) {
+	t.Run("between-ckpt-and-rotation", func(t *testing.T) {
+		opts := DurableOptions{Shards: 1, Sync: SyncNever, NoAutoCompact: true}
+		d := openDurableT(t, opts)
+		ckptOps(t, d, 0, 80)
+		want := saveBytes(t, d)
+		crash := t.TempDir()
+		d.testCrashAfterCkptRename = func(int) { copyDir(t, d.Dir(), crash) }
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := OpenDurable(crash, opts)
+		if err != nil {
+			t.Fatalf("reopening the ckpt-but-no-rotation crash copy: %v", err)
+		}
+		defer back.Close()
+		if got := saveBytes(t, back); string(got) != string(want) {
+			t.Error("crash between checkpoint and rotation lost state")
+		}
+	})
+	t.Run("ckpt-survives-log-tail-loss", func(t *testing.T) {
+		// Same window, but the log's unsynced tail dies with the crash
+		// (the fsynced checkpoint outlives SyncNever log bytes): the
+		// checkpoint alone must reproduce its covered state.
+		opts := DurableOptions{Shards: 1, Sync: SyncNever, NoAutoCompact: true}
+		d := openDurableT(t, opts)
+		ckptOps(t, d, 0, 80)
+		want := saveBytes(t, d)
+		crash := t.TempDir()
+		d.testCrashAfterCkptRename = func(int) { copyDir(t, d.Dir(), crash) }
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		logPath := filepath.Join(crash, shardLogName(0))
+		st, err := os.Stat(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(logPath, st.Size()/3); err != nil {
+			t.Fatal(err)
+		}
+		back, err := OpenDurable(crash, opts)
+		if err != nil {
+			t.Fatalf("reopening with log torn below the checkpoint's coverage: %v", err)
+		}
+		defer back.Close()
+		if got := saveBytes(t, back); string(got) != string(want) {
+			t.Error("checkpoint did not stand in for its torn log coverage")
+		}
+		// And the reset log must keep working: append, reopen, check.
+		if err := back.Replace(versionedRecord("user-00", 9999)); err != nil {
+			t.Fatal(err)
+		}
+		again := reopen(t, back)
+		rec, err := again.Get("user-00")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recordVersion(t, "post-reset", rec) != 9999 {
+			t.Error("append after log reset lost on reopen")
+		}
+	})
+	t.Run("between-compact-and-ckpt-removal", func(t *testing.T) {
+		opts := DurableOptions{Shards: 1, Sync: SyncNever, NoAutoCompact: true}
+		d := openDurableT(t, opts)
+		ckptOps(t, d, 0, 60)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		ckptOps(t, d, 60, 90)
+		want := saveBytes(t, d)
+		crash := t.TempDir()
+		d.testCrashAfterCompactRename = func(int) { copyDir(t, d.Dir(), crash) }
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		// The crash copy holds a compacted (Full-marker) log plus the
+		// stale checkpoint the crash kept alive; recovery must trust
+		// the log and discard the checkpoint.
+		if _, err := os.Stat(filepath.Join(crash, shardCkptName(0))); err != nil {
+			t.Fatalf("crash copy should hold the stale checkpoint: %v", err)
+		}
+		back, err := OpenDurable(crash, opts)
+		if err != nil {
+			t.Fatalf("reopening the compact-crash copy: %v", err)
+		}
+		defer back.Close()
+		if got := saveBytes(t, back); string(got) != string(want) {
+			t.Error("crash between compaction and checkpoint removal lost state")
+		}
+		if _, err := os.Stat(filepath.Join(crash, shardCkptName(0))); !os.IsNotExist(err) {
+			t.Errorf("stale checkpoint behind a Full marker not removed at open (err %v)", err)
+		}
+	})
+}
+
+// TestCheckpointRefusesPartialState: recovery must fail loudly rather
+// than open with silently missing records when the checkpoint a
+// rotated log depends on is gone, or names a different lineage.
+func TestCheckpointRefusesPartialState(t *testing.T) {
+	opts := DurableOptions{Shards: 1, Sync: SyncNever, NoAutoCompact: true}
+	t.Run("missing-checkpoint", func(t *testing.T) {
+		d := openDurableT(t, opts)
+		ckptOps(t, d, 0, 40)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		dir := d.Dir()
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, shardCkptName(0))); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenDurable(dir, opts)
+		if err == nil || !strings.Contains(err.Error(), "refusing") {
+			t.Fatalf("open with missing checkpoint: got %v, want loud refusal", err)
+		}
+	})
+	t.Run("lineage-mismatch", func(t *testing.T) {
+		d := openDurableT(t, opts)
+		ckptOps(t, d, 0, 40)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		dir := d.Dir()
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Rewrite the checkpoint as if it belonged to some other log
+		// generation entirely.
+		path := filepath.Join(dir, shardCkptName(0))
+		ck, err := loadCkpt(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck.ID = ck.ID + 1
+		ck.BaseLogID = ck.ID + 2
+		data, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, err = OpenDurable(dir, opts)
+		if err == nil || !strings.Contains(err.Error(), "refusing") {
+			t.Fatalf("open with mismatched checkpoint lineage: got %v, want loud refusal", err)
+		}
+	})
+}
+
+// TestCheckpointPeriodic: the background checkpointer rotates busy
+// shards on its own once they cross the configured minimum delta.
+func TestCheckpointPeriodic(t *testing.T) {
+	d := openDurableT(t, DurableOptions{
+		Shards: 1, Sync: SyncNever, NoAutoCompact: true,
+		CheckpointEvery: 5 * time.Millisecond,
+		CheckpointMin:   10,
+	})
+	ckptOps(t, d, 0, 60)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(d.Dir(), shardCkptName(0))); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never snapshotted a busy shard")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := saveBytes(t, d)
+	back := reopen(t, d)
+	if got := saveBytes(t, back); string(got) != string(want) {
+		t.Error("state diverged across a background checkpoint and reopen")
+	}
+}

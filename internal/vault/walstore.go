@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clickpass/internal/par"
 	"clickpass/internal/passpoints"
 )
 
@@ -28,7 +29,9 @@ type SyncPolicy int
 // Sync policies, strongest first.
 const (
 	// SyncAlways fsyncs after every append: an acked mutation survives
-	// both a process kill and an OS crash. The default.
+	// both a process kill and an OS crash. Concurrent appends to the
+	// same shard coalesce into shared group-commit fsyncs, so the
+	// per-mutation cost amortizes across writers. The default.
 	SyncAlways SyncPolicy = iota
 	// SyncInterval fsyncs dirty shards on a background timer
 	// (DurableOptions.SyncEvery). An acked mutation survives a process
@@ -81,9 +84,26 @@ const DefaultCompactRatio = 2.0
 // ratio test is noisy at small counts.
 const compactMinEntries = 256
 
+// DefaultCheckpointMin is the minimum number of records appended
+// since a shard's last checkpoint (or compaction) before the periodic
+// checkpointer bothers snapshotting it again; selected when
+// DurableOptions.CheckpointMin <= 0.
+const DefaultCheckpointMin = 256
+
+// ErrShardFailed marks mutations refused by a fail-stopped shard. A
+// shard fail-stops when an fsync of its log fails, or when the
+// rollback after a failed append cannot restore the committed offset:
+// after a failed fsync the kernel may drop the dirty pages AND clear
+// the error state, so a later fsync can report success over lost
+// writes (the "fsyncgate" pattern) — no subsequent fsync result can
+// prove an append's durability. The shard keeps serving reads (its
+// acked state is intact in memory) but refuses every further mutation
+// until the process restarts and replays the log.
+var ErrShardFailed = errors.New("vault: shard fail-stopped after a log write or sync error")
+
 // DurableOptions configures OpenDurable. The zero value selects
 // DefaultShards, SyncAlways, and DefaultCompactRatio with the
-// background compactor enabled.
+// background compactor enabled and periodic checkpoints disabled.
 type DurableOptions struct {
 	// Shards is the log/lock partition count; <= 0 selects
 	// DefaultShards. The count is fixed when the directory is created
@@ -105,6 +125,20 @@ type DurableOptions struct {
 	// NoAutoCompact disables the background compactor; Compact and
 	// CompactShard remain available for manual use (tests, tooling).
 	NoAutoCompact bool
+	// CheckpointEvery is the period of the background checkpointer:
+	// every tick it snapshots each shard with at least CheckpointMin
+	// new records into a canonical per-shard checkpoint file and
+	// truncates the log to the post-snapshot tail, so startup replay
+	// is O(delta since checkpoint) instead of O(total history).
+	// <= 0 disables background checkpoints; Checkpoint and
+	// CheckpointShard remain available for manual use.
+	CheckpointEvery time.Duration
+	// CheckpointMin is the minimum number of records appended since a
+	// shard's last checkpoint before the periodic checkpointer
+	// re-snapshots it; <= 0 selects DefaultCheckpointMin. Ignored by
+	// explicit CheckpointShard calls, which snapshot any non-empty
+	// delta.
+	CheckpointMin int
 }
 
 // Durable is the crash-safe Store: the fnv-sharded in-memory map of
@@ -113,40 +147,136 @@ type DurableOptions struct {
 // writes through the LockoutStore extension — appends one
 // length-prefixed, CRC32-checksummed record to its shard's log before
 // the call returns, so an acked write survives a crash (exactly how
-// durably is the SyncPolicy's call). OpenDurable replays the logs to
-// rebuild memory, truncating each log at the first torn or corrupt
-// record: everything acked before the tear is recovered, the torn
-// tail is dropped.
+// durably is the SyncPolicy's call). OpenDurable replays the shard
+// logs in parallel (they share nothing) to rebuild memory, truncating
+// each log at the first torn or corrupt record: everything acked
+// before the tear is recovered, the torn tail is dropped.
+//
+// Under SyncAlways, concurrent appends to one shard group-commit:
+// each writer stages its encoded record under the shard lock, then
+// the writers coalesce into batches — one leader writes and fsyncs
+// the whole staged buffer — so N concurrent mutations cost one write
+// and one fsync, not N of each. Every waiter acks only if the shared
+// fsync succeeded, and a failed fsync fails (and rolls back) the
+// whole batch. A failed fsync also fail-stops the shard (see
+// ErrShardFailed): durability claims after a kernel writeback error
+// are unverifiable, so the shard refuses further mutations rather
+// than ack them.
+//
+// Note one visibility caveat of group commit: a mutation becomes
+// readable (Get/Users/Snapshot) the moment its record is written,
+// microseconds before the shared fsync that acks it. If that fsync
+// fails, the batch's map updates are rolled back and the shard
+// fail-stops — a reader can briefly observe a mutation that is then
+// refused, but never one that silently survives un-acked.
 //
 // Logs only grow, so a background compactor (or an explicit Compact)
 // rewrites a shard's log from its live map once dead records outgrow
-// CompactRatio× the live set. SaveTo still exports the canonical JSON
-// snapshot shared by Vault and Sharded, and ImportJSON loads one, so
-// a deployment can migrate between backends in either direction.
+// CompactRatio× the live set, and a background checkpointer (or an
+// explicit Checkpoint) snapshots each shard's state into a canonical
+// checkpoint file and truncates the log to the tail appended since —
+// bounding startup replay by the checkpoint cadence instead of the
+// store's age. SaveTo still exports the canonical JSON snapshot
+// shared by Vault and Sharded, and ImportJSON loads one, so a
+// deployment can migrate between backends in either direction.
 type Durable struct {
 	dir    string
 	opts   DurableOptions
 	shards []walShard
 	closed atomic.Bool
 
+	// openFile opens a shard log; tests swap it to inject failing
+	// files (see walFile).
+	openFile func(path string) (walFile, error)
+	// testCrashAfterCkptRename, when non-nil, runs between a
+	// checkpoint file's rename and the log rotation that follows —
+	// the crash window recovery must tolerate. Tests use it to copy
+	// the directory mid-protocol.
+	testCrashAfterCkptRename func(shard int)
+	// testCrashAfterCompactRename runs between a compacted log's
+	// rename and the removal of the now-stale checkpoint file.
+	testCrashAfterCompactRename func(shard int)
+
 	kick chan int      // compactor nudge, carries a shard index
 	stop chan struct{} // closes to stop background goroutines
 	bg   sync.WaitGroup
 }
 
-// walShard is one log-backed partition. The mutex covers both the map
-// and the file: an append and its map update are atomic with respect
-// to other writers, and compaction swaps the file under the same lock.
+// walFile is the slice of *os.File the shard log code uses, split out
+// as an interface so tests can inject files whose writes, syncs,
+// truncates, or seeks fail on demand (the rollback and fsyncgate
+// regression tests). Production code always uses *os.File.
+type walFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.ReaderAt
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Close releases the file.
+	Close() error
+	// Name returns the file's path for error messages.
+	Name() string
+}
+
+// defaultOpenFile opens a real log file read-write, creating it if
+// missing.
+func defaultOpenFile(path string) (walFile, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+}
+
+// walPending is one record written to a shard's log but not yet
+// covered by a successful fsync: the bookkeeping group commit needs
+// to ack (drop the undo) or fail (run it) a whole batch at once.
+type walPending struct {
+	end  int64  // log length once this record was written
+	undo func() // reverts the record's eager map application
+}
+
+// walShard is one log-backed partition. The mutex covers the maps,
+// the file, and all offsets; the commit condvar (sharing the mutex)
+// coordinates group commit: under SyncAlways writers stage their
+// encoded records in wbuf under the lock, then wait on the condvar
+// while one of them — the batch leader — writes and fsyncs the whole
+// buffer outside the lock and wakes everyone with the shared result.
+// Staging in memory rather than writing through matters beyond the
+// saved syscalls: an fsync racing concurrent appends to the same
+// inode degrades badly on journaling filesystems (the flush chases
+// freshly dirtied pages), so exactly one goroutine — the leader —
+// ever touches the file while a sync is possible.
 type walShard struct {
 	mu       sync.Mutex
+	commit   sync.Cond // group-commit wakeups; commit.L == &mu
 	records  map[string]*passpoints.Record
 	lockouts map[string]int
-	f        *os.File
+	f        walFile
 	path     string
-	off      int64 // committed log length; failed appends roll back to it
-	entries  int   // records in the log since its last rewrite
-	dirty    bool  // has unsynced appends (SyncInterval bookkeeping)
-	buf      []byte
+	ckptPath string
+	// Three log lengths, always off <= wsize <= lsize:
+	// off is the committed length — every byte below it belongs to an
+	// acked record (and, under SyncAlways, has been fsynced); wsize
+	// is the length written to the file; lsize is the logical length
+	// including records still staged in wbuf. Outside an in-flight
+	// group commit all three are equal.
+	off   int64
+	wsize int64
+	lsize int64
+	wbuf  []byte // staged frames awaiting the next batch flush
+	// entries counts records in the log since its last rewrite;
+	// sinceCkpt counts records appended since the last checkpoint or
+	// compaction (the replay debt a new checkpoint would clear).
+	entries   int
+	sinceCkpt int
+	dirty     bool   // has unsynced appends (SyncInterval bookkeeping)
+	dirtyGen  uint64 // bumped per unsynced append, so a sync landing
+	// mid-append cannot clear dirty for bytes it did not cover
+	logID   uint64 // checkpoint marker id of this log generation; 0 = virgin
+	syncing bool   // a group-commit leader's fsync is in flight
+	pending []walPending
+	failed  error // sticky fail-stop cause; non-nil refuses mutations
+	buf     []byte
 }
 
 // Durable implements Store and the LockoutStore extension.
@@ -156,21 +286,29 @@ var (
 )
 
 // walEntry is the JSON payload of one log record. Op distinguishes
-// the three mutation classes; exactly one of Rec / Failures carries
+// the mutation classes; exactly one of Rec / Failures / Ckpt carries
 // the data.
 type walEntry struct {
-	// Op is "put" (store or overwrite Rec), "del" (remove User), or
-	// "lock" (set User's failed-attempt counter to Failures; 0 clears).
+	// Op is "put" (store or overwrite Rec), "del" (remove User),
+	// "lock" (set User's failed-attempt counter to Failures; 0
+	// clears), or "ckpt" (a marker record identifying the log
+	// generation — see walckpt.go; never a mutation).
 	Op       string             `json:"op"`
 	User     string             `json:"user"`
 	Rec      *passpoints.Record `json:"rec,omitempty"`
 	Failures int                `json:"failures,omitempty"`
+	// Ckpt is the nonzero generation id of a "ckpt" marker record.
+	Ckpt uint64 `json:"ckpt,omitempty"`
+	// Full marks a "ckpt" marker written by compaction: the log after
+	// the marker is the complete state, no checkpoint file needed.
+	Full bool `json:"full,omitempty"`
 }
 
 const (
 	walOpPut  = "put"
 	walOpDel  = "del"
 	walOpLock = "lock"
+	walOpCkpt = "ckpt"
 )
 
 // walHeaderSize is the fixed per-record framing: a little-endian
@@ -186,13 +324,21 @@ const walMaxRecord = 1 << 26
 func shardLogName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
 
 // OpenDurable opens (creating if needed) the append-log store rooted
-// at directory dir and replays every shard log into memory. A log
-// whose tail is torn — a partially written record from a crash — is
-// truncated at the tear, recovering every fully appended record and
-// dropping only the unacked tail. Close flushes and releases the
-// logs; an unclosed store's logs are still consistent (that is the
-// point), but Close is how a clean shutdown syncs SyncNever data.
+// at directory dir and replays every shard into memory — its
+// checkpoint (if one exists) plus the log tail appended since, one
+// goroutine per shard (the shards share nothing, so recovery scales
+// with cores). A log whose tail is torn — a partially written record
+// from a crash — is truncated at the tear, recovering every fully
+// appended record and dropping only the unacked tail. Close flushes
+// and releases the logs; an unclosed store's logs are still
+// consistent (that is the point), but Close is how a clean shutdown
+// syncs SyncNever data.
 func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	return openDurable(dir, opts, defaultOpenFile)
+}
+
+// openDurable is OpenDurable with an injectable file opener (tests).
+func openDurable(dir string, opts DurableOptions, openFile func(string) (walFile, error)) (*Durable, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
 	}
@@ -202,6 +348,9 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = 100 * time.Millisecond
 	}
+	if opts.CheckpointMin <= 0 {
+		opts.CheckpointMin = DefaultCheckpointMin
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("vault: creating %s: %w", dir, err)
 	}
@@ -210,12 +359,12 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		return nil, err
 	}
 	opts.Shards = shards
-	// A crash between CreateTemp and Rename (compaction, meta write)
-	// strands a ".compact-*"/".meta-*" temp file; clean them up here
-	// or repeated crashes leak shard-sized dead files forever. Safe:
+	// A crash between CreateTemp and Rename (compaction, checkpoint,
+	// rotation, meta write) strands a temp file; clean them up here or
+	// repeated crashes leak shard-sized dead files forever. Safe:
 	// temps are only live inside a call holding the shard lock, and no
 	// other store instance may share the directory.
-	for _, pat := range []string{".compact-*", ".meta-*"} {
+	for _, pat := range []string{".compact-*", ".meta-*", ".ckpt-*", ".rotate-*"} {
 		if stale, _ := filepath.Glob(filepath.Join(dir, pat)); len(stale) > 0 {
 			for _, f := range stale {
 				_ = os.Remove(f)
@@ -223,21 +372,28 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		}
 	}
 	d := &Durable{
-		dir:    dir,
-		opts:   opts,
-		shards: make([]walShard, opts.Shards),
-		kick:   make(chan int, opts.Shards),
-		stop:   make(chan struct{}),
+		dir:      dir,
+		opts:     opts,
+		shards:   make([]walShard, opts.Shards),
+		openFile: openFile,
+		kick:     make(chan int, opts.Shards),
+		stop:     make(chan struct{}),
 	}
-	for i := range d.shards {
+	// Replay one goroutine per shard: the maps, files, and offsets are
+	// all shard-private, so recovery time is the slowest shard, not
+	// the sum (par returns the lowest-index failure, and every claimed
+	// shard runs to completion, so closeFiles sees a consistent set).
+	if err := par.ForEach(0, len(d.shards), func(i int) error {
 		sh := &d.shards[i]
+		sh.commit.L = &sh.mu
 		sh.records = make(map[string]*passpoints.Record)
 		sh.lockouts = make(map[string]int)
 		sh.path = filepath.Join(dir, shardLogName(i))
-		if err := sh.open(); err != nil {
-			d.closeFiles()
-			return nil, err
-		}
+		sh.ckptPath = filepath.Join(dir, shardCkptName(i))
+		return sh.open(openFile)
+	}); err != nil {
+		d.closeFiles()
+		return nil, err
 	}
 	if err := syncDir(dir); err != nil {
 		d.closeFiles()
@@ -251,30 +407,34 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		d.bg.Add(1)
 		go d.syncLoop()
 	}
+	if opts.CheckpointEvery > 0 {
+		d.bg.Add(1)
+		go d.checkpointLoop()
+	}
 	return d, nil
 }
 
-// open replays the shard's log (truncating a torn tail) and leaves the
-// file open for appends.
-func (sh *walShard) open() error {
-	f, err := os.OpenFile(sh.path, os.O_RDWR|os.O_CREATE, 0o600)
+// open loads the shard's checkpoint (when one exists and matches the
+// log generation), replays the log tail (truncating a torn tail), and
+// leaves the file open for appends. See walckpt.go for the
+// checkpoint/marker matching rules.
+func (sh *walShard) open(openFile func(string) (walFile, error)) error {
+	f, err := openFile(sh.path)
 	if err != nil {
 		return fmt.Errorf("vault: opening %s: %w", sh.path, err)
 	}
 	sh.f = f
-	n, off, err := replayLog(f, func(e *walEntry) { sh.apply(e) })
-	if err != nil {
+	if err := sh.recover(); err != nil {
 		f.Close()
 		sh.f = nil
 		return err
 	}
-	sh.entries = n
-	sh.off = off
 	return nil
 }
 
 // apply folds one decoded entry into the shard's maps. Replay-time
-// only; live mutations update the maps inline after their append.
+// and (eagerly, with applyUndo) mutation-time both route through the
+// same switch so live and replayed semantics cannot drift.
 func (sh *walShard) apply(e *walEntry) {
 	switch e.Op {
 	case walOpPut:
@@ -289,21 +449,61 @@ func (sh *walShard) apply(e *walEntry) {
 		} else {
 			delete(sh.lockouts, e.User)
 		}
+	case walOpCkpt:
+		// generation marker, not a mutation
 	}
 }
 
-// replayLog streams records from the start of f, calling apply for
+// applyUndo applies e to the maps like apply and returns a closure
+// that restores the touched key's prior state — the rollback a group
+// commit batch runs when its shared fsync fails.
+func (sh *walShard) applyUndo(e *walEntry) func() {
+	switch e.Op {
+	case walOpPut:
+		user := e.Rec.User
+		prev, had := sh.records[user]
+		sh.records[user] = e.Rec
+		return func() {
+			if had {
+				sh.records[user] = prev
+			} else {
+				delete(sh.records, user)
+			}
+		}
+	case walOpDel:
+		prev, had := sh.records[e.User]
+		delete(sh.records, e.User)
+		return func() {
+			if had {
+				sh.records[e.User] = prev
+			}
+		}
+	case walOpLock:
+		prev, had := sh.lockouts[e.User]
+		sh.apply(e)
+		return func() {
+			if had {
+				sh.lockouts[e.User] = prev
+			} else {
+				delete(sh.lockouts, e.User)
+			}
+		}
+	}
+	return func() {}
+}
+
+// replayLog streams records from offset start in f, calling apply for
 // each intact one. At the first torn or corrupt record it truncates f
 // there — dropping that record and everything after it — and seeks to
 // the new end so the caller can append. It returns the number of
-// intact records and the log length they occupy.
-func replayLog(f *os.File, apply func(*walEntry)) (int, int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+// intact records and the absolute log length they occupy.
+func replayLog(f walFile, start int64, apply func(*walEntry)) (int, int64, error) {
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
 		return 0, 0, fmt.Errorf("vault: seeking %s: %w", f.Name(), err)
 	}
 	var (
 		r       = bufio.NewReader(f)
-		off     int64 // start offset of the record being decoded
+		off     = start // start offset of the record being decoded
 		n       int
 		header  [walHeaderSize]byte
 		payload []byte
@@ -354,56 +554,193 @@ func replayLog(f *os.File, apply func(*walEntry)) (int, int64, error) {
 	return n, off, nil
 }
 
-// append encodes e, writes it to the shard's log in one write call,
-// and fsyncs under SyncAlways. Caller holds sh.mu. The map mutation
-// must happen only after append returns nil: a failed append means
-// the mutation was never acked — and to keep that contract honest in
-// both directions, a failed write or sync rolls the log back to the
-// last committed offset. Without the rollback, torn bytes from a
-// failed append would sit in front of later successful records
-// (replay would truncate them all away), and a record whose fsync
-// failed would resurrect on restart despite the caller being told it
-// failed.
-func (sh *walShard) append(e *walEntry, sync bool) error {
+// encodeEntry frames e for the log: length + CRC32 header, JSON
+// payload. buf is reused when large enough.
+func encodeEntry(e *walEntry, buf []byte) ([]byte, error) {
 	payload, err := json.Marshal(e)
 	if err != nil {
-		return fmt.Errorf("vault: encoding log entry: %w", err)
+		return nil, fmt.Errorf("vault: encoding log entry: %w", err)
 	}
 	need := walHeaderSize + len(payload)
-	if cap(sh.buf) < need {
-		sh.buf = make([]byte, need)
+	if cap(buf) < need {
+		buf = make([]byte, need)
 	}
-	buf := sh.buf[:need]
+	buf = buf[:need]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	copy(buf[walHeaderSize:], payload)
+	return buf, nil
+}
+
+// write encodes e and appends it to the shard's log in one write
+// call, advancing wsize (the written — not yet necessarily durable —
+// length). Caller holds sh.mu. A failed write truncates back to the
+// pre-write offset so torn bytes never sit in front of later records;
+// if even that rollback fails, the shard fail-stops — the file's
+// write offset can no longer be trusted, and appending anyway would
+// strand every later record behind a tear that replay truncates away.
+func (sh *walShard) write(e *walEntry) error {
+	buf, err := encodeEntry(e, sh.buf)
+	if err != nil {
+		return err
+	}
+	sh.buf = buf
 	if _, err := sh.f.Write(buf); err != nil {
-		sh.rollback()
-		return fmt.Errorf("vault: appending to %s: %w", sh.path, err)
-	}
-	if sync {
-		if err := sh.f.Sync(); err != nil {
-			sh.rollback()
-			return fmt.Errorf("vault: syncing %s: %w", sh.path, err)
+		werr := fmt.Errorf("vault: appending to %s: %w", sh.path, err)
+		if rerr := sh.restore(sh.wsize); rerr != nil {
+			sh.failStop(fmt.Errorf("%v; rollback failed: %v", werr, rerr))
 		}
-	} else {
-		sh.dirty = true
+		return werr
 	}
-	sh.off += int64(need)
+	sh.wsize += int64(len(buf))
+	sh.lsize = sh.wsize
 	sh.entries++
+	sh.sinceCkpt++
 	return nil
 }
 
-// rollback truncates the log to the last committed offset after a
-// failed append, discarding any partially written record so the next
-// append starts clean. Best effort: if even the truncate fails the
-// log keeps the torn bytes and replay's CRC check contains the
-// damage to this shard's tail, same as a crash.
-func (sh *walShard) rollback() {
-	if err := sh.f.Truncate(sh.off); err != nil {
-		return
+// stage encodes e and appends the frame to the shard's in-memory
+// batch buffer — the group-commit write path. The bytes reach the
+// file when a batch leader flushes the buffer (awaitCommit); only
+// the whole-batch failure paths can discard them, and those fail-stop
+// the shard. Caller holds sh.mu.
+func (sh *walShard) stage(e *walEntry) error {
+	buf, err := encodeEntry(e, sh.buf)
+	if err != nil {
+		return err
 	}
-	_, _ = sh.f.Seek(sh.off, io.SeekStart)
+	sh.buf = buf
+	sh.wbuf = append(sh.wbuf, buf...)
+	sh.lsize += int64(len(buf))
+	sh.entries++
+	sh.sinceCkpt++
+	return nil
+}
+
+// restore truncates the log to off and repositions the write offset
+// there — the rollback after a failed append. Both steps must
+// succeed: a truncate without the seek leaves the OS file offset
+// beyond the end, and the next append would write mid-file garbage
+// that replay cannot contain to the tail.
+func (sh *walShard) restore(off int64) error {
+	if err := sh.f.Truncate(off); err != nil {
+		return fmt.Errorf("truncating %s to %d: %w", sh.path, off, err)
+	}
+	if _, err := sh.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("repositioning %s at %d: %w", sh.path, off, err)
+	}
+	return nil
+}
+
+// failStop marks the shard permanently failed (see ErrShardFailed),
+// rolls back every pending group-commit record — map state and log
+// bytes — and wakes all waiters so they observe the failure. Caller
+// holds sh.mu.
+func (sh *walShard) failStop(cause error) {
+	if sh.failed == nil {
+		sh.failed = cause
+		log.Printf("vault: %v; shard %s fail-stopped (reads continue, mutations refused until restart)", cause, sh.path)
+	}
+	for i := len(sh.pending) - 1; i >= 0; i-- {
+		sh.pending[i].undo()
+	}
+	sh.entries -= len(sh.pending)
+	sh.sinceCkpt -= len(sh.pending)
+	sh.pending = sh.pending[:0]
+	sh.wbuf = sh.wbuf[:0]
+	// Best effort: the shard refuses mutations from here on, but a
+	// successful truncate keeps unacked bytes out of the log so a
+	// restart replays exactly the committed prefix.
+	_ = sh.restore(sh.off)
+	sh.wsize = sh.off
+	sh.lsize = sh.off
+	sh.commit.Broadcast()
+}
+
+// refuse returns the error a fail-stopped shard hands every mutation.
+// Caller holds sh.mu and has checked sh.failed != nil.
+func (sh *walShard) refuse() error {
+	return fmt.Errorf("%w (%s: %v)", ErrShardFailed, sh.path, sh.failed)
+}
+
+// commitTo marks everything below target durable: the committed
+// offset advances and the covered pending records drop their undos —
+// they are acked. Caller holds sh.mu.
+func (sh *walShard) commitTo(target int64) {
+	sh.off = target
+	n := 0
+	for n < len(sh.pending) && sh.pending[n].end <= target {
+		n++
+	}
+	if n > 0 {
+		rest := copy(sh.pending, sh.pending[n:])
+		for i := rest; i < len(sh.pending); i++ {
+			sh.pending[i] = walPending{} // release undo closures
+		}
+		sh.pending = sh.pending[:rest]
+	}
+}
+
+// awaitCommit blocks until the record ending at logical offset myEnd
+// is durable, or the batch fails. Callers arrive holding sh.mu with
+// their record staged in wbuf and a pending entry queued; the first
+// one to find no flush in flight becomes the batch leader: it takes
+// the whole staged buffer, writes and fsyncs it outside the lock (so
+// later writers keep staging — they form the next batch), and wakes
+// everyone with the shared result. A failed batch write or fsync
+// fails every waiter it covered and fail-stops the shard: the
+// waiters' records are interleaved in one flush, so no single record
+// can be cleanly retried, and after a failed fsync durability can no
+// longer be proven at all (see ErrShardFailed).
+func (sh *walShard) awaitCommit(myEnd int64) error {
+	for {
+		if sh.off >= myEnd {
+			return nil // a leader's flush covered us
+		}
+		if sh.failed != nil {
+			return sh.failed // our batch failed; maps already rolled back
+		}
+		if !sh.syncing {
+			sh.syncing = true
+			f := sh.f
+			batch := sh.wbuf
+			sh.wbuf = nil // writers arriving mid-flush stage a new buffer
+			target := sh.wsize + int64(len(batch))
+			sh.mu.Unlock()
+			_, werr := f.Write(batch)
+			var serr error
+			if werr == nil {
+				serr = f.Sync()
+			}
+			sh.mu.Lock()
+			sh.syncing = false
+			switch {
+			case werr != nil:
+				// The file may hold a partial batch; failStop's restore
+				// truncates it back to the committed prefix.
+				sh.failStop(fmt.Errorf("vault: appending batch to %s: %w", sh.path, werr))
+			case serr != nil:
+				sh.failStop(fmt.Errorf("vault: syncing %s: %w", sh.path, serr))
+			default:
+				sh.wsize = target
+				sh.commitTo(target)
+			}
+			sh.commit.Broadcast()
+		} else {
+			sh.commit.Wait()
+		}
+	}
+}
+
+// quiesce blocks until no group-commit fsync is in flight and no
+// written record awaits one (off == wsize): the stable state
+// compaction, checkpointing, Save, and Close need before they touch
+// the shard's file. Caller holds sh.mu; quiesce may release and
+// reacquire it.
+func (sh *walShard) quiesce() {
+	for sh.syncing || len(sh.pending) > 0 {
+		sh.commit.Wait()
+	}
 }
 
 // live returns the shard's live entry count (records plus tracked
@@ -429,10 +766,12 @@ var errSkipAppend = errors.New("vault: skip append")
 
 // mutate is the single write path: under the shard lock it runs pre
 // (which may refuse the mutation, or skip it via errSkipAppend),
-// appends e to the shard's log, and — only once the append has been
-// acked — applies update to the shard's maps. It nudges the compactor
-// when the shard's garbage crosses the configured ratio.
-func (d *Durable) mutate(user string, e *walEntry, pre func(*walShard) error, update func(*walShard)) error {
+// writes e to the shard's log, applies it to the shard's maps, and —
+// under SyncAlways — joins the shard's group commit, acking only once
+// a shared fsync covers the record (rolling the map update back if
+// the batch fails). It nudges the compactor when the shard's garbage
+// crosses the configured ratio.
+func (d *Durable) mutate(user string, e *walEntry, pre func(*walShard) error) error {
 	if d.closed.Load() {
 		return fmt.Errorf("vault: store is closed")
 	}
@@ -445,6 +784,11 @@ func (d *Durable) mutate(user string, e *walEntry, pre func(*walShard) error, up
 		sh.mu.Unlock()
 		return fmt.Errorf("vault: store is closed")
 	}
+	if sh.failed != nil {
+		err := sh.refuse()
+		sh.mu.Unlock()
+		return err
+	}
 	if pre != nil {
 		if err := pre(sh); err != nil {
 			sh.mu.Unlock()
@@ -454,14 +798,30 @@ func (d *Durable) mutate(user string, e *walEntry, pre func(*walShard) error, up
 			return err
 		}
 	}
-	if err := sh.append(e, d.opts.Sync == SyncAlways); err != nil {
-		sh.mu.Unlock()
-		return err
+	var err error
+	if d.opts.Sync == SyncAlways {
+		if err := sh.stage(e); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		sh.pending = append(sh.pending, walPending{end: sh.lsize, undo: sh.applyUndo(e)})
+		err = sh.awaitCommit(sh.lsize)
+	} else {
+		if err := sh.write(e); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		sh.apply(e)
+		sh.off = sh.wsize
+		sh.dirty = true
+		sh.dirtyGen++
 	}
-	update(sh)
-	needCompact := sh.entries >= compactMinEntries &&
+	needCompact := err == nil && sh.entries >= compactMinEntries &&
 		float64(sh.entries-sh.live()) > d.opts.CompactRatio*float64(max(sh.live(), 1))
 	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	if needCompact && !d.opts.NoAutoCompact {
 		select {
 		case d.kick <- i:
@@ -483,9 +843,6 @@ func (d *Durable) Put(rec *passpoints.Record) error {
 				return ErrExists
 			}
 			return nil
-		},
-		func(sh *walShard) {
-			sh.records[rec.User] = rec
 		})
 }
 
@@ -495,9 +852,7 @@ func (d *Durable) Replace(rec *passpoints.Record) error {
 	if rec == nil || rec.User == "" {
 		return fmt.Errorf("vault: record must have a user")
 	}
-	return d.mutate(rec.User, &walEntry{Op: walOpPut, Rec: rec}, nil, func(sh *walShard) {
-		sh.records[rec.User] = rec
-	})
+	return d.mutate(rec.User, &walEntry{Op: walOpPut, Rec: rec}, nil)
 }
 
 // Get returns the record for user, or ErrNotFound.
@@ -521,9 +876,6 @@ func (d *Durable) Delete(user string) {
 				return errSkipAppend
 			}
 			return nil
-		},
-		func(sh *walShard) {
-			delete(sh.records, user)
 		})
 }
 
@@ -539,13 +891,7 @@ func (d *Durable) SetLockout(user string, failures int) error {
 	if failures < 0 {
 		failures = 0
 	}
-	return d.mutate(user, &walEntry{Op: walOpLock, User: user, Failures: failures}, nil, func(sh *walShard) {
-		if failures > 0 {
-			sh.lockouts[user] = failures
-		} else {
-			delete(sh.lockouts, user)
-		}
-	})
+	return d.mutate(user, &walEntry{Op: walOpLock, User: user, Failures: failures}, nil)
 }
 
 // Lockouts returns a copy of every persisted failed-attempt counter.
@@ -615,7 +961,9 @@ func (d *Durable) Snapshot() []*passpoints.Record {
 // Save fsyncs every shard log. Durability is continuous for this
 // backend — the logs ARE the backing file — so Save's contract
 // ("persist current state") reduces to flushing whatever the sync
-// policy has deferred.
+// policy has deferred. The fsyncs run outside the shard locks, so a
+// slow disk stalls Save, not concurrent appends; a failed fsync
+// fail-stops the shard like any other (ErrShardFailed).
 func (d *Durable) Save() error {
 	for i := range d.shards {
 		sh := &d.shards[i]
@@ -624,14 +972,28 @@ func (d *Durable) Save() error {
 			sh.mu.Unlock()
 			return fmt.Errorf("vault: store is closed")
 		}
-		err := sh.f.Sync()
-		if err == nil {
+		if sh.failed != nil {
+			err := sh.refuse()
+			sh.mu.Unlock()
+			return err
+		}
+		sh.quiesce()
+		f := sh.f
+		gen := sh.dirtyGen
+		sh.mu.Unlock()
+		err := f.Sync()
+		sh.mu.Lock()
+		if err != nil {
+			if sh.f == f && sh.failed == nil {
+				sh.failStop(fmt.Errorf("vault: syncing %s: %w", sh.path, err))
+			}
+			sh.mu.Unlock()
+			return fmt.Errorf("vault: syncing %s: %w", sh.path, err)
+		}
+		if sh.f == f && sh.dirtyGen == gen {
 			sh.dirty = false
 		}
 		sh.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("vault: syncing %s: %w", sh.path, err)
-		}
 	}
 	return nil
 }
@@ -669,11 +1031,20 @@ func (d *Durable) ImportJSON(path string) error {
 			sh.mu.Unlock()
 			return fmt.Errorf("vault: store is closed")
 		}
-		if err := sh.append(&walEntry{Op: walOpPut, Rec: r}, false); err != nil {
+		if sh.failed != nil {
+			err := sh.refuse()
 			sh.mu.Unlock()
 			return err
 		}
-		sh.records[r.User] = r
+		e := &walEntry{Op: walOpPut, Rec: r}
+		if err := sh.write(e); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		sh.apply(e)
+		sh.off = sh.wsize
+		sh.dirty = true
+		sh.dirtyGen++
 		sh.mu.Unlock()
 	}
 	return d.Save()
@@ -694,8 +1065,12 @@ func (d *Durable) Compact() error {
 
 // CompactShard rewrites shard i's log from its live map: the new log
 // is written to a temp file, fsynced, and renamed over the old one,
-// so a crash mid-compaction leaves the previous log intact. The shard
-// is write-locked for the duration.
+// so a crash mid-compaction leaves the previous log intact. The new
+// log opens with a "full" generation marker, and any checkpoint file
+// for the shard is removed afterwards — a compacted log is itself a
+// complete snapshot, so recovery never needs (and must not trust) an
+// older checkpoint over it. The shard is write-locked for the
+// duration.
 func (d *Durable) CompactShard(i int) error {
 	if i < 0 || i >= len(d.shards) {
 		return fmt.Errorf("vault: no shard %d", i)
@@ -705,6 +1080,16 @@ func (d *Durable) CompactShard(i int) error {
 	defer sh.mu.Unlock()
 	if sh.f == nil {
 		return fmt.Errorf("vault: store is closed")
+	}
+	if sh.failed != nil {
+		return sh.refuse()
+	}
+	// Wait out any in-flight group commit: the batch's fsync targets
+	// the file we are about to replace.
+	sh.quiesce()
+	id, err := newWalID()
+	if err != nil {
+		return err
 	}
 	tmp, err := os.CreateTemp(d.dir, ".compact-*")
 	if err != nil {
@@ -721,29 +1106,27 @@ func (d *Durable) CompactShard(i int) error {
 	w := bufio.NewWriter(tmp)
 	n := 0
 	writeEntry := func(e *walEntry) error {
-		payload, err := json.Marshal(e)
+		buf, err := encodeEntry(e, nil)
 		if err != nil {
 			return err
 		}
-		var header [walHeaderSize]byte
-		binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
-		if _, err := w.Write(header[:]); err != nil {
-			return err
-		}
-		_, err = w.Write(payload)
-		n++
+		_, err = w.Write(buf)
 		return err
+	}
+	if err := writeEntry(&walEntry{Op: walOpCkpt, Ckpt: id, Full: true}); err != nil {
+		return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
 	}
 	for _, rec := range sh.records {
 		if err := writeEntry(&walEntry{Op: walOpPut, Rec: rec}); err != nil {
 			return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
 		}
+		n++
 	}
 	for user, failures := range sh.lockouts {
 		if err := writeEntry(&walEntry{Op: walOpLock, User: user, Failures: failures}); err != nil {
 			return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
 		}
+		n++
 	}
 	if err := w.Flush(); err != nil {
 		return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
@@ -763,14 +1146,43 @@ func (d *Durable) CompactShard(i int) error {
 		return fmt.Errorf("vault: committing compacted %s: %w", sh.path, err)
 	}
 	ok = true
-	// The rename does not invalidate tmp's descriptor: it now IS the
-	// shard log, positioned at end, ready for appends.
+	if hook := d.testCrashAfterCompactRename; hook != nil {
+		hook(i)
+	}
+	// Reopen the log by path rather than keeping tmp's descriptor.
+	// The rename doesn't invalidate it, but fsyncs on a descriptor
+	// whose inode was renamed into place have been observed to wedge
+	// in the kernel under concurrent load on some filesystems; a
+	// fresh open by the final path sidesteps that entirely.
+	tmp.Close()
+	nf, err := d.openFile(sh.path)
+	if err != nil {
+		// The compacted log is durably in place but we cannot append
+		// to it: the shard's file state is unusable.
+		sh.failStop(fmt.Errorf("vault: reopening compacted %s: %w", sh.path, err))
+		return fmt.Errorf("vault: reopening compacted %s: %w", sh.path, err)
+	}
+	if _, err := nf.Seek(newOff, io.SeekStart); err != nil {
+		nf.Close()
+		sh.failStop(fmt.Errorf("vault: positioning compacted %s: %w", sh.path, err))
+		return fmt.Errorf("vault: positioning compacted %s: %w", sh.path, err)
+	}
 	old := sh.f
-	sh.f = tmp
+	sh.f = nf
 	sh.off = newOff
+	sh.wsize = newOff
+	sh.lsize = newOff
 	sh.entries = n
+	sh.sinceCkpt = 0
 	sh.dirty = false
+	sh.logID = id
 	old.Close()
+	// The compacted log supersedes any checkpoint; recovery prefers
+	// the "full" marker, so a crash before this remove only leaves a
+	// stale file the next open deletes.
+	if err := os.Remove(sh.ckptPath); err != nil && !os.IsNotExist(err) {
+		log.Printf("vault: removing stale checkpoint %s: %v", sh.ckptPath, err)
+	}
 	return syncDir(d.dir)
 }
 
@@ -793,7 +1205,14 @@ func (d *Durable) compactLoop() {
 }
 
 // syncLoop is the SyncInterval flusher: every SyncEvery it fsyncs
-// shards with unsynced appends.
+// shards with unsynced appends. The fsync runs outside the shard
+// lock — one slow disk sync must stall this loop, not every
+// foreground append to the shard — and dirty is cleared through a
+// generation counter, so an append landing mid-sync keeps the shard
+// dirty and the next tick covers it. A failed background fsync
+// fail-stops the shard (ErrShardFailed): retrying would trust a
+// kernel that may already have dropped the dirty pages, silently
+// turning acked data non-durable.
 func (d *Durable) syncLoop() {
 	defer d.bg.Done()
 	t := time.NewTicker(d.opts.SyncEvery)
@@ -806,15 +1225,25 @@ func (d *Durable) syncLoop() {
 			for i := range d.shards {
 				sh := &d.shards[i]
 				sh.mu.Lock()
-				if sh.dirty && sh.f != nil {
-					// Only a successful sync clears dirty: a transient
-					// EIO/ENOSPC must be retried next tick, not
-					// silently turn acked data non-durable forever.
-					if err := sh.f.Sync(); err != nil {
-						log.Printf("vault: background sync of %s: %v", sh.path, err)
-					} else {
-						sh.dirty = false
+				if !sh.dirty || sh.f == nil || sh.failed != nil {
+					sh.mu.Unlock()
+					continue
+				}
+				f := sh.f
+				gen := sh.dirtyGen
+				sh.mu.Unlock()
+				err := f.Sync()
+				sh.mu.Lock()
+				switch {
+				case err != nil:
+					// Unless compaction already replaced (and fsynced)
+					// the file we failed to sync, the shard's
+					// durability can no longer be proven.
+					if sh.f == f && sh.failed == nil {
+						sh.failStop(fmt.Errorf("vault: background sync of %s: %w", sh.path, err))
 					}
+				case sh.f == f && sh.dirtyGen == gen:
+					sh.dirty = false
 				}
 				sh.mu.Unlock()
 			}
@@ -836,8 +1265,11 @@ func (d *Durable) Close() error {
 		sh := &d.shards[i]
 		sh.mu.Lock()
 		if sh.f != nil {
-			if err := sh.f.Sync(); err != nil && firstErr == nil {
-				firstErr = err
+			sh.quiesce() // drain any in-flight group commit first
+			if sh.failed == nil {
+				if err := sh.f.Sync(); err != nil && firstErr == nil {
+					firstErr = err
+				}
 			}
 			if err := sh.f.Close(); err != nil && firstErr == nil {
 				firstErr = err
