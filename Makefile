@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-store bench-diff loadsmoke storm-smoke recovery-smoke docs-lint cover ci
+.PHONY: all build test vet race bench bench-json bench-store bench-diff loadsmoke storm-smoke recovery-smoke repl-smoke docs-lint cover ci
 
 all: build vet test
 
@@ -80,6 +80,17 @@ bench-diff:
 recovery-smoke:
 	$(GO) test ./cmd/pwserver -run TestRecovery -v
 
+# repl-smoke is the CI failover drill: build the real pwserver, start
+# a quorum primary and a follower as separate processes, enroll and
+# burn a lockout attempt over the wire, SIGKILL the primary, promote
+# the follower via POST /v1/promote on its admin listener, and assert
+# the survivor serves every acked mutation — records AND the lockout
+# counter — with no false accepts. Also runs the in-process
+# replicated-pair swarm (TestLoadReplicatedPair).
+repl-smoke:
+	$(GO) test ./cmd/pwserver -run TestReplSmoke -v
+	$(GO) test ./internal/loadtest -run TestLoadReplicatedPair -v
+
 # docs-lint gates godoc coverage: go vet plus the repo's doclint
 # checker (package comment on every internal/ and cmd/ package,
 # doc comment on every exported identifier under internal/).
@@ -92,4 +103,4 @@ docs-lint:
 cover:
 	$(GO) test -cover ./...
 
-ci: build docs-lint test race loadsmoke storm-smoke recovery-smoke
+ci: build docs-lint test race loadsmoke storm-smoke recovery-smoke repl-smoke

@@ -28,13 +28,23 @@
 //	auto     (default) memory, or sharded when -shards > 0 — the
 //	         pre-durable flag behavior, kept for compatibility
 //
+// -role turns on vault replication (durable backend only): a primary
+// streams every shard's WAL to followers over -repl-listen, a
+// follower (-role follower -repl-primary host:port) applies the
+// stream and can be promoted at failover time with POST /v1/promote
+// on the admin listener. -repl-ack quorum withholds write acks until
+// a follower's fsync covers them; see README.md for the full flag
+// table and the failover runbook.
+//
 // SIGINT/SIGTERM drain in-flight connections before exit.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -48,6 +58,7 @@ import (
 	"clickpass/internal/geom"
 	"clickpass/internal/passpoints"
 	"clickpass/internal/vault"
+	"clickpass/internal/vault/repl"
 )
 
 func main() {
@@ -69,6 +80,7 @@ func main() {
 		compactAt   = flag.Float64("compact-ratio", vault.DefaultCompactRatio, "durable backend: rewrite a shard log when garbage exceeds ratio x live records")
 		ckptEvery   = flag.Duration("checkpoint-every", 0, "durable backend: periodic per-shard checkpoint+log-rotation interval bounding startup replay (0 = off)")
 		ckptMin     = flag.Int("checkpoint-min", vault.DefaultCheckpointMin, "durable backend: skip checkpointing a shard with fewer than this many records since its last checkpoint")
+		ckptMinB    = flag.Int64("checkpoint-min-bytes", 0, "durable backend: a shard whose WAL grew at least this many bytes since its last checkpoint is checkpointed even below -checkpoint-min records (0 = record-count gate only)")
 		migrateFrom = flag.String("migrate-from", "", "durable backend: JSON snapshot to import into an empty log directory")
 		maxConns    = flag.Int("maxconns", authproto.DefaultMaxConns, "max in-flight requests across all fronts (and TCP connection pool size)")
 		userRate    = flag.Float64("userrate", 0, "per-user request rate limit in req/s across all fronts (0 = off)")
@@ -78,6 +90,13 @@ func main() {
 		chaos       = flag.String("chaos", "", "dev fault injection, e.g. seed=7,err=0.01,latrate=0.05,lat=25ms (empty = off)")
 		logJSON     = flag.Bool("logjson", false, "emit one structured JSON log line per request to stderr")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+
+		roleArg       = flag.String("role", "", "replication role: primary or follower (empty = standalone; requires -backend durable)")
+		replListen    = flag.String("repl-listen", "", "replication listen address; where followers connect on a primary, and where a promoted follower will accept its own followers")
+		replPrimary   = flag.String("repl-primary", "", "follower: the primary's replication address to stream from")
+		replAck       = flag.String("repl-ack", "quorum", "primary ack mode: quorum (ack writes only after a follower fsync covers them) or async")
+		replAdvertise = flag.String("repl-advertise", "", "client-facing address advertised to peers for not_primary redirects")
+		replStaleness = flag.Duration("repl-staleness", 0, "follower: refuse reads after being out of contact with the primary this long (0 = always serve reads)")
 	)
 	flag.Parse()
 
@@ -96,9 +115,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	store, backend, closeStore, err := openBackend(*backendArg, *vaultPath, *shards, *fsyncArg, *compactAt, *ckptEvery, *ckptMin, *migrateFrom)
+	store, backend, closeStore, err := openBackend(*backendArg, *vaultPath, *shards, *fsyncArg, *compactAt, *ckptEvery, *ckptMin, *ckptMinB, *migrateFrom)
 	if err != nil {
 		fatal(err)
+	}
+	dur, _ := store.(*vault.Durable)
+	var node *repl.Node
+	if *roleArg != "" {
+		if dur == nil {
+			fatal(fmt.Errorf("-role %s requires -backend durable (got %s)", *roleArg, backend))
+		}
+		role, err := repl.ParseRole(*roleArg)
+		if err != nil {
+			fatal(err)
+		}
+		ack, err := repl.ParseAckMode(*replAck)
+		if err != nil {
+			fatal(err)
+		}
+		node, err = repl.New(dur, role, repl.Options{
+			Listen:    *replListen,
+			Primary:   *replPrimary,
+			Advertise: *replAdvertise,
+			Ack:       ack,
+			Staleness: *replStaleness,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// The node fronts the store for every request: role guards,
+		// quorum waits, and staleness bounds all live in that wrapper.
+		store = node
+		inner := closeStore
+		closeStore = func() error {
+			node.Close()
+			return inner()
+		}
+		switch role {
+		case repl.RolePrimary:
+			fmt.Printf("pwserver: replication PRIMARY on %s (ack=%s, epoch %d)\n", node.ReplAddr(), ack, node.Epoch())
+		case repl.RoleFollower:
+			fmt.Printf("pwserver: replication FOLLOWER of %s (epoch %d; promote via POST /v1/promote on -metrics)\n", *replPrimary, node.Epoch())
+		}
 	}
 	cfg := passpoints.Config{
 		Image:      geom.Size{W: *imageW, H: *imageH},
@@ -109,6 +167,14 @@ func main() {
 	srv, err := authproto.NewServer(cfg, store, *lockout)
 	if err != nil {
 		fatal(err)
+	}
+	if dur != nil {
+		srv.RegisterMetrics(vaultHealthMetrics(dur))
+		srv.RegisterAdmin("/v1/reopen-shard", reopenShardHandler(dur))
+	}
+	if node != nil {
+		srv.RegisterMetrics(replMetrics(node))
+		srv.RegisterAdmin("/v1/promote", promoteHandler(node, srv))
 	}
 	srv.SetMaxConns(*maxConns)
 	if *userRate > 0 {
@@ -215,7 +281,7 @@ func main() {
 // human-readable description for the startup banner, and a close func
 // (a no-op for the snapshot backends, a log flush-and-close for the
 // durable one).
-func openBackend(backend, path string, shards int, fsync string, compactRatio float64, ckptEvery time.Duration, ckptMin int, migrateFrom string) (vault.Store, string, func() error, error) {
+func openBackend(backend, path string, shards int, fsync string, compactRatio float64, ckptEvery time.Duration, ckptMin int, ckptMinBytes int64, migrateFrom string) (vault.Store, string, func() error, error) {
 	noClose := func() error { return nil }
 	if backend == "auto" {
 		if shards > 0 {
@@ -243,11 +309,12 @@ func openBackend(backend, path string, shards int, fsync string, compactRatio fl
 			return nil, "", nil, err
 		}
 		d, err := vault.OpenDurable(path, vault.DurableOptions{
-			Shards:          shards,
-			Sync:            policy,
-			CompactRatio:    compactRatio,
-			CheckpointEvery: ckptEvery,
-			CheckpointMin:   ckptMin,
+			Shards:             shards,
+			Sync:               policy,
+			CompactRatio:       compactRatio,
+			CheckpointEvery:    ckptEvery,
+			CheckpointMin:      ckptMin,
+			CheckpointMinBytes: ckptMinBytes,
 		})
 		if err != nil {
 			return nil, "", nil, err
@@ -274,6 +341,115 @@ func openBackend(backend, path string, shards int, fsync string, compactRatio fl
 	default:
 		return nil, "", nil, fmt.Errorf("unknown backend %q (want memory, sharded, durable or auto)", backend)
 	}
+}
+
+// vaultHealthMetrics exposes per-shard health of the durable store on
+// the admin /metrics surface: one vault_shard_up gauge per shard (0 =
+// fail-stopped, reopen via POST /v1/reopen-shard) plus the persisted
+// replication epoch.
+func vaultHealthMetrics(d *vault.Durable) func(io.Writer) {
+	return func(w io.Writer) {
+		h := d.Health()
+		failed := make(map[int]bool, len(h.Failed))
+		for _, i := range h.Failed {
+			failed[i] = true
+		}
+		fmt.Fprintf(w, "# HELP vault_shard_up Durable vault shard health (0 = fail-stopped, refusing writes).\n")
+		fmt.Fprintf(w, "# TYPE vault_shard_up gauge\n")
+		for i := 0; i < h.Shards; i++ {
+			up := 1
+			if failed[i] {
+				up = 0
+			}
+			fmt.Fprintf(w, "vault_shard_up{shard=\"%d\"} %d\n", i, up)
+		}
+		fmt.Fprintf(w, "# HELP vault_epoch Persisted replication epoch of the vault.\n")
+		fmt.Fprintf(w, "# TYPE vault_epoch gauge\n")
+		fmt.Fprintf(w, "vault_epoch %d\n", d.Epoch())
+	}
+}
+
+// replMetrics exposes the replication node's state on /metrics: role,
+// epoch, fencing, staleness, and per-follower replication lag.
+func replMetrics(n *repl.Node) func(io.Writer) {
+	return func(w io.Writer) {
+		st := n.Stats()
+		fmt.Fprintf(w, "# HELP repl_role Replication role of this node (the labeled role is 1).\n")
+		fmt.Fprintf(w, "# TYPE repl_role gauge\n")
+		fmt.Fprintf(w, "repl_role{role=%q} 1\n", st.Role)
+		fmt.Fprintf(w, "# HELP repl_epoch Current replication epoch.\n")
+		fmt.Fprintf(w, "# TYPE repl_epoch gauge\n")
+		fmt.Fprintf(w, "repl_epoch %d\n", st.Epoch)
+		fmt.Fprintf(w, "# HELP repl_fenced Whether this node is a deposed primary refusing writes.\n")
+		fmt.Fprintf(w, "# TYPE repl_fenced gauge\n")
+		fenced := 0
+		if st.Fenced {
+			fenced = 1
+		}
+		fmt.Fprintf(w, "repl_fenced %d\n", fenced)
+		if st.StaleMs >= 0 {
+			fmt.Fprintf(w, "# HELP repl_staleness_ms Milliseconds since the last message from the primary.\n")
+			fmt.Fprintf(w, "# TYPE repl_staleness_ms gauge\n")
+			fmt.Fprintf(w, "repl_staleness_ms %d\n", st.StaleMs)
+		}
+		if len(st.Followers) > 0 {
+			fmt.Fprintf(w, "# HELP repl_follower_lag_records Shipped records not yet acknowledged, per follower.\n")
+			fmt.Fprintf(w, "# TYPE repl_follower_lag_records gauge\n")
+			for _, f := range st.Followers {
+				fmt.Fprintf(w, "repl_follower_lag_records{follower=%q} %d\n", f.Addr, f.LagRecords)
+			}
+		}
+	}
+}
+
+// promoteHandler serves POST /v1/promote on the admin listener: the
+// failover lever that turns this follower into the primary at a
+// durably advanced epoch. The response carries the new epoch; the old
+// primary — if still alive — is fenced best-effort. After the role
+// flip the serving layer re-adopts replicated lockout counters, so a
+// guesser does not get a fresh attempt budget out of a failover.
+func promoteHandler(n *repl.Node, srv *authproto.Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		epoch, err := n.Promote()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		srv.ReloadLockouts()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "epoch": epoch})
+	})
+}
+
+// reopenShardHandler serves POST /v1/reopen-shard {"shard": N}: the
+// supervised recovery path for a fail-stopped shard. Reopen re-runs
+// crash recovery on the shard's log; on success the shard serves
+// again from its last acked state, on failure it stays fail-stopped
+// and the error says why.
+func reopenShardHandler(d *vault.Durable) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var body struct {
+			Shard int `json:"shard"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "body must be {\"shard\": N}: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := d.ReopenShard(body.Shard); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "shard": body.Shard})
+	})
 }
 
 func fatal(err error) {

@@ -24,6 +24,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -118,6 +119,10 @@ type Response struct {
 	// when a retry may be admitted (also the Retry-After header on
 	// HTTP). Additive; legacy servers never send it.
 	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+	// Primary accompanies code=not_primary: the advertised address of
+	// the replica serving writes. Additive; only replicated servers
+	// send it.
+	Primary string `json:"primary,omitempty"`
 }
 
 // wireResponse converts a service response to its wire shape.
@@ -130,6 +135,7 @@ func wireResponse(resp authsvc.Response) Response {
 		Locked:       resp.Locked(),
 		Remaining:    resp.Remaining,
 		RetryAfterMs: resp.RetryAfterMs,
+		Primary:      resp.Primary,
 	}
 }
 
@@ -140,7 +146,7 @@ func wireResponse(resp authsvc.Response) Response {
 func (r Response) service() authsvc.Response {
 	if r.Code != "" {
 		return authsvc.Response{Version: r.V, Code: authsvc.Code(r.Code), Err: r.Error,
-			Remaining: r.Remaining, RetryAfterMs: r.RetryAfterMs}
+			Remaining: r.Remaining, RetryAfterMs: r.RetryAfterMs, Primary: r.Primary}
 	}
 	code := authsvc.CodeDenied
 	switch {
@@ -170,6 +176,11 @@ type Server struct {
 	overload   authsvc.OverloadPolicy
 	faults     authsvc.FaultOptions
 	logw       io.Writer
+
+	// Operator-surface extensions (RegisterAdmin / RegisterMetrics),
+	// applied when AdminHandler builds its mux.
+	adminRoutes  map[string]http.Handler
+	extraMetrics []func(io.Writer)
 
 	connMu     sync.Mutex
 	conns      map[net.Conn]*connState

@@ -50,14 +50,55 @@ func (s *Server) HTTPHandler() http.Handler {
 //	GET  /metrics                   Prometheus text exposition
 //	GET  /metrics.json              the same registry as JSON
 //
+// Routes added with RegisterAdmin (pwserver's replication promote and
+// shard reopen) are mounted alongside; RegisterMetrics writers are
+// appended to the /metrics exposition.
+//
 // Reset requests run through the same pipeline as everything else
 // (admitted, counted, deadline-bounded).
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reset", s.httpOp(OpReset))
-	mux.Handle("/metrics", s.metrics.PrometheusHandler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.WritePrometheus(w)
+		for _, f := range s.extraMetrics {
+			f(w)
+		}
+	})
 	mux.Handle("/metrics.json", s.metrics.Handler())
+	for pattern, h := range s.adminRoutes {
+		mux.Handle(pattern, h)
+	}
 	return mux
+}
+
+// RegisterAdmin mounts h at pattern on handlers returned by later
+// AdminHandler calls. It is the hook pwserver uses to expose
+// replication operations (failover promote, supervised shard reopen)
+// on the protected admin listener without this package importing the
+// replication layer. Call before AdminHandler; not safe to call
+// concurrently with it.
+func (s *Server) RegisterAdmin(pattern string, h http.Handler) {
+	if s.adminRoutes == nil {
+		s.adminRoutes = make(map[string]http.Handler)
+	}
+	s.adminRoutes[pattern] = h
+}
+
+// ReloadLockouts re-adopts persisted failed-attempt counters from the
+// store (max-wins; see authsvc.Service.ReloadLockouts). pwserver
+// calls it when a follower is promoted to primary, so counters that
+// arrived over replication start gating logins on the new primary.
+func (s *Server) ReloadLockouts() { s.svc.ReloadLockouts() }
+
+// RegisterMetrics appends f's output to the Prometheus exposition
+// served at /metrics on the admin surface — vault shard health,
+// replication role and lag, anything the serving pipeline itself
+// cannot see. Call before AdminHandler; not safe to call concurrently
+// with it.
+func (s *Server) RegisterMetrics(f func(io.Writer)) {
+	s.extraMetrics = append(s.extraMetrics, f)
 }
 
 // decodeHTTPRequest decodes one HTTP/JSON request body into the wire
@@ -121,6 +162,10 @@ func statusFor(resp Response) int {
 		return http.StatusConflict
 	case authsvc.CodeUnavailable, authsvc.CodeOverloaded:
 		return http.StatusServiceUnavailable
+	case authsvc.CodeNotPrimary:
+		// 421: this server cannot produce an authoritative response;
+		// the body's primary field says who can.
+		return http.StatusMisdirectedRequest
 	case authsvc.CodeInternal:
 		return http.StatusInternalServerError
 	default:

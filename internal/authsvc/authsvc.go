@@ -97,6 +97,14 @@ const (
 	// (Retry-After on HTTP) hints when to try again; retrying clients
 	// must back off with jitter.
 	CodeOverloaded Code = "overloaded"
+	// CodeNotPrimary: this replica cannot serve the request — it is a
+	// follower (or a fenced ex-primary) in a replicated vault pair.
+	// The response's Primary field carries the advertised address of
+	// the node that can; clients should redirect there and resend.
+	// The request provably never executed: the role guard sits in
+	// front of the store, so a not_primary refusal is always safe to
+	// replay, idempotent or not.
+	CodeNotPrimary Code = "not_primary"
 	// CodeInternal: the service itself failed (storage error, panic).
 	CodeInternal Code = "internal"
 )
@@ -114,6 +122,9 @@ type Response struct {
 	// milliseconds, for when a retry has a chance of being admitted.
 	// HTTP transports also surface it as a Retry-After header.
 	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+	// Primary accompanies CodeNotPrimary: the advertised address of
+	// the replica that can serve writes, empty if unknown.
+	Primary string `json:"primary,omitempty"`
 }
 
 // OK reports whether the request succeeded.
@@ -208,6 +219,36 @@ func NewService(cfg passpoints.Config, store vault.Store, lockout int) (*Service
 	return s, nil
 }
 
+// ReloadLockouts re-adopts persisted failed-attempt counters from the
+// store, max-wins per account. NewService does this once at
+// construction; a replicated deployment must do it again at failover,
+// because counters that arrived over replication land in the
+// follower's vault, not in the promoted process's in-memory map — a
+// guesser must not get a fresh attempt budget out of a failover.
+// In-memory counters are never lowered: a replica that lags behind
+// this process's own observations cannot lift a lockout.
+func (s *Service) ReloadLockouts() {
+	if s.locks == nil {
+		return
+	}
+	persisted := s.locks.Lockouts()
+	s.mu.Lock()
+	var evicted []string
+	for user, n := range persisted {
+		if n <= s.failures[user] {
+			continue
+		}
+		if _, tracked := s.failures[user]; !tracked && len(s.failures) >= maxFailureEntries {
+			evicted = append(evicted, s.sweepFailures()...)
+		}
+		s.failures[user] = n
+	}
+	s.mu.Unlock()
+	for _, u := range evicted {
+		s.persistLockout(u, 0)
+	}
+}
+
 // persistLockout writes user's counter through the store's lockout
 // extension, if any. Always called after s.mu has been released —
 // the write may be a disk flush, and the tradeoff is documented at
@@ -273,6 +314,18 @@ func (s *Service) Handle(ctx context.Context, req Request) Response {
 	}
 }
 
+// notPrimary maps a replicated store's role refusal to the typed
+// response, carrying the redirect address when the store knows one.
+// Returns ok=false for any other error.
+func notPrimary(err error) (Response, bool) {
+	var npe *vault.NotPrimaryError
+	if !errors.As(err, &npe) {
+		return Response{}, false
+	}
+	return Response{Version: Version, Code: CodeNotPrimary,
+		Err: "not the primary replica", Primary: npe.Primary}, true
+}
+
 func (s *Service) enroll(ctx context.Context, req Request) Response {
 	if req.User == "" {
 		return Response{Version: Version, Code: CodeInvalid, Err: "user required"}
@@ -287,6 +340,9 @@ func (s *Service) enroll(ctx context.Context, req Request) Response {
 	if err := s.store.Put(rec); err != nil {
 		if errors.Is(err, vault.ErrExists) {
 			return Response{Version: Version, Code: CodeExists, Err: "user already enrolled"}
+		}
+		if resp, ok := notPrimary(err); ok {
+			return resp
 		}
 		return Response{Version: Version, Code: CodeInternal, Err: err.Error()}
 	}
@@ -324,7 +380,12 @@ func (s *Service) login(ctx context.Context, req Request) Response {
 		// an attempt from the account's lockout budget nor (under a
 		// flaky store) deny a correct credential as if it were guessed
 		// wrong. Only ErrNotFound rides the indistinguishable fail path
-		// above; infrastructure errors surface as CodeInternal.
+		// above; infrastructure errors surface as CodeInternal — except
+		// a replica's role refusal (a stale follower read, or a fenced
+		// ex-primary), which redirects the client to the primary.
+		if resp, ok := notPrimary(err); ok {
+			return resp
+		}
 		return Response{Version: Version, Code: CodeInternal, Err: "storage error"}
 	}
 	ok, err := passpoints.Verify(s.cfg, rec, clicksToPoints(req.Clicks))
@@ -359,6 +420,9 @@ func (s *Service) change(ctx context.Context, req Request) Response {
 		return Response{Version: Version, Code: CodeInvalid, Err: err.Error()}
 	}
 	if err := s.store.Replace(rec); err != nil {
+		if resp, ok := notPrimary(err); ok {
+			return resp
+		}
 		return Response{Version: Version, Code: CodeInternal, Err: err.Error()}
 	}
 	return Response{Version: Version, Code: CodeOK}

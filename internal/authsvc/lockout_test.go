@@ -111,3 +111,48 @@ func TestLockoutInMemoryStoreUnchanged(t *testing.T) {
 		t.Errorf("in-memory lockout should reset on restart: %+v", resp)
 	}
 }
+
+// TestReloadLockoutsAdoptsReplicatedCounters: counters that land in
+// the store after the service is constructed — the replicated-
+// follower case — are adopted by ReloadLockouts, max-wins. A lagging
+// store must never lower a counter this process observed itself.
+func TestReloadLockoutsAdoptsReplicatedCounters(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, 2)
+	ctx := context.Background()
+	const budget = 3
+
+	store := openDurable(t, dir)
+	svc, err := NewService(cfg, store, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := svc.Handle(ctx, Request{Op: OpEnroll, User: "alice", Clicks: clicks(0)}); !resp.OK() {
+		t.Fatalf("enroll: %+v", resp)
+	}
+	// Simulate replication delivering counters behind the service's
+	// back: write straight to the store, as ApplyReplFrames would.
+	if err := store.SetLockout("alice", budget); err != nil {
+		t.Fatal(err)
+	}
+	// Burn two local attempts for carol, then have the "replica" offer
+	// a stale 1 — the in-memory 2 must win.
+	svc.Handle(ctx, Request{Op: OpLogin, User: "carol", Clicks: clicks(9)})
+	svc.Handle(ctx, Request{Op: OpLogin, User: "carol", Clicks: clicks(9)})
+	if err := store.SetLockout("carol", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.ReloadLockouts()
+
+	// Alice's replicated lockout now gates logins, correct password or
+	// not.
+	if resp := svc.Handle(ctx, Request{Op: OpLogin, User: "alice", Clicks: clicks(0)}); resp.Code != CodeLocked {
+		t.Errorf("replicated lockout not adopted: %+v", resp)
+	}
+	// Carol's third failure locks: the stale replicated 1 did not roll
+	// the local 2 back.
+	if resp := svc.Handle(ctx, Request{Op: OpLogin, User: "carol", Clicks: clicks(9)}); resp.Code != CodeLocked {
+		t.Errorf("reload lowered a local counter: %+v", resp)
+	}
+}

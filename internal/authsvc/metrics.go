@@ -44,10 +44,18 @@ type Metrics struct {
 	// slot is +Inf), stored as per-bucket counts and summed on export.
 	latBuckets [len(latBounds) + 1]int64
 	// Queue-wait observations from the overload middleware: time
-	// admitted requests spent parked for a limiter slot.
+	// admitted requests spent parked for a limiter slot, in aggregate
+	// and broken down by admission priority. The per-tier split is
+	// what makes priority inversion visible: under a storm the whole
+	// point of the watermarks is that high-priority waits stay flat
+	// while normal/low waits grow (until their tiers shed) — one
+	// blended mean hides exactly that.
 	queueWaitN     int64
 	queueWaitTotal time.Duration
 	queueWaitMax   time.Duration
+	qwPriN         [numPriorities]int64
+	qwPriTotal     [numPriorities]time.Duration
+	qwPriMax       [numPriorities]time.Duration
 }
 
 // latBounds are the latency histogram bucket upper bounds. The
@@ -105,13 +113,20 @@ func (m *Metrics) observe(op Op, code Code, d time.Duration) {
 func (m *Metrics) observeShed(p Priority) { m.sheds[p].Add(1) }
 
 // observeQueueWait records the time an admitted request spent waiting
-// for a limiter slot.
-func (m *Metrics) observeQueueWait(d time.Duration) {
+// for a limiter slot, attributed to its admission priority.
+func (m *Metrics) observeQueueWait(d time.Duration, p Priority) {
 	m.mu.Lock()
 	m.queueWaitN++
 	m.queueWaitTotal += d
 	if d > m.queueWaitMax {
 		m.queueWaitMax = d
+	}
+	if p >= 0 && p < numPriorities {
+		m.qwPriN[p]++
+		m.qwPriTotal[p] += d
+		if d > m.qwPriMax[p] {
+			m.qwPriMax[p] = d
+		}
 	}
 	m.mu.Unlock()
 }
@@ -149,6 +164,17 @@ type Snapshot struct {
 	// spent parked for a limiter slot.
 	QueueWaitMeanUs float64 `json:"queue_wait_mean_us,omitempty"`
 	QueueWaitMaxUs  float64 `json:"queue_wait_max_us,omitempty"`
+	// QueueWaitByPriority breaks the queue-wait numbers down by
+	// admission priority — flat "high" next to growing "normal" is the
+	// overload policy working as designed.
+	QueueWaitByPriority map[string]QueueWaitStat `json:"queue_wait_by_priority,omitempty"`
+}
+
+// QueueWaitStat is one priority tier's queue-wait summary.
+type QueueWaitStat struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	MaxUs  float64 `json:"max_us"`
 }
 
 // Snapshot copies the current counters.
@@ -185,6 +211,18 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.QueueWaitMeanUs = float64(m.queueWaitTotal.Microseconds()) / float64(m.queueWaitN)
 		s.QueueWaitMaxUs = float64(m.queueWaitMax.Microseconds())
 	}
+	for i := range m.qwPriN {
+		if n := m.qwPriN[i]; n > 0 {
+			if s.QueueWaitByPriority == nil {
+				s.QueueWaitByPriority = make(map[string]QueueWaitStat, numPriorities)
+			}
+			s.QueueWaitByPriority[Priority(i).String()] = QueueWaitStat{
+				Count:  n,
+				MeanUs: float64(m.qwPriTotal[i].Microseconds()) / float64(n),
+				MaxUs:  float64(m.qwPriMax[i].Microseconds()),
+			}
+		}
+	}
 	m.mu.Unlock()
 	return s
 }
@@ -218,6 +256,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		qwN        int64
 		qwTotal    time.Duration
 		qwMax      time.Duration
+		qpN        [numPriorities]int64
+		qpTotal    [numPriorities]time.Duration
+		qpMax      [numPriorities]time.Duration
 	)
 	m.mu.Lock()
 	for op, n := range m.byOp {
@@ -230,6 +271,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	latTotal = m.latTotal
 	buckets = m.latBuckets
 	qwN, qwTotal, qwMax = m.queueWaitN, m.queueWaitTotal, m.queueWaitMax
+	qpN, qpTotal, qpMax = m.qwPriN, m.qwPriTotal, m.qwPriMax
 	m.mu.Unlock()
 	sort.Slice(ops, func(i, j int) bool { return ops[i].op < ops[j].op })
 	sort.Slice(codes, func(i, j int) bool { return codes[i].code < codes[j].code })
@@ -264,6 +306,23 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP authsvc_queue_wait_seconds_max Longest observed queue wait.\n")
 	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_seconds_max gauge\n")
 	fmt.Fprintf(w, "authsvc_queue_wait_seconds_max %s\n", promFloat(qwMax.Seconds()))
+	fmt.Fprintf(w, "# HELP authsvc_queue_wait_priority_seconds_sum Queue wait, by admission priority.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_priority_seconds_sum counter\n")
+	for i := range qpN {
+		fmt.Fprintf(w, "authsvc_queue_wait_priority_seconds_sum{priority=%q} %s\n",
+			Priority(i), promFloat(qpTotal[i].Seconds()))
+	}
+	fmt.Fprintf(w, "# HELP authsvc_queue_wait_priority_seconds_count Queue-wait observations, by admission priority.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_priority_seconds_count counter\n")
+	for i := range qpN {
+		fmt.Fprintf(w, "authsvc_queue_wait_priority_seconds_count{priority=%q} %d\n", Priority(i), qpN[i])
+	}
+	fmt.Fprintf(w, "# HELP authsvc_queue_wait_priority_seconds_max Longest observed queue wait, by admission priority.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_priority_seconds_max gauge\n")
+	for i := range qpN {
+		fmt.Fprintf(w, "authsvc_queue_wait_priority_seconds_max{priority=%q} %s\n",
+			Priority(i), promFloat(qpMax[i].Seconds()))
+	}
 	fmt.Fprintf(w, "# HELP authsvc_request_duration_seconds Request latency, queueing included.\n")
 	fmt.Fprintf(w, "# TYPE authsvc_request_duration_seconds histogram\n")
 	var cum int64

@@ -172,7 +172,7 @@ func WithOverload(lim *par.Limiter, pol OverloadPolicy, m *Metrics) Middleware {
 			defer lim.Release()
 			wait := time.Since(t0)
 			if m != nil {
-				m.observeQueueWait(wait)
+				m.observeQueueWait(wait, pr)
 			}
 			if meta := metaFrom(ctx); meta != nil {
 				meta.queueWait = wait

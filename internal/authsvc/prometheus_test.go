@@ -22,7 +22,7 @@ func TestWritePrometheusExposition(t *testing.T) {
 	m.observeShed(PriorityLow)
 	m.observeShed(PriorityLow)
 	m.observeShed(PriorityHigh)
-	m.observeQueueWait(3 * time.Millisecond)
+	m.observeQueueWait(3*time.Millisecond, PriorityHigh)
 
 	srv := httptest.NewServer(m.PrometheusHandler())
 	defer srv.Close()
@@ -49,6 +49,9 @@ func TestWritePrometheusExposition(t *testing.T) {
 		`authsvc_shed_total{priority="high"} 1`,
 		`authsvc_shed_total{priority="normal"} 0`,
 		`authsvc_queue_wait_seconds_count 1`,
+		`authsvc_queue_wait_priority_seconds_count{priority="high"} 1`,
+		`authsvc_queue_wait_priority_seconds_count{priority="normal"} 0`,
+		`authsvc_queue_wait_priority_seconds_sum{priority="high"} 0.003`,
 		`authsvc_request_duration_seconds_count 4`,
 		`# TYPE authsvc_request_duration_seconds histogram`,
 		`# TYPE authsvc_requests_total counter`,

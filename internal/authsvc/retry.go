@@ -34,6 +34,16 @@ type RetryPolicy struct {
 	// half-opening for a single probe; <= 0 selects
 	// DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// Redirect, when non-nil, lets the client follow CodeNotPrimary
+	// responses from a replicated server: it is called with the
+	// response's advertised primary address and must return a Client
+	// wired to that node, which replaces (and closes) the current one
+	// before the request is re-sent. A not_primary refusal is issued
+	// by the role guard before the request executes, so following it
+	// is safe for every op, idempotent or not — the request lands on
+	// the primary exactly once. Nil leaves CodeNotPrimary to the
+	// caller as a definitive answer.
+	Redirect func(addr string) (Client, error)
 }
 
 // Retry-policy defaults.
@@ -89,6 +99,9 @@ type RetryStats struct {
 	// BreakerFastFails counts calls refused locally by an open
 	// circuit.
 	BreakerFastFails int64
+	// Redirects counts CodeNotPrimary responses followed to a new
+	// primary.
+	Redirects int64
 }
 
 // RetryClient wraps a Client with the overload-aware retry discipline:
@@ -104,6 +117,10 @@ type RetryStats struct {
 //     passes, then a single half-open probe decides whether to close
 //     it. Storms therefore collapse to one probe per client per
 //     cooldown instead of a synchronized reconnect herd.
+//   - With RetryPolicy.Redirect set, CodeNotPrimary responses are
+//     followed to the advertised primary for every op: the refusal
+//     happens before the request executes, so the redirected re-send
+//     lands exactly once.
 //
 // Safe for concurrent use iff the wrapped client is (the HTTP client
 // is; the TCP client serializes).
@@ -117,6 +134,7 @@ type RetryClient struct {
 	overloaded atomic.Int64
 	opens      atomic.Int64
 	fastFails  atomic.Int64
+	redirects  atomic.Int64
 
 	// sleep and rnd are injection points for deterministic tests.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -158,6 +176,26 @@ func (c *RetryClient) Stats() RetryStats {
 		Overloaded:       c.overloaded.Load(),
 		BreakerOpens:     c.opens.Load(),
 		BreakerFastFails: c.fastFails.Load(),
+		Redirects:        c.redirects.Load(),
+	}
+}
+
+// client returns the current wrapped client; Redirect may swap it
+// mid-flight, so every attempt reads it fresh under the lock.
+func (c *RetryClient) client() Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner
+}
+
+// swapInner replaces the wrapped client and closes the old one.
+func (c *RetryClient) swapInner(nc Client) {
+	c.mu.Lock()
+	old := c.inner
+	c.inner = nc
+	c.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
 	}
 }
 
@@ -247,8 +285,26 @@ func (c *RetryClient) Do(ctx context.Context, req Request) (Response, error) {
 			c.fastFails.Add(1)
 			return Response{}, ErrCircuitOpen
 		}
-		resp, err := c.inner.Do(ctx, req)
+		resp, err := c.client().Do(ctx, req)
 		lastResp, lastErr = resp, err
+
+		if err == nil && resp.Code == CodeNotPrimary && resp.Primary != "" && c.policy.Redirect != nil {
+			// The server answered "not me, go there": a definitive,
+			// pre-execution refusal. Swap in a client for the advertised
+			// primary and re-send immediately — no backoff, any op.
+			c.settle(false, probe, time.Now())
+			nc, rerr := c.policy.Redirect(resp.Primary)
+			if rerr != nil {
+				return resp, rerr
+			}
+			c.swapInner(nc)
+			c.redirects.Add(1)
+			if attempt >= c.policy.MaxAttempts {
+				return resp, nil
+			}
+			c.retries.Add(1)
+			continue
+		}
 
 		var (
 			retryable bool // counts toward the breaker
@@ -290,4 +346,4 @@ func (c *RetryClient) Do(ctx context.Context, req Request) (Response, error) {
 }
 
 // Close closes the wrapped client.
-func (c *RetryClient) Close() error { return c.inner.Close() }
+func (c *RetryClient) Close() error { return c.client().Close() }

@@ -300,3 +300,69 @@ func TestWithFaultsDisabledIsIdentity(t *testing.T) {
 		t.Fatalf("identity middleware altered the response: %+v", resp)
 	}
 }
+
+// TestRetryClientFollowsNotPrimary: a not_primary response with a
+// redirect address swaps the wrapped client for one wired to the
+// advertised primary and re-sends immediately — even a non-idempotent
+// enroll, because the role guard refused the request before it could
+// execute. The op must land on the primary exactly once, with no
+// backoff sleep in between.
+func TestRetryClientFollowsNotPrimary(t *testing.T) {
+	follower := &scriptClient{script: []scriptStep{
+		{resp: Response{Code: CodeNotPrimary, Primary: "primary:1"}},
+	}}
+	primary := &scriptClient{script: []scriptStep{
+		{resp: Response{Code: CodeOK}},
+	}}
+	var redirectedTo string
+	pol := RetryPolicy{Redirect: func(addr string) (Client, error) {
+		redirectedTo = addr
+		return clientFromDoer(primary), nil
+	}}
+	c := NewRetryClient(clientFromDoer(follower), pol)
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t.Errorf("redirect slept %v; re-send should be immediate", d)
+		return nil
+	}
+	c.rnd = func() float64 { return 0.5 }
+
+	resp, err := c.Do(context.Background(), Request{Op: OpEnroll, User: "alice"})
+	if err != nil || resp.Code != CodeOK {
+		t.Fatalf("redirected enroll = %+v, %v; want ok", resp, err)
+	}
+	if redirectedTo != "primary:1" {
+		t.Fatalf("redirected to %q, want primary:1", redirectedTo)
+	}
+	if len(follower.calls) != 1 {
+		t.Fatalf("follower saw %d calls, want 1", len(follower.calls))
+	}
+	if len(primary.calls) != 1 {
+		t.Fatalf("enroll landed %d times on the primary, want exactly 1", len(primary.calls))
+	}
+	if got := c.Stats().Redirects; got != 1 {
+		t.Fatalf("Stats().Redirects = %d, want 1", got)
+	}
+
+	// Follow-up calls go straight to the swapped-in primary.
+	if _, err := c.Do(context.Background(), Request{Op: OpLogin, User: "alice"}); err != nil {
+		t.Fatalf("post-redirect call: %v", err)
+	}
+	if len(follower.calls) != 1 || len(primary.calls) != 2 {
+		t.Fatalf("post-redirect routing: follower=%d primary=%d, want 1/2",
+			len(follower.calls), len(primary.calls))
+	}
+
+	// Without a Redirect hook, not_primary is a definitive answer:
+	// returned to the caller as-is, never retried.
+	lone := &scriptClient{script: []scriptStep{
+		{resp: Response{Code: CodeNotPrimary, Primary: "primary:1"}},
+	}}
+	c2 := NewRetryClient(clientFromDoer(lone), RetryPolicy{})
+	resp, err = c2.Do(context.Background(), Request{Op: OpLogin, User: "alice"})
+	if err != nil || resp.Code != CodeNotPrimary || resp.Primary != "primary:1" {
+		t.Fatalf("unhooked not_primary = %+v, %v; want the refusal passed through", resp, err)
+	}
+	if len(lone.calls) != 1 {
+		t.Fatalf("unhooked not_primary retried: %d calls", len(lone.calls))
+	}
+}

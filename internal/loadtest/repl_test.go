@@ -1,0 +1,90 @@
+package loadtest
+
+import (
+	"testing"
+	"time"
+
+	"clickpass/internal/vault"
+	"clickpass/internal/vault/repl"
+)
+
+// TestLoadReplicatedPair drives a client swarm against a
+// quorum-replicated primary/follower pair: every op must succeed
+// under concurrency (group commit batching quorum waits across
+// clients), and because quorum acks only after the follower fsyncs,
+// the follower must hold byte-identical state the moment the swarm
+// drains — no settling loop, no eventual consistency window.
+func TestLoadReplicatedPair(t *testing.T) {
+	clientCount, ops := 12, 10
+	if testing.Short() {
+		clientCount, ops = 6, 5
+	}
+	open := func() *vault.Durable {
+		d, err := vault.OpenDurable(t.TempDir(), vault.DurableOptions{Shards: 4, NoAutoCompact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	pst, fst := open(), open()
+	p, err := repl.New(pst, repl.RolePrimary, repl.Options{
+		Listen: "127.0.0.1:0",
+		Ack:    repl.AckQuorum,
+		// Generous: the very first enroll blocks until the follower
+		// attaches, and CI machines can be slow to schedule it.
+		QuorumTimeout: 10 * time.Second,
+		Logf:          func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f, err := repl.New(fst, repl.RoleFollower, repl.Options{
+		Primary: p.ReplAddr(),
+		Logf:    func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	_, addr, shutdown := startServer(t, p, 64)
+	defer shutdown()
+	users := enrollUsers(t, addr, clientCount)
+
+	res, err := Run(Config{
+		Dial:         TCPTransport(addr, 0),
+		Clients:      clientCount,
+		OpsPerClient: ops,
+		Request:      AuthMix(users, userClicks, 10),
+		Check:        RequireOK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replicated pair: %s", res)
+	if res.Errors != 0 {
+		t.Errorf("swarm saw %d errors against the replicated primary", res.Errors)
+	}
+	if res.Ops != clientCount*ops {
+		t.Errorf("completed %d ops, want %d", res.Ops, clientCount*ops)
+	}
+
+	// Quorum means "already on the follower": compare stores directly.
+	if got, want := fst.Len(), pst.Len(); got != want {
+		t.Fatalf("follower has %d records, primary %d", got, want)
+	}
+	for _, u := range users {
+		pr, err := pst.Get(u)
+		if err != nil {
+			t.Fatalf("primary lost %s: %v", u, err)
+		}
+		fr, err := fst.Get(u)
+		if err != nil {
+			t.Fatalf("follower missing %s: %v", u, err)
+		}
+		if string(pr.Digest) != string(fr.Digest) || string(pr.Salt) != string(fr.Salt) {
+			t.Errorf("record %s diverged between primary and follower", u)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// followerState is the dial-loop machinery of a following node: one
+// goroutine dials the primary, applies its stream, and redials on any
+// error. Sequence floors live here (per upstream run id), not in the
+// store: a restarted follower presents run id 0 and is re-bootstrapped
+// from snapshots, which is exactly the crash-only discipline — its
+// durable state is still valid, but its resume position is not worth
+// persisting.
+type followerState struct {
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu          sync.Mutex
+	conn        net.Conn // live connection, closed by halt to interrupt reads
+	upstreamRun uint64
+	applied     []uint64 // per-shard applied seq under upstreamRun
+}
+
+// halt stops the dial loop and waits for it to exit.
+func (fo *followerState) halt() {
+	fo.stopOnce.Do(func() { close(fo.stop) })
+	fo.mu.Lock()
+	if fo.conn != nil {
+		fo.conn.Close()
+	}
+	fo.mu.Unlock()
+	<-fo.done
+}
+
+// stopped reports whether halt was called.
+func (fo *followerState) stopped() bool {
+	select {
+	case <-fo.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// startFollower launches the dial loop.
+func (n *Node) startFollower() {
+	fo := &followerState{
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		applied: make([]uint64, n.shards),
+	}
+	n.fo = fo
+	n.wg.Add(1)
+	go n.followLoop(fo)
+}
+
+// followLoop dials, follows, and redials until halted.
+func (n *Node) followLoop(fo *followerState) {
+	defer n.wg.Done()
+	defer close(fo.done)
+	for {
+		if fo.stopped() {
+			return
+		}
+		err := n.followOnce(fo)
+		if fo.stopped() {
+			return
+		}
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			n.opts.Logf("repl: follower: %v; redialing %s", err, n.opts.Primary)
+		}
+		select {
+		case <-fo.stop:
+			return
+		case <-time.After(n.opts.Redial):
+		}
+	}
+}
+
+// followOnce runs one connection to the primary: handshake, then
+// apply-and-ack until the connection dies. Any error — dial failure,
+// torn message, corrupt batch — abandons the connection; the next
+// attempt resumes from the applied floors (or re-bootstraps if the
+// primary's retention no longer covers them).
+func (n *Node) followOnce(fo *followerState) error {
+	c, err := n.opts.Dial(n.opts.Primary)
+	if err != nil {
+		return err
+	}
+	fo.mu.Lock()
+	if fo.stopped() {
+		fo.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	fo.conn = c
+	seqs := append([]uint64(nil), fo.applied...)
+	runID := fo.upstreamRun
+	fo.mu.Unlock()
+	defer func() {
+		c.Close()
+		fo.mu.Lock()
+		if fo.conn == c {
+			fo.conn = nil
+		}
+		fo.mu.Unlock()
+	}()
+
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	hello := wireMsg{
+		Type:      msgHello,
+		Epoch:     epoch,
+		RunID:     runID,
+		Seqs:      seqs,
+		Shards:    n.shards,
+		Advertise: n.opts.Advertise,
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := writeMsg(c, &hello); err != nil {
+		return err
+	}
+	_ = c.SetWriteDeadline(time.Time{})
+	br := bufio.NewReader(c)
+	var w wireMsg
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := readMsg(br, &w); err != nil {
+		return fmt.Errorf("reading welcome: %w", err)
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	if w.Type != msgWelcome {
+		return fmt.Errorf("expected welcome, got %q", w.Type)
+	}
+	if w.Shards != n.shards {
+		return fmt.Errorf("primary has %d shards, this store has %d; cannot follow", w.Shards, n.shards)
+	}
+	n.mu.Lock()
+	if w.Epoch < n.epoch {
+		cur := n.epoch
+		n.mu.Unlock()
+		return fmt.Errorf("primary's epoch %d is behind ours (%d); refusing a stale primary", w.Epoch, cur)
+	}
+	n.epoch = w.Epoch
+	if w.Advertise != "" {
+		n.primaryAddr = w.Advertise
+	}
+	n.mu.Unlock()
+	if _, err := n.store.AdvanceEpoch(w.Epoch); err != nil {
+		return fmt.Errorf("persisting primary epoch: %w", err)
+	}
+	fo.mu.Lock()
+	if w.RunID != fo.upstreamRun {
+		// New stream incarnation: our floors are meaningless to it. The
+		// primary will snapshot every shard; zero the floors so a
+		// mid-bootstrap disconnect doesn't present stale ones.
+		fo.upstreamRun = w.RunID
+		for i := range fo.applied {
+			fo.applied[i] = 0
+		}
+	}
+	fo.mu.Unlock()
+	n.touch()
+
+	for {
+		var m wireMsg
+		if err := readMsg(br, &m); err != nil {
+			return err
+		}
+		n.touch()
+		switch m.Type {
+		case msgPing:
+			continue
+		case msgSnapshot:
+			if m.Shard < 0 || m.Shard >= n.shards {
+				return fmt.Errorf("snapshot for unknown shard %d", m.Shard)
+			}
+			if err := n.store.InstallShardSnapshot(m.Shard, m.Records, m.Lockouts); err != nil {
+				return fmt.Errorf("installing shard %d snapshot: %w", m.Shard, err)
+			}
+			fo.setApplied(m.Shard, m.Seq)
+			if err := writeMsg(c, &wireMsg{Type: msgAck, Shard: m.Shard, Seq: m.Seq}); err != nil {
+				return err
+			}
+		case msgFrames:
+			if m.Shard < 0 || m.Shard >= n.shards {
+				return fmt.Errorf("frames for unknown shard %d", m.Shard)
+			}
+			if err := n.store.ApplyReplFrames(m.Shard, m.Frames); err != nil {
+				return fmt.Errorf("applying shard %d batch: %w", m.Shard, err)
+			}
+			fo.setApplied(m.Shard, m.Seq)
+			// ApplyReplFrames fsynced under SyncAlways, so this ack is
+			// the durable coverage a quorum-mode primary waits on.
+			if err := writeMsg(c, &wireMsg{Type: msgAck, Shard: m.Shard, Seq: m.Seq}); err != nil {
+				return err
+			}
+		default:
+			// Unknown message types are ignored for forward
+			// compatibility.
+		}
+	}
+}
+
+// setApplied records the follower's applied floor for a shard.
+func (fo *followerState) setApplied(shard int, seq uint64) {
+	fo.mu.Lock()
+	if seq > fo.applied[shard] {
+		fo.applied[shard] = seq
+	}
+	fo.mu.Unlock()
+}

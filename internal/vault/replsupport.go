@@ -1,0 +1,415 @@
+package vault
+
+// Replication support for the durable store. The repl package
+// (internal/vault/repl) builds primary/backup log shipping on four
+// seams exported here:
+//
+//   - SetReplHooks wires a commit sink (every locally committed frame
+//     batch, in log order, labeled with per-shard sequence numbers)
+//     and an optional quorum gate (block a mutation's ack until the
+//     follower's fsync covers it).
+//   - ShardSnapshot / InstallShardSnapshot move a whole shard's state
+//     for follower bootstrap, reusing the checkpoint/compaction
+//     machinery: an installed snapshot becomes a freshly rewritten
+//     log behind a "full" generation marker, exactly what compaction
+//     produces.
+//   - ApplyReplFrames appends a received frame batch to a follower's
+//     shard log and applies it through the same walEntry switch as
+//     startup replay, so replicated state is byte-equivalent to
+//     crash-recovered state by construction.
+//   - Epoch / AdvanceEpoch persist the monotonic failover epoch in
+//     meta.json; a deposed primary that observes a higher epoch
+//     fences itself by refusing writes (see ErrNotPrimary).
+//
+// Health and ReopenShard round out the operational story: per-shard
+// fail-stop state is observable, and a fail-stopped shard can be
+// re-replayed from its durable prefix under supervision instead of
+// requiring a process restart.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"sort"
+
+	"clickpass/internal/passpoints"
+)
+
+// ErrNotPrimary marks mutations refused because the serving node is a
+// replication follower, or a deposed primary that has fenced itself
+// after observing a higher epoch. Match with errors.Is; the concrete
+// type NotPrimaryError may carry the current primary's address.
+var ErrNotPrimary = errors.New("vault: not the replication primary")
+
+// NotPrimaryError is the refusal a follower (or fenced ex-primary)
+// returns for mutations. errors.Is(err, ErrNotPrimary) matches it;
+// Primary, when non-empty, is the advertised address of the node that
+// should be written to instead — transports forward it as a redirect
+// hint.
+type NotPrimaryError struct {
+	// Primary is the advertised client address of the current primary,
+	// "" when unknown (e.g. mid-failover).
+	Primary string
+}
+
+// Error implements error.
+func (e *NotPrimaryError) Error() string {
+	if e.Primary == "" {
+		return "vault: not the replication primary"
+	}
+	return fmt.Sprintf("vault: not the replication primary (primary is %s)", e.Primary)
+}
+
+// Unwrap makes errors.Is(err, ErrNotPrimary) match.
+func (e *NotPrimaryError) Unwrap() error { return ErrNotPrimary }
+
+// ReplHooks connects a Durable store to a replication sender. Install
+// with SetReplHooks before serving traffic.
+type ReplHooks struct {
+	// Commit receives every locally committed frame batch of a shard
+	// in strict log order: under SyncAlways a batch is delivered only
+	// after the group-commit fsync that made it durable; under the
+	// other policies after the write. lastSeq is the shard-local
+	// sequence number of the batch's final record — the batch holds
+	// the frames for seqs (lastSeq-n+1 .. lastSeq), n its record
+	// count (SplitFrames recovers n). Called with the shard's mutex
+	// held: implementations must only copy the bytes out and return;
+	// calling back into the store deadlocks.
+	Commit func(shard int, frames []byte, lastSeq uint64)
+	// QuorumWait, when non-nil, gates every mutation's ack: after the
+	// record is locally durable, the writer blocks until QuorumWait
+	// returns — the quorum ack mode's hook, typically waiting for a
+	// follower fsync to cover (shard, seq). Called without any shard
+	// lock held. An error fails that writer's call but never rolls
+	// back or fail-stops the shard: the record is locally durable and
+	// the stream redelivers it on reconnect, so primary and follower
+	// cannot diverge — the caller merely could not be promised replica
+	// coverage.
+	QuorumWait func(shard int, seq uint64) error
+}
+
+// SetReplHooks installs (or, with a zero ReplHooks, removes) the
+// store's replication hooks. Install before the store takes traffic:
+// mutations racing the swap may ack under either regime.
+func (d *Durable) SetReplHooks(h ReplHooks) {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		idx := i
+		sh.mu.Lock()
+		if h.Commit != nil {
+			commit := h.Commit
+			sh.ship = func(frames []byte, lastSeq uint64) { commit(idx, frames, lastSeq) }
+		} else {
+			sh.ship = nil
+		}
+		sh.mu.Unlock()
+	}
+	if h.QuorumWait != nil {
+		wait := h.QuorumWait
+		d.replWait.Store(&wait)
+	} else {
+		d.replWait.Store(nil)
+	}
+}
+
+// Epoch returns the store's persisted replication epoch (0 for a
+// directory that has never participated in a failover).
+func (d *Durable) Epoch() uint64 { return d.epoch.Load() }
+
+// AdvanceEpoch durably raises the store's epoch to e (meta.json is
+// rewritten atomically) and returns the effective epoch afterwards.
+// Epochs only move forward: e at or below the current value is a
+// no-op returning the current epoch, so concurrent observers can all
+// report what they saw and the maximum wins.
+func (d *Durable) AdvanceEpoch(e uint64) (uint64, error) {
+	d.metaMu.Lock()
+	defer d.metaMu.Unlock()
+	cur := d.epoch.Load()
+	if e <= cur {
+		return cur, nil
+	}
+	m, err := loadOrInitMeta(d.dir, len(d.shards))
+	if err != nil {
+		return cur, err
+	}
+	m.Epoch = e
+	if err := writeMetaFile(d.dir, m); err != nil {
+		return cur, err
+	}
+	d.epoch.Store(e)
+	return e, nil
+}
+
+// ShardHealth reports the durable store's per-shard fail-stop state —
+// the /metrics surface for ErrShardFailed.
+type ShardHealth struct {
+	// Shards is the total shard count.
+	Shards int
+	// Failed lists the indexes of fail-stopped shards, ascending.
+	Failed []int
+}
+
+// Health returns the store's current per-shard fail-stop state.
+func (d *Durable) Health() ShardHealth {
+	h := ShardHealth{Shards: len(d.shards)}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		if sh.failed != nil {
+			h.Failed = append(h.Failed, i)
+		}
+		sh.mu.Unlock()
+	}
+	return h
+}
+
+// ReopenShard is the supervised recovery path for a fail-stopped
+// shard: it re-runs the shard's startup recovery (checkpoint + log
+// replay with torn-tail truncation) against the on-disk state and, on
+// success, clears the fail-stop so the shard accepts mutations again.
+// The shard rolls back to its durable prefix — any write acked before
+// the failing fsync whose pages the kernel then dropped is gone, which
+// is exactly why the shard fail-stopped rather than trust the kernel
+// (see ErrShardFailed); the operator invokes this knowingly, typically
+// after the underlying volume recovered. A healthy shard is a no-op.
+func (d *Durable) ReopenShard(i int) error {
+	if i < 0 || i >= len(d.shards) {
+		return fmt.Errorf("vault: no shard %d", i)
+	}
+	sh := &d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		return fmt.Errorf("vault: store is closed")
+	}
+	if sh.failed == nil {
+		return nil
+	}
+	for sh.syncing {
+		sh.commit.Wait()
+	}
+	nf, err := d.openFile(sh.path)
+	if err != nil {
+		return fmt.Errorf("vault: reopening %s: %w", sh.path, err)
+	}
+	oldF, oldRecs, oldLocks := sh.f, sh.records, sh.lockouts
+	sh.f = nf
+	sh.records = make(map[string]*passpoints.Record, len(oldRecs))
+	sh.lockouts = make(map[string]int, len(oldLocks))
+	sh.logID = 0
+	sh.wbuf = nil
+	sh.pending = sh.pending[:0]
+	if err := sh.recover(); err != nil {
+		// Replay failed: keep serving the pre-reopen acked state in
+		// memory and stay fail-stopped under the new cause.
+		nf.Close()
+		sh.f = oldF
+		sh.records, sh.lockouts = oldRecs, oldLocks
+		sh.failed = err
+		return fmt.Errorf("vault: reopening shard %d: %w", i, err)
+	}
+	oldF.Close()
+	sh.failed = nil
+	sh.dirty = false
+	sh.dirtyGen++
+	log.Printf("vault: shard %s reopened after fail-stop; serving the replayed durable prefix", sh.path)
+	return nil
+}
+
+// ShardSnapshot returns a consistent copy of shard i's live state —
+// records sorted by user, lockout counters, and the shard's current
+// mutation sequence number — the bootstrap payload a primary streams
+// to a new or lagging follower. The shard is quiesced first so the
+// snapshot covers exactly the committed prefix: every mutation with
+// seq at or below the returned value is folded in, and the frame
+// stream resuming after it completes the state.
+func (d *Durable) ShardSnapshot(i int) ([]*passpoints.Record, map[string]int, uint64, error) {
+	if i < 0 || i >= len(d.shards) {
+		return nil, nil, 0, fmt.Errorf("vault: no shard %d", i)
+	}
+	sh := &d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		return nil, nil, 0, fmt.Errorf("vault: store is closed")
+	}
+	sh.quiesce()
+	recs := make([]*passpoints.Record, 0, len(sh.records))
+	for _, r := range sh.records {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].User < recs[b].User })
+	locks := make(map[string]int, len(sh.lockouts))
+	for u, n := range sh.lockouts {
+		locks[u] = n
+	}
+	return recs, locks, sh.seq, nil
+}
+
+// InstallShardSnapshot replaces shard i's entire state with the given
+// snapshot and rewrites its log wholesale — the follower side of
+// bootstrap. The new log opens with a "full" generation marker and is
+// fsynced into place exactly like a compacted log, so a crash during
+// or after the install recovers to either the old or the new state,
+// never a blend. A fail-stopped shard is eligible (the install writes
+// a brand-new fsynced file, making durability provable again) and
+// comes back healthy on success.
+func (d *Durable) InstallShardSnapshot(i int, recs []*passpoints.Record, lockouts map[string]int) error {
+	if i < 0 || i >= len(d.shards) {
+		return fmt.Errorf("vault: no shard %d", i)
+	}
+	sh := &d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		return fmt.Errorf("vault: store is closed")
+	}
+	sh.quiesce()
+	sh.records = make(map[string]*passpoints.Record, len(recs))
+	for _, r := range recs {
+		if r != nil && r.User != "" {
+			sh.records[r.User] = r
+		}
+	}
+	sh.lockouts = make(map[string]int, len(lockouts))
+	for u, n := range lockouts {
+		if n > 0 {
+			sh.lockouts[u] = n
+		}
+	}
+	sh.wbuf = nil
+	sh.pending = sh.pending[:0]
+	wasFailed := sh.failed
+	sh.failed = nil // rewriteShardLocked must not refuse; see below
+	if err := d.rewriteShardLocked(i, sh); err != nil {
+		if sh.failed == nil {
+			sh.failed = wasFailed
+		}
+		return err
+	}
+	return nil
+}
+
+// scanFrames walks a concatenation of length+CRC framed log records,
+// invoking fn with each whole frame and its payload. Any torn header,
+// oversized length, CRC mismatch, or trailing garbage returns an
+// error naming the offset — a replication receiver applies either the
+// whole batch or none of it.
+func scanFrames(frames []byte, fn func(frame, payload []byte) error) error {
+	for off := 0; off < len(frames); {
+		if len(frames)-off < walHeaderSize {
+			return fmt.Errorf("vault: torn frame header at offset %d", off)
+		}
+		length := binary.LittleEndian.Uint32(frames[off : off+4])
+		sum := binary.LittleEndian.Uint32(frames[off+4 : off+8])
+		if length == 0 || length > walMaxRecord {
+			return fmt.Errorf("vault: corrupt frame length %d at offset %d", length, off)
+		}
+		end := off + walHeaderSize + int(length)
+		if end > len(frames) {
+			return fmt.Errorf("vault: torn frame payload at offset %d", off)
+		}
+		payload := frames[off+walHeaderSize : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return fmt.Errorf("vault: frame CRC mismatch at offset %d", off)
+		}
+		if err := fn(frames[off:end], payload); err != nil {
+			return err
+		}
+		off = end
+	}
+	return nil
+}
+
+// SplitFrames splits a concatenation of framed log records (as handed
+// to ReplHooks.Commit) into one subslice per whole frame, validating
+// framing and CRCs. The subslices alias the input.
+func SplitFrames(frames []byte) ([][]byte, error) {
+	var out [][]byte
+	err := scanFrames(frames, func(frame, _ []byte) error {
+		out = append(out, frame)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyReplFrames appends a received batch of framed mutation records
+// to shard i's log and applies them to its maps — the follower's
+// write path, sharing the walEntry apply switch with startup replay.
+// The batch is validated in full first (framing, CRCs, JSON, no
+// generation markers) and applied all-or-nothing: a corrupt batch is
+// an error with no effect, so the sender can simply resend from the
+// last acknowledged position. Under SyncAlways the append is fsynced
+// before returning — the durability a quorum ack then vouches for.
+func (d *Durable) ApplyReplFrames(i int, frames []byte) error {
+	if i < 0 || i >= len(d.shards) {
+		return fmt.Errorf("vault: no shard %d", i)
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	var entries []walEntry
+	err := scanFrames(frames, func(_, payload []byte) error {
+		var e walEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("vault: corrupt frame payload: %w", err)
+		}
+		if e.Op == walOpCkpt {
+			// Markers are log-structure records, never shipped; one in
+			// a replication batch means the sender is confused.
+			return fmt.Errorf("vault: replication batch carries a generation marker")
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sh := &d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		return fmt.Errorf("vault: store is closed")
+	}
+	if sh.failed != nil {
+		return sh.refuse()
+	}
+	sh.quiesce()
+	if _, err := sh.f.Write(frames); err != nil {
+		werr := fmt.Errorf("vault: appending replicated batch to %s: %w", sh.path, err)
+		if rerr := sh.restore(sh.wsize); rerr != nil {
+			sh.failStop(fmt.Errorf("%v; rollback failed: %v", werr, rerr))
+		}
+		return werr
+	}
+	sh.wsize += int64(len(frames))
+	sh.lsize = sh.wsize
+	for j := range entries {
+		sh.apply(&entries[j])
+	}
+	sh.entries += len(entries)
+	sh.sinceCkpt += len(entries)
+	sh.ckptBytes += int64(len(frames))
+	sh.seq += uint64(len(entries))
+	if d.opts.Sync == SyncAlways {
+		// Fsync under the lock: a follower's shard has no concurrent
+		// foreground writers, so this only delays reads, and it keeps
+		// the ack the caller sends upstream honest.
+		if err := sh.f.Sync(); err != nil {
+			sh.failStop(fmt.Errorf("vault: syncing %s: %w", sh.path, err))
+			return sh.refuse()
+		}
+		sh.off = sh.wsize
+	} else {
+		sh.off = sh.wsize
+		sh.dirty = true
+		sh.dirtyGen++
+	}
+	return nil
+}

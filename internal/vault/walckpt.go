@@ -238,6 +238,7 @@ func (sh *walShard) replayFrom(start int64, base int) error {
 	}
 	sh.entries = base + n
 	sh.sinceCkpt = n
+	sh.ckptBytes = off - start
 	sh.off = off
 	sh.wsize = off
 	sh.lsize = off
@@ -268,6 +269,7 @@ func (sh *walShard) resetLogTo(id uint64) error {
 	sh.lsize = sh.off
 	sh.entries = sh.live() + 1
 	sh.sinceCkpt = 0
+	sh.ckptBytes = 0
 	sh.logID = id
 	return nil
 }
@@ -291,13 +293,14 @@ func (d *Durable) Checkpoint() error {
 // shard is write-locked for the duration; a crash at any point leaves
 // a recoverable combination (see the package comment above).
 func (d *Durable) CheckpointShard(i int) error {
-	return d.checkpointShard(i, 1)
+	return d.checkpointShard(i, 1, 0)
 }
 
 // checkpointShard is CheckpointShard with the periodic checkpointer's
-// minimum-delta filter: shards with fewer than minDelta appends since
-// their last checkpoint are skipped.
-func (d *Durable) checkpointShard(i, minDelta int) error {
+// minimum-delta filters: a shard is snapshotted once its appends since
+// the last checkpoint reach minDelta records OR (when minBytes > 0)
+// minBytes log bytes, whichever trips first; below both it is skipped.
+func (d *Durable) checkpointShard(i, minDelta int, minBytes int64) error {
 	if i < 0 || i >= len(d.shards) {
 		return fmt.Errorf("vault: no shard %d", i)
 	}
@@ -311,7 +314,7 @@ func (d *Durable) checkpointShard(i, minDelta int) error {
 		return sh.refuse()
 	}
 	sh.quiesce()
-	if sh.sinceCkpt < minDelta {
+	if sh.sinceCkpt < minDelta && (minBytes <= 0 || sh.ckptBytes < minBytes) {
 		return nil
 	}
 	id, err := newWalID()
@@ -389,6 +392,7 @@ func (d *Durable) checkpointShard(i, minDelta int) error {
 	sh.lsize = sh.off
 	sh.entries = 1
 	sh.sinceCkpt = 0
+	sh.ckptBytes = 0
 	sh.dirty = false
 	sh.logID = id
 	old.Close()
@@ -441,7 +445,7 @@ func (d *Durable) checkpointLoop() {
 			return
 		case <-t.C:
 			for i := range d.shards {
-				if err := d.checkpointShard(i, d.opts.CheckpointMin); err != nil {
+				if err := d.checkpointShard(i, d.opts.CheckpointMin, d.opts.CheckpointMinBytes); err != nil {
 					log.Printf("vault: background checkpoint of shard %d: %v", i, err)
 					// A fail-stopped or closed shard will keep failing;
 					// stop spamming this tick.

@@ -139,6 +139,13 @@ type DurableOptions struct {
 	// explicit CheckpointShard calls, which snapshot any non-empty
 	// delta.
 	CheckpointMin int
+	// CheckpointMinBytes, when > 0, additionally triggers the periodic
+	// checkpointer once a shard has appended at least this many log
+	// bytes since its last checkpoint, even if the record count is
+	// still below CheckpointMin — so a workload of few, large records
+	// cannot defer rotation (and therefore replay cost) indefinitely.
+	// 0 keeps the record-count schedule alone.
+	CheckpointMinBytes int64
 }
 
 // Durable is the crash-safe Store: the fnv-sharded in-memory map of
@@ -200,6 +207,17 @@ type Durable struct {
 	kick chan int      // compactor nudge, carries a shard index
 	stop chan struct{} // closes to stop background goroutines
 	bg   sync.WaitGroup
+
+	// metaMu serializes meta.json rewrites (epoch bumps); epoch caches
+	// the persisted value for lock-free reads.
+	metaMu sync.Mutex
+	epoch  atomic.Uint64
+	// replWait, when set, blocks a mutation's ack until the configured
+	// replica acknowledgement covers (shard, seq) — the quorum hook
+	// installed by SetReplHooks. Called without any shard lock held;
+	// its error fails the writer but never the shard (the record is
+	// locally durable, see ReplHooks).
+	replWait atomic.Pointer[func(shard int, seq uint64) error]
 }
 
 // walFile is the slice of *os.File the shard log code uses, split out
@@ -277,6 +295,20 @@ type walShard struct {
 	pending []walPending
 	failed  error // sticky fail-stop cause; non-nil refuses mutations
 	buf     []byte
+	// ckptBytes counts log bytes appended since the last checkpoint or
+	// compaction — the byte-denominated twin of sinceCkpt, feeding the
+	// CheckpointMinBytes schedule.
+	ckptBytes int64
+	// seq numbers this shard's mutations within the current process
+	// lifetime (markers excluded); it is never persisted. Replication
+	// identifies stream positions by (runID, shard, seq) — see
+	// ReplHooks. Gaps are legal (a failed batch consumes seqs that are
+	// never shipped); the invariant is monotonicity.
+	seq uint64
+	// ship, when non-nil, receives every committed frame batch in log
+	// order (see ReplHooks.Commit). Called with sh.mu held; it must
+	// only copy the bytes out, never call back into the store.
+	ship func(frames []byte, lastSeq uint64)
 }
 
 // Durable implements Store and the LockoutStore extension.
@@ -354,11 +386,11 @@ func openDurable(dir string, opts DurableOptions, openFile func(string) (walFile
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("vault: creating %s: %w", dir, err)
 	}
-	shards, err := loadOrInitMeta(dir, opts.Shards)
+	meta, err := loadOrInitMeta(dir, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
-	opts.Shards = shards
+	opts.Shards = meta.Shards
 	// A crash between CreateTemp and Rename (compaction, checkpoint,
 	// rotation, meta write) strands a temp file; clean them up here or
 	// repeated crashes leak shard-sized dead files forever. Safe:
@@ -379,6 +411,7 @@ func openDurable(dir string, opts DurableOptions, openFile func(string) (walFile
 		kick:     make(chan int, opts.Shards),
 		stop:     make(chan struct{}),
 	}
+	d.epoch.Store(meta.Epoch)
 	// Replay one goroutine per shard: the maps, files, and offsets are
 	// all shard-private, so recovery time is the slowest shard, not
 	// the sum (par returns the lowest-index failure, and every claimed
@@ -596,6 +629,10 @@ func (sh *walShard) write(e *walEntry) error {
 	sh.lsize = sh.wsize
 	sh.entries++
 	sh.sinceCkpt++
+	sh.ckptBytes += int64(len(buf))
+	if e.Op != walOpCkpt {
+		sh.seq++
+	}
 	return nil
 }
 
@@ -614,6 +651,8 @@ func (sh *walShard) stage(e *walEntry) error {
 	sh.lsize += int64(len(buf))
 	sh.entries++
 	sh.sinceCkpt++
+	sh.ckptBytes += int64(len(buf))
+	sh.seq++
 	return nil
 }
 
@@ -646,6 +685,9 @@ func (sh *walShard) failStop(cause error) {
 	}
 	sh.entries -= len(sh.pending)
 	sh.sinceCkpt -= len(sh.pending)
+	if sh.ckptBytes -= sh.lsize - sh.off; sh.ckptBytes < 0 {
+		sh.ckptBytes = 0
+	}
 	sh.pending = sh.pending[:0]
 	sh.wbuf = sh.wbuf[:0]
 	// Best effort: the shard refuses mutations from here on, but a
@@ -705,6 +747,10 @@ func (sh *walShard) awaitCommit(myEnd int64) error {
 			f := sh.f
 			batch := sh.wbuf
 			sh.wbuf = nil // writers arriving mid-flush stage a new buffer
+			// Every staged record is in this batch, so the shard's seq
+			// at take time is the batch's last record's seq — what the
+			// replication ship needs to label the frames.
+			lastSeq := sh.seq
 			target := sh.wsize + int64(len(batch))
 			sh.mu.Unlock()
 			_, werr := f.Write(batch)
@@ -724,6 +770,13 @@ func (sh *walShard) awaitCommit(myEnd int64) error {
 			default:
 				sh.wsize = target
 				sh.commitTo(target)
+				// Ship only what an fsync covers, in strict log order:
+				// leaders are serialized by `syncing`, and the hook runs
+				// under the same lock hold that cleared it, so no later
+				// batch can overtake this call.
+				if sh.ship != nil && len(batch) > 0 {
+					sh.ship(batch, lastSeq)
+				}
 			}
 			sh.commit.Broadcast()
 		} else {
@@ -799,11 +852,13 @@ func (d *Durable) mutate(user string, e *walEntry, pre func(*walShard) error) er
 		}
 	}
 	var err error
+	var myseq uint64
 	if d.opts.Sync == SyncAlways {
 		if err := sh.stage(e); err != nil {
 			sh.mu.Unlock()
 			return err
 		}
+		myseq = sh.seq
 		sh.pending = append(sh.pending, walPending{end: sh.lsize, undo: sh.applyUndo(e)})
 		err = sh.awaitCommit(sh.lsize)
 	} else {
@@ -811,16 +866,32 @@ func (d *Durable) mutate(user string, e *walEntry, pre func(*walShard) error) er
 			sh.mu.Unlock()
 			return err
 		}
+		myseq = sh.seq
 		sh.apply(e)
 		sh.off = sh.wsize
 		sh.dirty = true
 		sh.dirtyGen++
+		// Ship the committed frame before releasing the lock so two
+		// writers' frames reach the replication buffer in log order.
+		if sh.ship != nil {
+			sh.ship(sh.buf, myseq)
+		}
 	}
 	needCompact := err == nil && sh.entries >= compactMinEntries &&
 		float64(sh.entries-sh.live()) > d.opts.CompactRatio*float64(max(sh.live(), 1))
 	sh.mu.Unlock()
 	if err != nil {
 		return err
+	}
+	if wait := d.replWait.Load(); wait != nil {
+		// Quorum ack: block until the follower's fsync covers this
+		// record. A wait failure errors the writer WITHOUT rolling back
+		// or fail-stopping — the record is locally durable and the
+		// stream will deliver it on reconnect, so state never diverges;
+		// the caller just cannot claim replica coverage for it.
+		if werr := (*wait)(i, myseq); werr != nil {
+			return werr
+		}
 	}
 	if needCompact && !d.opts.NoAutoCompact {
 		select {
@@ -1087,6 +1158,13 @@ func (d *Durable) CompactShard(i int) error {
 	// Wait out any in-flight group commit: the batch's fsync targets
 	// the file we are about to replace.
 	sh.quiesce()
+	return d.rewriteShardLocked(i, sh)
+}
+
+// rewriteShardLocked rewrites shard i's log from its live maps behind
+// a "full" generation marker — the shared tail of CompactShard and
+// InstallShardSnapshot. Caller holds sh.mu with the shard quiesced.
+func (d *Durable) rewriteShardLocked(i int, sh *walShard) error {
 	id, err := newWalID()
 	if err != nil {
 		return err
@@ -1174,6 +1252,7 @@ func (d *Durable) CompactShard(i int) error {
 	sh.lsize = newOff
 	sh.entries = n
 	sh.sinceCkpt = 0
+	sh.ckptBytes = 0
 	sh.dirty = false
 	sh.logID = id
 	old.Close()
@@ -1291,62 +1370,78 @@ func (d *Durable) closeFiles() {
 	}
 }
 
-// walMeta is the meta.json document pinning the directory's layout.
+// walMeta is the meta.json document pinning the directory's layout
+// and replication identity.
 type walMeta struct {
 	Version int `json:"version"`
 	Shards  int `json:"shards"`
+	// Epoch is the store's monotonic replication epoch (see Epoch /
+	// SetEpoch); 0 — including its absence from pre-replication
+	// directories — means "never participated in a failover".
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// loadOrInitMeta reads the directory's shard count, writing meta.json
+// loadOrInitMeta reads the directory's metadata, writing meta.json
 // (atomically, before any log exists) on first creation. An existing
-// directory's count always wins over the caller's request — the logs
-// were partitioned under it.
-func loadOrInitMeta(dir string, want int) (int, error) {
+// directory's shard count always wins over the caller's request — the
+// logs were partitioned under it.
+func loadOrInitMeta(dir string, want int) (walMeta, error) {
 	path := filepath.Join(dir, "meta.json")
 	data, err := os.ReadFile(path)
 	if err == nil {
 		var m walMeta
 		if err := json.Unmarshal(data, &m); err != nil {
-			return 0, fmt.Errorf("vault: parsing %s: %w", path, err)
+			return walMeta{}, fmt.Errorf("vault: parsing %s: %w", path, err)
 		}
 		if m.Shards <= 0 {
-			return 0, fmt.Errorf("vault: %s has invalid shard count %d", path, m.Shards)
+			return walMeta{}, fmt.Errorf("vault: %s has invalid shard count %d", path, m.Shards)
 		}
-		return m.Shards, nil
+		return m, nil
 	}
 	if !os.IsNotExist(err) {
-		return 0, fmt.Errorf("vault: reading %s: %w", path, err)
+		return walMeta{}, fmt.Errorf("vault: reading %s: %w", path, err)
 	}
 	// Fresh directory — but refuse to guess if logs are already there
 	// (a hand-deleted meta.json must not silently re-partition them).
 	if logs, _ := filepath.Glob(filepath.Join(dir, "shard-*.wal")); len(logs) > 0 {
-		return 0, fmt.Errorf("vault: %s has shard logs but no meta.json", dir)
+		return walMeta{}, fmt.Errorf("vault: %s has shard logs but no meta.json", dir)
 	}
-	data, err = json.Marshal(walMeta{Version: 1, Shards: want})
+	m := walMeta{Version: 1, Shards: want}
+	if err := writeMetaFile(dir, m); err != nil {
+		return walMeta{}, err
+	}
+	return m, nil
+}
+
+// writeMetaFile durably rewrites the directory's meta.json: temp file,
+// fsync, rename, directory fsync.
+func writeMetaFile(dir string, m walMeta) error {
+	path := filepath.Join(dir, "meta.json")
+	data, err := json.Marshal(m)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	tmp, err := os.CreateTemp(dir, ".meta-*")
 	if err != nil {
-		return 0, fmt.Errorf("vault: meta temp file: %w", err)
+		return fmt.Errorf("vault: meta temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName)
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return 0, fmt.Errorf("vault: writing %s: %w", tmpName, err)
+		return fmt.Errorf("vault: writing %s: %w", tmpName, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return 0, fmt.Errorf("vault: syncing %s: %w", tmpName, err)
+		return fmt.Errorf("vault: syncing %s: %w", tmpName, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return 0, err
+		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		return 0, fmt.Errorf("vault: committing %s: %w", path, err)
+		return fmt.Errorf("vault: committing %s: %w", path, err)
 	}
-	return want, nil
+	return syncDir(dir)
 }
 
 // syncDir fsyncs a directory so file creations and renames inside it
