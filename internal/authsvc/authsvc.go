@@ -243,6 +243,18 @@ func (s *Service) ReloadLockouts() {
 		}
 		s.failures[user] = n
 	}
+	// A user swept mid-loop can be re-adopted from the persisted map in
+	// a later iteration (map order is arbitrary); durably zeroing their
+	// counter then would hand a guesser a fresh attempt budget across
+	// the next restart — the exact hole this reload closes. Only zero
+	// users that ended the loop untracked.
+	kept := evicted[:0]
+	for _, u := range evicted {
+		if _, tracked := s.failures[u]; !tracked {
+			kept = append(kept, u)
+		}
+	}
+	evicted = kept
 	s.mu.Unlock()
 	for _, u := range evicted {
 		s.persistLockout(u, 0)

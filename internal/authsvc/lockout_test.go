@@ -2,6 +2,8 @@ package authsvc
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"clickpass/internal/vault"
@@ -154,5 +156,92 @@ func TestReloadLockoutsAdoptsReplicatedCounters(t *testing.T) {
 	// the local 2 back.
 	if resp := svc.Handle(ctx, Request{Op: OpLogin, User: "carol", Clicks: clicks(9)}); resp.Code != CodeLocked {
 		t.Errorf("reload lowered a local counter: %+v", resp)
+	}
+}
+
+// memLockStore wraps the in-memory vault with an in-memory
+// LockoutStore extension, so reload tests that trigger a full
+// capacity sweep (64k evictions) don't pay a disk flush per counter.
+type memLockStore struct {
+	*vault.Vault
+	mu    sync.Mutex
+	locks map[string]int
+}
+
+func newMemLockStore() *memLockStore {
+	return &memLockStore{Vault: vault.New(), locks: make(map[string]int)}
+}
+
+// SetLockout implements vault.LockoutStore.
+func (m *memLockStore) SetLockout(user string, failures int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if failures <= 0 {
+		delete(m.locks, user)
+		return nil
+	}
+	m.locks[user] = failures
+	return nil
+}
+
+// Lockouts implements vault.LockoutStore.
+func (m *memLockStore) Lockouts() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make(map[string]int, len(m.locks))
+	for u, n := range m.locks {
+		cp[u] = n
+	}
+	return cp
+}
+
+// TestReloadLockoutsSweepKeepsReadoptedCounters: when the reload's
+// capacity sweep evicts a tracked user that the same reload later
+// re-adopts from the persisted map (map iteration order is random),
+// the post-loop zeroing pass must skip that user — durably zeroing a
+// counter that is live again would hand a guesser a fresh attempt
+// budget on the next restart, the exact hole the reload closes.
+func TestReloadLockoutsSweepKeepsReadoptedCounters(t *testing.T) {
+	cfg := testConfig(t, 2)
+	const budget = 3
+	// The bad interleaving needs a sweep-triggering new name to be
+	// iterated before the target; with 100 new names per round and a
+	// few rounds, the schedule is hit with near certainty.
+	for round := 0; round < 3; round++ {
+		store := newMemLockStore()
+		svc, err := NewService(cfg, store, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The in-memory map sits at capacity; target is tracked with a
+		// sub-lockout counter, so a sweep would evict it.
+		svc.mu.Lock()
+		for i := 0; i < maxFailureEntries; i++ {
+			svc.failures[fmt.Sprintf("filler%05d", i)] = 1
+		}
+		svc.failures["target"] = 1
+		svc.mu.Unlock()
+		// Replication delivered target's lockout plus a crowd of new
+		// names. Adopting any new name first sweeps target out
+		// mid-loop; the reload must still leave target locked in
+		// memory AND leave its persisted counter intact.
+		if err := store.SetLockout("target", budget); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if err := store.SetLockout(fmt.Sprintf("new%03d", i), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		svc.ReloadLockouts()
+		svc.mu.Lock()
+		got := svc.failures["target"]
+		svc.mu.Unlock()
+		if got != budget {
+			t.Fatalf("round %d: in-memory target counter = %d, want %d", round, got, budget)
+		}
+		if got := store.Lockouts()["target"]; got != budget {
+			t.Fatalf("round %d: target's persisted lockout = %d, want %d (sweep durably zeroed a re-adopted counter)", round, got, budget)
+		}
 	}
 }

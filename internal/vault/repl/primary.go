@@ -41,6 +41,12 @@ type bufEntry struct {
 type shardBuf struct {
 	entries []bufEntry
 	bytes   int
+	// trimmedThrough is the highest seq the retention trim has
+	// discarded (0 when nothing was ever trimmed). A cursor at or below
+	// it may be owed a trimmed committed record, so resuming it from
+	// the retained tail could silently skip acked writes — such a
+	// follower must re-bootstrap from a snapshot instead.
+	trimmedThrough uint64
 }
 
 // qwaiter is one quorum-mode writer waiting for follower coverage of
@@ -171,6 +177,7 @@ func (ps *primaryState) commit(shard int, frames []byte, lastSeq uint64) {
 	ps.head[shard] = lastSeq
 	for b.bytes > ps.n.opts.RetainBytes && len(b.entries) > 0 {
 		b.bytes -= len(b.entries[0].frame)
+		b.trimmedThrough = b.entries[0].seq
 		b.entries[0] = bufEntry{}
 		b.entries = b.entries[1:]
 	}
@@ -380,7 +387,19 @@ func (ps *primaryState) collectWork(next []uint64) []senderAction {
 			continue // fully caught up
 		}
 		b := &ps.bufs[s]
-		// Find the first retained entry at or past the cursor.
+		if next[s] <= b.trimmedThrough {
+			// The trim discarded committed records at or past the
+			// cursor: the retained tail may start above it, but shipping
+			// from there would silently skip the trimmed records (and in
+			// quorum mode release their waiters on the batch's high
+			// ack). The follower fell behind the bounded buffer;
+			// re-bootstrap it.
+			actions = append(actions, senderAction{shard: s, snapshot: true})
+			continue
+		}
+		// Find the first retained entry at or past the cursor. Any gap
+		// between the cursor and that entry is now provably a failed
+		// batch's never-shipped seqs, not trimmed data.
 		idx := -1
 		for k := range b.entries {
 			if b.entries[k].seq >= next[s] {

@@ -472,18 +472,30 @@ func (n *Node) sendFence(addr string, epoch uint64) {
 // value, mutations are refused from here on, the primary machinery
 // (listener, follower connections, pending quorum waiters) shuts
 // down, and reads fall under the follower staleness regime.
+//
+// A fence only bites while remoteEpoch is strictly ahead of the
+// node's own epoch, re-checked under n.mu: callers compare epochs
+// outside the lock, so a Promote racing in between may have already
+// carried the node to remoteEpoch or beyond — fencing then would tear
+// down the newly started higher-epoch primary on a stale observation.
 func (n *Node) fence(remoteEpoch uint64, newPrimary string) {
+	n.mu.Lock()
+	if remoteEpoch <= n.epoch {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
 	if _, err := n.store.AdvanceEpoch(remoteEpoch); err != nil {
 		n.opts.Logf("repl: persisting fenced epoch %d: %v", remoteEpoch, err)
 	}
 	n.mu.Lock()
-	if remoteEpoch <= n.epoch && n.fenced {
+	if remoteEpoch <= n.epoch {
+		// A concurrent Promote (or another fence) caught up while we
+		// persisted; the epoch advance is durable either way.
 		n.mu.Unlock()
 		return
 	}
-	if remoteEpoch > n.epoch {
-		n.epoch = remoteEpoch
-	}
+	n.epoch = remoteEpoch
 	n.fenced = true
 	if newPrimary != "" {
 		n.primaryAddr = newPrimary

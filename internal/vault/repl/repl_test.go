@@ -3,6 +3,8 @@ package repl
 import (
 	"errors"
 	"fmt"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -261,5 +263,117 @@ func TestReplFollowerStaleness(t *testing.T) {
 	_, err := f.Get("fresh")
 	if !errors.As(err, &npe) || npe.Primary != "primary:9" {
 		t.Fatalf("stale read error = %v, want redirect to primary:9", err)
+	}
+}
+
+// TestCollectWorkSnapshotsAcrossTrimGap: a cursor at or below the
+// trim watermark must escalate to a snapshot even when retained
+// entries exist above it — shipping from the retained floor would
+// silently skip the trimmed committed records in between.
+func TestCollectWorkSnapshotsAcrossTrimGap(t *testing.T) {
+	ps := &primaryState{
+		head: []uint64{9},
+		bufs: []shardBuf{{
+			entries:        []bufEntry{{seq: 8, frame: []byte("x8")}, {seq: 9, frame: []byte("x9")}},
+			bytes:          4,
+			trimmedThrough: 7,
+		}},
+	}
+	// Cursor 5 is owed trimmed seqs 5..7: snapshot, never frames.
+	acts := ps.collectWork([]uint64{5})
+	if len(acts) != 1 || !acts[0].snapshot {
+		t.Fatalf("cursor below trim watermark: got %+v, want a snapshot", acts)
+	}
+	// Cursor 8 resumes exactly at the retained floor: frames are safe.
+	acts = ps.collectWork([]uint64{8})
+	if len(acts) != 1 || acts[0].snapshot || acts[0].lastSeq != 9 {
+		t.Fatalf("cursor at retained floor: got %+v, want frames through seq 9", acts)
+	}
+	// Cursor 10 is fully caught up: nothing owed.
+	if acts := ps.collectWork([]uint64{10}); len(acts) != 0 {
+		t.Fatalf("caught-up cursor: got %+v, want none", acts)
+	}
+}
+
+// TestReplPartialTrimForcesSnapshot: when retention trims only part
+// of what a detached follower missed (trimmed records below, retained
+// tail above), resuming from the retained tail would silently skip
+// the trimmed records — the follower must re-bootstrap and converge
+// to the full state.
+func TestReplPartialTrimForcesSnapshot(t *testing.T) {
+	pst := openTestStore(t)
+	p := newTestPrimary(t, pst, Options{Ack: AckAsync, RetainBytes: 2048})
+	fst := openTestStore(t)
+	var mu sync.Mutex
+	blocked := false
+	var conns []net.Conn
+	dial := func(addr string) (net.Conn, error) {
+		mu.Lock()
+		if blocked {
+			mu.Unlock()
+			return nil, fmt.Errorf("link severed")
+		}
+		mu.Unlock()
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	newTestFollower(t, fst, p.ReplAddr(), Options{Dial: dial, Redial: 20 * time.Millisecond})
+	if err := p.Put(testRecord("seed")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	waitFor(t, 5*time.Second, "initial convergence", func() bool { return fst.Len() == 1 })
+	// Sever the link, then churn enough that each shard's retention
+	// trims part — but typically not all — of what the follower
+	// missed.
+	mu.Lock()
+	blocked = true
+	for _, c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+	for i := 0; i < 100; i++ {
+		if err := p.Put(testRecord(fmt.Sprintf("churn%03d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	mu.Lock()
+	blocked = false
+	mu.Unlock()
+	waitFor(t, 10*time.Second, "re-bootstrap convergence", func() bool { return fst.Len() == 101 })
+	// The oldest churn record sits below the retained tail of its
+	// shard; it must have arrived via the snapshot.
+	if _, err := fst.Get("churn000"); err != nil {
+		t.Fatalf("follower is missing a trimmed-window record: %v", err)
+	}
+}
+
+// TestStaleFenceIgnoredAtOrBelowOwnEpoch: fence re-checks the epoch
+// under the node lock — a fence carrying an epoch the node has
+// already reached (its caller compared epochs outside the lock, so a
+// concurrent Promote may have raced past it) must be a no-op, not
+// tear down the primary machinery of an up-to-date primary.
+func TestStaleFenceIgnoredAtOrBelowOwnEpoch(t *testing.T) {
+	st := openTestStore(t)
+	p := newTestPrimary(t, st, Options{Ack: AckAsync})
+	e := p.Epoch()
+	p.fence(e, "stale:1")
+	if s := p.Stats(); s.Fenced {
+		t.Fatalf("equal-epoch fence deposed an active primary: %+v", s)
+	}
+	if err := p.Put(testRecord("after-stale-fence")); err != nil {
+		t.Fatalf("Put after stale fence: %v", err)
+	}
+	// A genuinely higher epoch still fences.
+	p.fence(e+1, "peer:1")
+	if err := p.Put(testRecord("after-real-fence")); !errors.Is(err, vault.ErrNotPrimary) {
+		t.Fatalf("higher-epoch fence did not depose: err=%v", err)
+	}
+	if got := p.Epoch(); got != e+1 {
+		t.Fatalf("fenced epoch = %d, want %d", got, e+1)
 	}
 }
