@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-store bench-diff loadsmoke storm-smoke recovery-smoke repl-smoke docs-lint cover ci
+.PHONY: all build test vet race bench bench-json bench-store bench-session bench-diff loadsmoke storm-smoke recovery-smoke repl-smoke session-smoke docs-lint cover ci
 
 all: build vet test
 
@@ -68,6 +68,7 @@ DIFF_OUT ?= /tmp/pwbench-diff
 bench-diff:
 	$(GO) run ./cmd/pwbench -out $(DIFF_OUT) -benchtime 100ms
 	$(GO) run ./cmd/pwbench -store -out $(DIFF_OUT) -benchtime 100ms
+	$(GO) run ./cmd/pwbench -session -out $(DIFF_OUT) -benchtime 100ms
 	$(GO) run ./cmd/pwbench -diff . -out $(DIFF_OUT)
 
 # recovery-smoke is the CI crash drill: build the real pwserver, serve
@@ -91,6 +92,22 @@ repl-smoke:
 	$(GO) test ./cmd/pwserver -run TestReplSmoke -v
 	$(GO) test ./internal/loadtest -run TestLoadReplicatedPair -v
 
+# session-smoke is the CI session-tier drill: build the real pwserver,
+# start a quorum primary and a follower, log in for a signed session
+# token, validate it on BOTH nodes with zero vault reads, rotate the
+# signing key via POST /v1/session/rotate, SIGKILL the primary and
+# promote the follower, and assert the pre-rotation token still
+# validates on the survivor — then change the password and assert the
+# token is refused (revocation watermarks replicate with the keys).
+session-smoke:
+	$(GO) test ./cmd/pwserver -run TestSessionSmoke -v
+
+# bench-session records sign-once/verify-everywhere: token validation
+# (the stateless fast path) against the full click-verify login chain
+# at workers 1/2/4/8 as BENCH_session.json.
+bench-session:
+	$(GO) run ./cmd/pwbench -session -out .
+
 # docs-lint gates godoc coverage: go vet plus the repo's doclint
 # checker (package comment on every internal/ and cmd/ package,
 # doc comment on every exported identifier under internal/).
@@ -103,4 +120,4 @@ docs-lint:
 cover:
 	$(GO) test -cover ./...
 
-ci: build docs-lint test race loadsmoke storm-smoke recovery-smoke repl-smoke
+ci: build docs-lint test race loadsmoke storm-smoke recovery-smoke repl-smoke session-smoke

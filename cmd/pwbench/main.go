@@ -14,6 +14,7 @@
 //	pwbench -paths online,cohort -workers 1,8
 //	pwbench -out bench -benchtime 200ms      # CI smoke settings
 //	pwbench -store                           # vault backends -> BENCH_store.json
+//	pwbench -session                         # token validate vs login -> BENCH_session.json
 //	pwbench -diff . -out bench               # compare bench/ vs committed baselines
 package main
 
@@ -196,14 +197,15 @@ func (e *env) paths(seed uint64) (map[string]func(workers int) error, error) {
 func main() {
 	testing.Init()
 	var (
-		outDir    = flag.String("out", ".", "directory for BENCH_<name>.json files")
-		pathsArg  = flag.String("paths", "online,success,worstcase,cohort", "comma-separated hot paths to measure")
-		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts (1 is the speedup baseline)")
-		seed      = flag.Uint64("seed", 42, "simulation seed")
-		benchtime = flag.String("benchtime", "1s", "per-measurement budget (testing -benchtime syntax)")
-		storeOnly = flag.Bool("store", false, "measure the vault store backends (incl. durable fsync policies) into BENCH_store.json instead of the engine paths")
-		diffDir   = flag.String("diff", "", "run no benchmarks; compare BENCH_*.json in -out against the baselines in this directory and exit 1 on regressions")
-		threshold = flag.Float64("threshold", 25, "with -diff: fail when a case is more than this percent slower than baseline after median normalization")
+		outDir      = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		pathsArg    = flag.String("paths", "online,success,worstcase,cohort", "comma-separated hot paths to measure")
+		workers     = flag.String("workers", "1,2,4,8", "comma-separated worker counts (1 is the speedup baseline)")
+		seed        = flag.Uint64("seed", 42, "simulation seed")
+		benchtime   = flag.String("benchtime", "1s", "per-measurement budget (testing -benchtime syntax)")
+		storeOnly   = flag.Bool("store", false, "measure the vault store backends (incl. durable fsync policies) into BENCH_store.json instead of the engine paths")
+		sessionOnly = flag.Bool("session", false, "measure session-token validation vs full-verify login into BENCH_session.json instead of the engine paths")
+		diffDir     = flag.String("diff", "", "run no benchmarks; compare BENCH_*.json in -out against the baselines in this directory and exit 1 on regressions")
+		threshold   = flag.Float64("threshold", 25, "with -diff: fail when a case is more than this percent slower than baseline after median normalization")
 	)
 	flag.Parse()
 	if *diffDir != "" {
@@ -227,6 +229,15 @@ func main() {
 	counts, err := parseWorkers(*workers)
 	if err != nil {
 		fatal(err)
+	}
+	if *sessionOnly {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := runSessionBench(*outDir, counts); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	e, err := newBenchEnv(*seed, 0)
 	if err != nil {

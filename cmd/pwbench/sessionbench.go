@@ -1,0 +1,184 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clickpass/internal/authsvc"
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/geom"
+	"clickpass/internal/passpoints"
+	"clickpass/internal/session"
+	"clickpass/internal/vault"
+)
+
+// The -session mode: record sign-once/verify-everywhere as data.
+// Both paths run through the same middleware-chained handler a real
+// front serves — OpValidate is answered by the session tier's
+// signature check (warm verify cache, zero store calls) while OpLogin
+// pays the full click-verify chain at the server's default 1000 hash
+// iterations. The gap between the two rows IS the session tier's
+// value proposition, so it is captured per commit next to the engine
+// and store numbers and guarded by the same -diff gate.
+
+// sessionUsers is the enrolled population the bench cycles through —
+// enough to spread across vault shards and keep the verify cache
+// honest (every user's token stays resident; see cacheShardCap).
+const sessionUsers = 64
+
+// sessionClicks derives a deterministic 5-click password per user.
+func sessionClicks(seed int) []dataset.Click {
+	out := make([]dataset.Click, 5)
+	for i := range out {
+		out[i] = dataset.Click{X: 20 + (seed*31+i*83)%400, Y: 15 + (seed*17+i*59)%300}
+	}
+	return out
+}
+
+// sessionHandler builds the serving handler both rows share: the real
+// service over a sharded vault with the session middleware in front,
+// plus one enrolled-and-logged-in token per user.
+func sessionHandler() (authsvc.Handler, []string, error) {
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := passpoints.Config{
+		Image:  geom.Size{W: 451, H: 331},
+		Clicks: 5,
+		Scheme: scheme,
+		// The pwserver -iterations default: the login row must pay the
+		// production hash-chain price the token row avoids.
+		Iterations: 1000,
+	}
+	svc, err := authsvc.NewService(cfg, vault.NewSharded(0), 10)
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr, err := session.New(session.Options{TTL: time.Hour})
+	if err != nil {
+		return nil, nil, err
+	}
+	h := authsvc.Chain(svc, authsvc.WithSession(mgr))
+	ctx := context.Background()
+	tokens := make([]string, sessionUsers)
+	for i := range tokens {
+		user := fmt.Sprintf("s-%d", i)
+		if resp := h.Handle(ctx, authsvc.Request{Version: authsvc.Version, Op: authsvc.OpEnroll, User: user, Clicks: sessionClicks(i)}); resp.Code != authsvc.CodeOK {
+			return nil, nil, fmt.Errorf("enroll %s: %+v", user, resp)
+		}
+		resp := h.Handle(ctx, authsvc.Request{Version: authsvc.Version, Op: authsvc.OpLogin, User: user, Clicks: sessionClicks(i)})
+		if resp.Code != authsvc.CodeOK || resp.Token == "" {
+			return nil, nil, fmt.Errorf("login %s returned no token: %+v", user, resp)
+		}
+		tokens[i] = resp.Token
+	}
+	return h, tokens, nil
+}
+
+// sessionOp runs one benchmark: b.N requests spread across `workers`
+// goroutines, each goroutine walking the user population round-robin.
+// ns/op is wall time per request across all workers, matching the
+// store bench's put8 convention.
+func sessionOp(workers int, req func(i int) authsvc.Request, want authsvc.Code, h authsvc.Handler) testing.BenchmarkResult {
+	ctx := context.Background()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var wg sync.WaitGroup
+		var fail atomic.Value
+		for g := 0; g < workers; g++ {
+			share := b.N / workers
+			if g < b.N%workers {
+				share++
+			}
+			wg.Add(1)
+			go func(g, share int) {
+				defer wg.Done()
+				for i := 0; i < share; i++ {
+					resp := h.Handle(ctx, req(g*share+i))
+					if resp.Code != want {
+						fail.Store(fmt.Errorf("got %q, want %q: %+v", resp.Code, want, resp))
+						return
+					}
+				}
+			}(g, share)
+		}
+		wg.Wait()
+		if err, ok := fail.Load().(error); ok {
+			b.Fatal(err)
+		}
+	})
+}
+
+// runSessionBench measures token validation against the full
+// click-verify login at workers 1/2/4/8, writes BENCH_session.json
+// into outDir, and prints a Markdown table.
+func runSessionBench(outDir string, counts []int) error {
+	h, tokens, err := sessionHandler()
+	if err != nil {
+		return err
+	}
+	bench := StoreBench{Name: "session", GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, w := range counts {
+		r := sessionOp(w, func(i int) authsvc.Request {
+			return authsvc.Request{Version: authsvc.Version, Op: authsvc.OpValidate, Token: tokens[i%sessionUsers]}
+		}, authsvc.CodeOK, h)
+		bench.Runs = append(bench.Runs, StoreRun{
+			Backend: "validate", Op: fmt.Sprintf("w%d", w),
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+		r = sessionOp(w, func(i int) authsvc.Request {
+			u := i % sessionUsers
+			return authsvc.Request{Version: authsvc.Version, Op: authsvc.OpLogin, User: fmt.Sprintf("s-%d", u), Clicks: sessionClicks(u)}
+		}, authsvc.CodeOK, h)
+		bench.Runs = append(bench.Runs, StoreRun{
+			Backend: "login", Op: fmt.Sprintf("w%d", w),
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "pwbench: measured session paths at workers=%d\n", w)
+	}
+	out, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	file := filepath.Join(outDir, "BENCH_session.json")
+	if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pwbench: wrote %s\n", file)
+	fmt.Print(sessionMarkdownTable(bench, counts))
+	return nil
+}
+
+// sessionMarkdownTable renders the validate-vs-login comparison CI
+// publishes, with the per-worker speedup of the token path.
+func sessionMarkdownTable(bench StoreBench, counts []int) string {
+	byKey := map[string]StoreRun{}
+	for _, r := range bench.Runs {
+		byKey[r.Backend+"/"+r.Op] = r
+	}
+	var b strings.Builder
+	b.WriteString("| workers | validate ns/op | login ns/op | token speedup |\n|---|---|---|---|\n")
+	for _, w := range counts {
+		v := byKey[fmt.Sprintf("validate/w%d", w)]
+		l := byKey[fmt.Sprintf("login/w%d", w)]
+		speedup := 0.0
+		if v.NsPerOp > 0 {
+			speedup = l.NsPerOp / v.NsPerOp
+		}
+		fmt.Fprintf(&b, "| %d | %.0f | %.0f | %.0fx |\n", w, v.NsPerOp, l.NsPerOp, speedup)
+	}
+	return b.String()
+}

@@ -28,6 +28,22 @@
 //	auto     (default) memory, or sharded when -shards > 0 — the
 //	         pre-durable flag behavior, kept for compatibility
 //
+// The stateless session tier is on by default: a successful login
+// response carries a signed expiring token, and POST /v1/validate (or
+// the TCP validate op) checks it against in-memory keys with zero
+// vault reads — the cheap steady-state complement to the deliberately
+// expensive PassPoints login. -session-ttl sets the token lifetime (0
+// disables the tier), -session-rotate enables periodic key rotation
+// with a one-generation overlap window, and -session-alg picks
+// ed25519 (default) or hmac. On the durable backend the keys and
+// per-user revocation watermarks persist in the vault's replicated
+// side table, so sessions survive restarts and failovers; password
+// changes, resets, and lockouts revoke a user's outstanding tokens.
+//
+// -commit-window batches durable-backend fsyncs: the shard leader
+// holds its group commit open this long so concurrent writers share
+// one flush (0 = flush immediately, the default).
+//
 // -role turns on vault replication (durable backend only): a primary
 // streams every shard's WAL to followers over -repl-listen, a
 // follower (-role follower -repl-primary host:port) applies the
@@ -57,6 +73,7 @@ import (
 	"clickpass/internal/core"
 	"clickpass/internal/geom"
 	"clickpass/internal/passpoints"
+	"clickpass/internal/session"
 	"clickpass/internal/vault"
 	"clickpass/internal/vault/repl"
 )
@@ -82,6 +99,10 @@ func main() {
 		ckptMin     = flag.Int("checkpoint-min", vault.DefaultCheckpointMin, "durable backend: skip checkpointing a shard with fewer than this many records since its last checkpoint")
 		ckptMinB    = flag.Int64("checkpoint-min-bytes", 0, "durable backend: a shard whose WAL grew at least this many bytes since its last checkpoint is checkpointed even below -checkpoint-min records (0 = record-count gate only)")
 		migrateFrom = flag.String("migrate-from", "", "durable backend: JSON snapshot to import into an empty log directory")
+		commitWin   = flag.Duration("commit-window", 0, "durable backend: hold each shard's group commit open this long so concurrent writers share one fsync (0 = flush immediately)")
+		sessionTTL  = flag.Duration("session-ttl", time.Hour, "session token lifetime; 0 disables the session tier (no tokens minted, validate refused)")
+		sessionRot  = flag.Duration("session-rotate", 0, "session key rotation interval; tokens stay valid for one generation of overlap (0 = no automatic rotation)")
+		sessionAlg  = flag.String("session-alg", "ed25519", "session token signature algorithm: ed25519 or hmac")
 		maxConns    = flag.Int("maxconns", authproto.DefaultMaxConns, "max in-flight requests across all fronts (and TCP connection pool size)")
 		userRate    = flag.Float64("userrate", 0, "per-user request rate limit in req/s across all fronts (0 = off)")
 		userBurst   = flag.Int("userburst", 5, "per-user burst budget for -userrate")
@@ -115,7 +136,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	store, backend, closeStore, err := openBackend(*backendArg, *vaultPath, *shards, *fsyncArg, *compactAt, *ckptEvery, *ckptMin, *ckptMinB, *migrateFrom)
+	store, backend, closeStore, err := openBackend(*backendArg, *vaultPath, *shards, *fsyncArg, *compactAt, *ckptEvery, *ckptMin, *ckptMinB, *commitWin, *migrateFrom)
 	if err != nil {
 		fatal(err)
 	}
@@ -172,9 +193,57 @@ func main() {
 		srv.RegisterMetrics(vaultHealthMetrics(dur))
 		srv.RegisterAdmin("/v1/reopen-shard", reopenShardHandler(dur))
 	}
+	var sessMgr *session.Manager
+	if *sessionTTL > 0 {
+		alg, err := session.ParseAlg(*sessionAlg)
+		if err != nil {
+			fatal(err)
+		}
+		// The session tier persists through the replication node when
+		// there is one (role guard in front: a follower adopts keys
+		// instead of inventing them), else straight through the durable
+		// store; the in-memory backends leave it soft-state.
+		var kv session.KV
+		switch {
+		case node != nil:
+			kv = node
+		case dur != nil:
+			kv = dur
+		}
+		sessMgr, err = session.New(session.Options{
+			Alg:    alg,
+			TTL:    *sessionTTL,
+			Rotate: *sessionRot,
+			Store:  kv,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "pwserver: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if dur != nil {
+			// Replicated key and revocation writes flow into the manager
+			// as they apply; the second Reseed closes the window between
+			// New's initial load and the watch installation.
+			dur.SetKVWatch(sessMgr.ApplyKV)
+			if err := sessMgr.Reseed(); err != nil {
+				fatal(err)
+			}
+		}
+		sessMgr.Start()
+		srv.SetSession(sessMgr)
+		srv.RegisterMetrics(sessMgr.WritePrometheus)
+		srv.RegisterAdmin("/v1/session/rotate", sessionRotateHandler(sessMgr))
+		rotateDesc := "manual rotation only"
+		if *sessionRot > 0 {
+			rotateDesc = fmt.Sprintf("rotating every %s", *sessionRot)
+		}
+		fmt.Printf("pwserver: session tier on (%s, ttl %s, %s)\n", alg, *sessionTTL, rotateDesc)
+	}
 	if node != nil {
 		srv.RegisterMetrics(replMetrics(node))
-		srv.RegisterAdmin("/v1/promote", promoteHandler(node, srv))
+		srv.RegisterAdmin("/v1/promote", promoteHandler(node, srv, sessMgr))
 	}
 	srv.SetMaxConns(*maxConns)
 	if *userRate > 0 {
@@ -264,6 +333,9 @@ func main() {
 		if metricsSrv != nil {
 			_ = metricsSrv.Close()
 		}
+		if sessMgr != nil {
+			sessMgr.Close()
+		}
 		// Flush and release the store only after the drain: "drained"
 		// means every acked response's mutation is in the log.
 		if cerr := closeStore(); err == nil {
@@ -281,7 +353,7 @@ func main() {
 // human-readable description for the startup banner, and a close func
 // (a no-op for the snapshot backends, a log flush-and-close for the
 // durable one).
-func openBackend(backend, path string, shards int, fsync string, compactRatio float64, ckptEvery time.Duration, ckptMin int, ckptMinBytes int64, migrateFrom string) (vault.Store, string, func() error, error) {
+func openBackend(backend, path string, shards int, fsync string, compactRatio float64, ckptEvery time.Duration, ckptMin int, ckptMinBytes int64, commitWindow time.Duration, migrateFrom string) (vault.Store, string, func() error, error) {
 	noClose := func() error { return nil }
 	if backend == "auto" {
 		if shards > 0 {
@@ -315,6 +387,7 @@ func openBackend(backend, path string, shards int, fsync string, compactRatio fl
 			CheckpointEvery:    ckptEvery,
 			CheckpointMin:      ckptMin,
 			CheckpointMinBytes: ckptMinBytes,
+			CommitWindow:       commitWindow,
 		})
 		if err != nil {
 			return nil, "", nil, err
@@ -407,8 +480,12 @@ func replMetrics(n *repl.Node) func(io.Writer) {
 // durably advanced epoch. The response carries the new epoch; the old
 // primary — if still alive — is fenced best-effort. After the role
 // flip the serving layer re-adopts replicated lockout counters, so a
-// guesser does not get a fresh attempt budget out of a failover.
-func promoteHandler(n *repl.Node, srv *authproto.Server) http.Handler {
+// guesser does not get a fresh attempt budget out of a failover — and
+// the session tier reseeds its keys and revocation watermarks from
+// the replicated side table, so tokens minted by the old primary keep
+// validating (and newly writable storage lets it create a first key
+// if the pair never minted one).
+func promoteHandler(n *repl.Node, srv *authproto.Server, sess *session.Manager) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -420,8 +497,37 @@ func promoteHandler(n *repl.Node, srv *authproto.Server) http.Handler {
 			return
 		}
 		srv.ReloadLockouts()
+		if sess != nil {
+			if err := sess.Reseed(); err != nil {
+				fmt.Fprintf(os.Stderr, "pwserver: session reseed after promote: %v\n", err)
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "epoch": epoch})
+	})
+}
+
+// sessionRotateHandler serves POST /v1/session/rotate on the admin
+// listener: mint signing material forward one generation, on the
+// operator's schedule rather than the -session-rotate timer. The old
+// generation keeps verifying for one more rotation (the overlap
+// window), so rotation is invisible to holders of live tokens. On a
+// follower the underlying persist is refused and the rotation fails
+// loudly — keys are only ever minted where they can be replicated
+// from.
+func sessionRotateHandler(sess *session.Manager) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := sess.Rotate(); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		gen, _ := sess.Generations()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "generation": gen})
 	})
 }
 

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clickpass/internal/authsvc"
+)
+
+// TestSessionSmoke is the end-to-end session-tier drill the CI
+// session-smoke job runs: build the real pwserver binary, start a
+// quorum primary and a follower as separate processes, log in to get
+// a signed token, validate it on BOTH nodes (the follower verifies
+// with keys it adopted off the replication stream — it never talks to
+// the primary), rotate the signing key through the admin endpoint,
+// SIGKILL the primary and promote the follower, and assert the
+// pre-rotation token still validates on the survivor (the one-
+// generation overlap window crossed both a rotation and a failover).
+// Then change the password on the survivor and assert the token is
+// refused — revocation watermarks ride the same replicated side
+// table as the keys.
+func TestSessionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pwserver")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pwserver: %v\n%s", err, out)
+	}
+	var (
+		pRepl  = fmt.Sprintf("127.0.0.1:%d", pickPort(t))
+		pAdmin = fmt.Sprintf("127.0.0.1:%d", pickPort(t))
+		fRepl  = fmt.Sprintf("127.0.0.1:%d", pickPort(t))
+		fAdmin = fmt.Sprintf("127.0.0.1:%d", pickPort(t))
+	)
+	ctx := context.Background()
+
+	// Quorum primary: every OK mutation this test sees is fsynced on
+	// the follower before the response. (The primary's very first
+	// session key is written before the follower attaches — locally
+	// durable, quorum-deferred — and reaches the follower in the
+	// attach-time full sync.)
+	pAddr, killPrimary := startPwserver(t, bin, filepath.Join(dir, "vault-a.d"),
+		"-role", "primary", "-repl-listen", pRepl, "-repl-ack", "quorum", "-metrics", pAdmin)
+	fAddr, killFollower := startPwserver(t, bin, filepath.Join(dir, "vault-b.d"),
+		"-role", "follower", "-repl-primary", pRepl, "-repl-listen", fRepl,
+		"-repl-ack", "async", "-metrics", fAdmin)
+	defer killFollower()
+
+	pc := dialT(t, pAddr)
+	// The enroll doubles as the attach barrier: its quorum ack cannot
+	// arrive until the follower is connected and streaming.
+	if resp, err := pc.Do(ctx, authsvc.Request{Op: authsvc.OpEnroll, User: "s-user", Clicks: smokeClicks(3)}); err != nil || !resp.OK() {
+		t.Fatalf("enroll: %+v %v", resp, err)
+	}
+	login, err := pc.Do(ctx, authsvc.Request{Op: authsvc.OpLogin, User: "s-user", Clicks: smokeClicks(3)})
+	if err != nil || !login.OK() || login.Token == "" {
+		t.Fatalf("login returned no session token: %+v %v", login, err)
+	}
+
+	// The token validates on the primary, and — once the key frames
+	// have streamed across — on the follower, which never contacts the
+	// primary to answer.
+	if resp, err := pc.Do(ctx, authsvc.Request{Op: authsvc.OpValidate, Token: login.Token}); err != nil || !resp.OK() || resp.User != "s-user" {
+		t.Fatalf("validate on primary: %+v %v", resp, err)
+	}
+	fc := dialT(t, fAddr)
+	waitValidate(t, fc, login.Token, "follower adopts replicated session key")
+
+	// Rotate the signing key through the admin lever; the follower's
+	// metrics must show the new generation (key replicated), and the
+	// gen-1 token must keep validating everywhere (overlap window).
+	rotate := postT(t, "http://"+pAdmin+"/v1/session/rotate")
+	var rr struct {
+		OK         bool   `json:"ok"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(rotate, &rr); err != nil || !rr.OK || rr.Generation != 2 {
+		t.Fatalf("rotate response: %s (err=%v)", rotate, err)
+	}
+	waitMetric(t, pAdmin, "session_key_generation 2")
+	waitMetric(t, fAdmin, "session_key_generation 2")
+	if resp, err := pc.Do(ctx, authsvc.Request{Op: authsvc.OpValidate, Token: login.Token}); err != nil || !resp.OK() {
+		t.Fatalf("validate on primary after rotation: %+v %v", resp, err)
+	}
+	waitValidate(t, fc, login.Token, "follower validates across rotation")
+
+	pc.Close()
+	killPrimary() // SIGKILL: no drain, no fence, no goodbye
+
+	// Failover. The survivor reseeds its session state on promote and
+	// the pre-rotation token still validates: signed state needed
+	// nothing from the dead node.
+	promote := postT(t, "http://"+fAdmin+"/v1/promote")
+	var pr struct {
+		OK    bool   `json:"ok"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(promote, &pr); err != nil || !pr.OK || pr.Epoch == 0 {
+		t.Fatalf("promote response: %s (err=%v)", promote, err)
+	}
+	if resp, err := fc.Do(ctx, authsvc.Request{Op: authsvc.OpValidate, Token: login.Token}); err != nil || !resp.OK() || resp.User != "s-user" {
+		t.Fatalf("validate on survivor after failover: %+v %v", resp, err)
+	}
+
+	// Password change on the survivor revokes the outstanding session;
+	// the revocation is effective locally before it is ever shipped.
+	if resp, err := fc.Do(ctx, authsvc.Request{Op: authsvc.OpChange, User: "s-user", Clicks: smokeClicks(3), NewClicks: smokeClicks(8)}); err != nil || !resp.OK() {
+		t.Fatalf("change on survivor: %+v %v", resp, err)
+	}
+	if resp, err := fc.Do(ctx, authsvc.Request{Op: authsvc.OpValidate, Token: login.Token}); err != nil || resp.Code != authsvc.CodeDenied {
+		t.Fatalf("revoked token accepted on survivor: %+v %v", resp, err)
+	}
+	// And life goes on: a fresh login under the new password mints a
+	// token the survivor trusts.
+	login2, err := fc.Do(ctx, authsvc.Request{Op: authsvc.OpLogin, User: "s-user", Clicks: smokeClicks(8)})
+	if err != nil || !login2.OK() || login2.Token == "" {
+		t.Fatalf("post-failover login: %+v %v", login2, err)
+	}
+	if resp, err := fc.Do(ctx, authsvc.Request{Op: authsvc.OpValidate, Token: login2.Token}); err != nil || !resp.OK() {
+		t.Fatalf("validate fresh token on survivor: %+v %v", resp, err)
+	}
+	fc.Close()
+}
+
+// waitValidate polls OpValidate until the token is accepted —
+// replication is asynchronous from the client's point of view, so
+// key adoption on the follower is awaited, not assumed.
+func waitValidate(t *testing.T, c authsvc.Client, token, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := c.Do(context.Background(), authsvc.Request{Op: authsvc.OpValidate, Token: token})
+		if err == nil && resp.OK() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: token never validated: %+v %v", what, resp, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitMetric polls an admin /metrics page until want appears.
+func waitMetric(t *testing.T, admin, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + admin + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Contains(string(body), want) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s /metrics never showed %q", admin, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// postT POSTs to url with retries (admin listeners come up just
+// after the banner) and returns the response body.
+func postT(t *testing.T, url string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(url, "application/json", nil)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return body
+			}
+			t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -59,11 +59,12 @@ type Op = authsvc.Op
 
 // Protocol operations.
 const (
-	OpPing   = authsvc.OpPing
-	OpEnroll = authsvc.OpEnroll
-	OpLogin  = authsvc.OpLogin
-	OpChange = authsvc.OpChange // replace the password after verifying the old one
-	OpReset  = authsvc.OpReset  // administrative: clear an account's lockout
+	OpPing     = authsvc.OpPing
+	OpEnroll   = authsvc.OpEnroll
+	OpLogin    = authsvc.OpLogin
+	OpChange   = authsvc.OpChange   // replace the password after verifying the old one
+	OpReset    = authsvc.OpReset    // administrative: clear an account's lockout
+	OpValidate = authsvc.OpValidate // check a session token minted by login
 )
 
 // Request is the wire shape of a client request. V is the additive
@@ -79,6 +80,8 @@ type Request struct {
 	// milliseconds the client will wait, queueing included. Zero
 	// (legacy clients) means no budget.
 	BudgetMs int `json:"budget_ms,omitempty"`
+	// Token carries the session token for OpValidate. Additive.
+	Token string `json:"token,omitempty"`
 }
 
 // service converts the wire request to the service's typed request.
@@ -90,6 +93,7 @@ func (r Request) service() authsvc.Request {
 		Clicks:    r.Clicks,
 		NewClicks: r.NewClicks,
 		BudgetMs:  r.BudgetMs,
+		Token:     r.Token,
 	}
 }
 
@@ -102,6 +106,7 @@ func wireRequest(req authsvc.Request) Request {
 		Clicks:    req.Clicks,
 		NewClicks: req.NewClicks,
 		BudgetMs:  req.BudgetMs,
+		Token:     req.Token,
 	}
 }
 
@@ -123,6 +128,12 @@ type Response struct {
 	// the replica serving writes. Additive; only replicated servers
 	// send it.
 	Primary string `json:"primary,omitempty"`
+	// Token accompanies a successful login on a session-enabled
+	// server. Additive.
+	Token string `json:"token,omitempty"`
+	// User accompanies a successful validate: the account the token
+	// names. Additive.
+	User string `json:"user,omitempty"`
 }
 
 // wireResponse converts a service response to its wire shape.
@@ -136,6 +147,8 @@ func wireResponse(resp authsvc.Response) Response {
 		Remaining:    resp.Remaining,
 		RetryAfterMs: resp.RetryAfterMs,
 		Primary:      resp.Primary,
+		Token:        resp.Token,
+		User:         resp.User,
 	}
 }
 
@@ -146,7 +159,8 @@ func wireResponse(resp authsvc.Response) Response {
 func (r Response) service() authsvc.Response {
 	if r.Code != "" {
 		return authsvc.Response{Version: r.V, Code: authsvc.Code(r.Code), Err: r.Error,
-			Remaining: r.Remaining, RetryAfterMs: r.RetryAfterMs, Primary: r.Primary}
+			Remaining: r.Remaining, RetryAfterMs: r.RetryAfterMs, Primary: r.Primary,
+			Token: r.Token, User: r.User}
 	}
 	code := authsvc.CodeDenied
 	switch {
@@ -155,7 +169,8 @@ func (r Response) service() authsvc.Response {
 	case r.OK:
 		code = authsvc.CodeOK
 	}
-	return authsvc.Response{Version: r.V, Code: code, Err: r.Error, Remaining: r.Remaining}
+	return authsvc.Response{Version: r.V, Code: code, Err: r.Error, Remaining: r.Remaining,
+		Token: r.Token, User: r.User}
 }
 
 // Server is the network front of the authentication service. The
@@ -175,6 +190,7 @@ type Server struct {
 	reqTimeout time.Duration
 	overload   authsvc.OverloadPolicy
 	faults     authsvc.FaultOptions
+	session    authsvc.SessionTier
 	logw       io.Writer
 
 	// Operator-surface extensions (RegisterAdmin / RegisterMetrics),
@@ -242,6 +258,14 @@ func (s *Server) rebuild() {
 	if s.logw != nil {
 		mw = append(mw, authsvc.WithLog(s.logw))
 	}
+	if s.session != nil {
+		// Session outside deadline/rate/admission: a validate is a
+		// sub-microsecond in-memory check, so it is answered here —
+		// counted and logged, but never queued behind hash-heavy work
+		// or charged an admission slot. Login minting and revocation
+		// ride the response path, after the inner pipeline has spoken.
+		mw = append(mw, authsvc.WithSession(s.session))
+	}
 	mw = append(mw,
 		authsvc.WithDeadline(s.reqTimeout),
 		authsvc.WithUserRate(s.userRate, s.userBurst),
@@ -287,6 +311,17 @@ func (s *Server) SetUserRate(perSec float64, burst int) {
 // legacy unbounded-queue WithAdmission. Call before serving.
 func (s *Server) SetOverload(pol authsvc.OverloadPolicy) {
 	s.overload = pol
+	s.rebuild()
+}
+
+// SetSession mounts the stateless session tier (internal/session's
+// Manager, or any authsvc.SessionTier) on the pipeline: successful
+// logins mint tokens, OpValidate is answered from memory on both the
+// TCP and HTTP fronts, and password changes, resets, and lockouts
+// revoke the user's outstanding tokens. nil removes it. Call before
+// serving.
+func (s *Server) SetSession(tier authsvc.SessionTier) {
+	s.session = tier
 	s.rebuild()
 }
 

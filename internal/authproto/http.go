@@ -39,6 +39,7 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux.HandleFunc("/v1/enroll", s.httpOp(OpEnroll))
 	mux.HandleFunc("/v1/login", s.httpOp(OpLogin))
 	mux.HandleFunc("/v1/change", s.httpOp(OpChange))
+	mux.HandleFunc("/v1/validate", s.httpOp(OpValidate))
 	return mux
 }
 

@@ -43,6 +43,13 @@ const (
 	OpLogin  Op = "login"
 	OpChange Op = "change" // replace the password after verifying the old one
 	OpReset  Op = "reset"  // administrative: clear an account's lockout
+	// OpValidate checks a session token minted by a successful login.
+	// It is answered entirely by the WithSession middleware — a
+	// signature check against in-memory keys, zero store calls — and
+	// never reaches the Service; a server with no session tier refuses
+	// it with CodeInvalid. Additive: legacy servers answer it as an
+	// unknown op, which also reads as CodeInvalid.
+	OpValidate Op = "validate"
 )
 
 // Request is one versioned service request. The zero Version means
@@ -62,6 +69,9 @@ type Request struct {
 	// dropped before it touches the vault instead of being served late
 	// to a caller that already gave up.
 	BudgetMs int `json:"budget_ms,omitempty"`
+	// Token carries the session token for OpValidate. Additive; only
+	// session-aware clients send it.
+	Token string `json:"token,omitempty"`
 }
 
 // Code is the typed outcome of a request — the enum that replaces the
@@ -125,6 +135,14 @@ type Response struct {
 	// Primary accompanies CodeNotPrimary: the advertised address of
 	// the replica that can serve writes, empty if unknown.
 	Primary string `json:"primary,omitempty"`
+	// Token accompanies a successful login on a session-enabled
+	// server: the signed session token the client presents to
+	// OpValidate instead of re-running the full click-sequence verify.
+	// Additive; legacy servers never send it.
+	Token string `json:"token,omitempty"`
+	// User accompanies a successful OpValidate: the account the token
+	// names. Additive.
+	User string `json:"user,omitempty"`
 }
 
 // OK reports whether the request succeeded.
@@ -320,6 +338,11 @@ func (s *Service) Handle(ctx context.Context, req Request) Response {
 			s.persistLockout(req.User, 0)
 		}
 		return Response{Version: Version, Code: CodeOK}
+	case OpValidate:
+		// WithSession answers this before it ever reaches the Service;
+		// getting here means the server has no session tier.
+		return Response{Version: Version, Code: CodeInvalid,
+			Err: "session validation not enabled on this server"}
 	default:
 		return Response{Version: Version, Code: CodeInvalid,
 			Err: fmt.Sprintf("unknown op %q", req.Op)}

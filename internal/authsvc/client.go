@@ -27,6 +27,9 @@ type Client interface {
 	Login(ctx context.Context, user string, clicks []dataset.Click) (Response, error)
 	// Change replaces the password after verifying the old one.
 	Change(ctx context.Context, user string, old, new []dataset.Click) (Response, error)
+	// Validate checks a session token minted by a successful login;
+	// the response's User field names the account on CodeOK.
+	Validate(ctx context.Context, token string) (Response, error)
 	// Close releases the transport.
 	Close() error
 }
@@ -65,4 +68,9 @@ func (o Ops) Login(ctx context.Context, user string, clicks []dataset.Click) (Re
 // Change replaces the password after verifying the old one.
 func (o Ops) Change(ctx context.Context, user string, old, new []dataset.Click) (Response, error) {
 	return o.Do(ctx, Request{Version: Version, Op: OpChange, User: user, Clicks: old, NewClicks: new})
+}
+
+// Validate checks a session token.
+func (o Ops) Validate(ctx context.Context, token string) (Response, error) {
+	return o.Do(ctx, Request{Version: Version, Op: OpValidate, Token: token})
 }

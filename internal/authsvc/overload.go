@@ -45,7 +45,11 @@ func (p Priority) String() string {
 // PriorityFor maps an op to its admission priority.
 func PriorityFor(op Op) Priority {
 	switch op {
-	case OpLogin, OpPing:
+	case OpLogin, OpPing, OpValidate:
+		// Validate normally never reaches admission (WithSession answers
+		// it first); the priority covers servers without a session tier,
+		// where it is refused cheaply and should not queue behind bulk
+		// work to say so.
 		return PriorityHigh
 	case OpChange, OpEnroll:
 		return PriorityNormal

@@ -203,7 +203,9 @@ func (c *RetryClient) swapInner(nc Client) {
 // transport failure that may or may not have executed it.
 func idempotent(op Op) bool {
 	switch op {
-	case OpPing, OpLogin, OpReset:
+	case OpPing, OpLogin, OpReset, OpValidate:
+		// Validate is a pure read of in-memory session state: re-sending
+		// one after a torn connection cannot double-apply anything.
 		return true
 	}
 	return false

@@ -1,0 +1,67 @@
+package authsvc
+
+import "context"
+
+// SessionTier is the slice of internal/session's Manager the serving
+// pipeline uses: mint on successful login, validate without touching
+// the store, revoke on any event that must invalidate outstanding
+// sessions. Declared here (rather than importing the session package)
+// so the dependency points outward: the session tier knows nothing of
+// the service, and tests can drop in counterfeits.
+type SessionTier interface {
+	// Mint issues a token for user.
+	Mint(user string) (string, error)
+	// Validate checks a token and returns the user it names. It must
+	// perform no store I/O — that contract is what lets WithSession
+	// sit outside the admission pipeline.
+	Validate(token string) (string, error)
+	// Revoke invalidates every token minted for user at or before
+	// now.
+	Revoke(user string) error
+}
+
+// WithSession mounts the stateless session tier on the pipeline:
+//
+//   - OpValidate is answered here, entirely from memory — the request
+//     never reaches admission, the deadline stage, or the Service, so
+//     a validate can never be queued behind hash-heavy logins or cost
+//     a limiter slot. Any validation failure is CodeDenied; the
+//     reason granularity lives in the session tier's metrics.
+//   - A successful OpLogin response is stamped with a freshly minted
+//     token (Response.Token). A mint failure — a follower that has
+//     not adopted keys yet — degrades to a token-less login rather
+//     than failing an otherwise-correct authentication.
+//   - Any event that must cut off outstanding sessions revokes the
+//     user: a successful OpChange or OpReset (the credential the
+//     tokens were minted under is gone or suspect), and any
+//     CodeLocked response (the account is under online attack; §5.1's
+//     lockout would be toothless if an attacker's earlier session
+//     kept working). Revocation persistence failures are deliberately
+//     swallowed: the local watermark already refuses the tokens, and
+//     failing the triggering request would punish the legitimate
+//     caller.
+func WithSession(tier SessionTier) Middleware {
+	return func(next Handler) Handler {
+		return HandlerFunc(func(ctx context.Context, req Request) Response {
+			if req.Op == OpValidate {
+				user, err := tier.Validate(req.Token)
+				if err != nil {
+					return Response{Version: Version, Code: CodeDenied, Err: "invalid session"}
+				}
+				return Response{Version: Version, Code: CodeOK, User: user}
+			}
+			resp := next.Handle(ctx, req)
+			switch {
+			case req.Op == OpLogin && resp.Code == CodeOK && req.User != "":
+				if tok, err := tier.Mint(req.User); err == nil {
+					resp.Token = tok
+				}
+			case resp.Code == CodeLocked && req.User != "":
+				_ = tier.Revoke(req.User)
+			case (req.Op == OpChange || req.Op == OpReset) && resp.Code == CodeOK && req.User != "":
+				_ = tier.Revoke(req.User)
+			}
+			return resp
+		})
+	}
+}

@@ -226,6 +226,61 @@ func AuthMix(users []string, clicksFor func(user string) []dataset.Click, writeP
 	}
 }
 
+// SessionMix drives the session-tier serving shape: each swarm client
+// logs in once to obtain a signed session token, then spends every
+// remaining op validating it — the sign-once/verify-everywhere
+// pattern the stateless session tier serves. The token is captured
+// from the login response by the mix's Check, so wire both Request
+// and Check into the Config. Per-client state is touched only from
+// that client's goroutine (Run issues client i's requests and checks
+// sequentially), so the mix needs no locking.
+type SessionMix struct {
+	users     []string
+	clicksFor func(user string) []dataset.Click
+	tokens    []string // per-client captured token; goroutine-local to client i
+}
+
+// NewSessionMix builds a session mix for a swarm of `clients` clients
+// over the already-enrolled users. It panics immediately on an empty
+// user list — in the caller's goroutine, not a swarm worker's.
+func NewSessionMix(users []string, clicksFor func(user string) []dataset.Click, clients int) *SessionMix {
+	if len(users) == 0 {
+		panic("loadtest: NewSessionMix requires at least one user")
+	}
+	return &SessionMix{users: users, clicksFor: clicksFor, tokens: make([]string, clients)}
+}
+
+func (m *SessionMix) user(client int) string { return m.users[client%len(m.users)] }
+
+// Request issues logins until the client has captured a token, then
+// validates it for the rest of the run.
+func (m *SessionMix) Request(client, op int) authsvc.Request {
+	if m.tokens[client] == "" {
+		user := m.user(client)
+		return authsvc.Request{Version: authsvc.Version, Op: authsvc.OpLogin, User: user, Clicks: m.clicksFor(user)}
+	}
+	return authsvc.Request{Version: authsvc.Version, Op: authsvc.OpValidate, Token: m.tokens[client]}
+}
+
+// Check requires every op to succeed, captures minted tokens, and
+// flags a token-less login — against a server with no session tier
+// the mix would otherwise silently degrade into all-logins and
+// measure nothing it claims to.
+func (m *SessionMix) Check(client, op int, resp authsvc.Response) error {
+	if err := RequireOK(client, op, resp); err != nil {
+		return err
+	}
+	if resp.Token != "" {
+		m.tokens[client] = resp.Token
+	} else if m.tokens[client] == "" {
+		return fmt.Errorf("loadtest: client %d login minted no session token", client)
+	}
+	if resp.User != "" && resp.User != m.user(client) {
+		return fmt.Errorf("loadtest: client %d token validated as %q, want %q", client, resp.User, m.user(client))
+	}
+	return nil
+}
+
 // RequireOK is a Check that flags any non-OK response — the right
 // check for a mix whose every request is expected to succeed.
 func RequireOK(client, op int, resp authsvc.Response) error {

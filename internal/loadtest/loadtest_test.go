@@ -18,6 +18,7 @@ import (
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
 	"clickpass/internal/passpoints"
+	"clickpass/internal/session"
 	"clickpass/internal/vault"
 )
 
@@ -161,6 +162,80 @@ func TestLoadSwarmSmoke(t *testing.T) {
 		}
 		closeHTTP()
 		shutdown()
+	}
+}
+
+// startSessionServer is startServer with a stateless session tier
+// mounted (soft-state keys: no Store, so the manager mints its own
+// generation 1), the serving shape the session mix drives.
+func startSessionServer(tb testing.TB, store vault.Store) (addr string, shutdown func()) {
+	tb.Helper()
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := passpoints.Config{
+		Image:      geom.Size{W: 451, H: 331},
+		Clicks:     5,
+		Scheme:     scheme,
+		Iterations: 2,
+	}
+	srv, err := authproto.NewServer(cfg, store, 1<<30)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mgr, err := session.New(session.Options{TTL: time.Hour})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(mgr.Close)
+	srv.SetSession(mgr)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { _ = srv.Serve(l); close(done) }()
+	return l.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			tb.Errorf("shutdown: %v", err)
+		}
+		<-done
+	}
+}
+
+// TestLoadSessionMix is the session-tier swarm smoke (runs under the
+// CI loadsmoke pattern): every client logs in once, then validates
+// its token for the rest of the run, with zero errors — which proves
+// the login minted a token (the mix flags token-less logins) and that
+// every validate came back OK for the right user.
+func TestLoadSessionMix(t *testing.T) {
+	clientCount, ops := 16, 20
+	if testing.Short() {
+		clientCount, ops = 8, 10
+	}
+	addr, shutdown := startSessionServer(t, vault.NewSharded(0))
+	defer shutdown()
+	users := enrollUsers(t, addr, clientCount)
+	mix := NewSessionMix(users, userClicks, clientCount)
+	res, err := Run(Config{
+		Dial:         TCPTransport(addr, 0),
+		Clients:      clientCount,
+		OpsPerClient: ops,
+		Request:      mix.Request,
+		Check:        mix.Check,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("session mix: %s", res)
+	if res.Errors != 0 {
+		t.Errorf("session swarm saw %d errors", res.Errors)
+	}
+	if res.Ops != clientCount*ops {
+		t.Errorf("completed %d ops, want %d", res.Ops, clientCount*ops)
 	}
 }
 

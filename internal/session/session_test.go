@@ -1,0 +1,429 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memKV is an in-memory KV for tests, optionally refusing writes to
+// model a replication follower.
+type memKV struct {
+	mu       sync.Mutex
+	m        map[string][]byte
+	sets     int
+	gets     int
+	ranges   int
+	readOnly bool
+}
+
+func newMemKV() *memKV { return &memKV{m: make(map[string][]byte)} }
+
+func (s *memKV) SetKV(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets++
+	if s.readOnly {
+		return errors.New("not primary")
+	}
+	if len(val) == 0 {
+		delete(s.m, key)
+		return nil
+	}
+	s.m[key] = append([]byte(nil), val...)
+	return nil
+}
+
+func (s *memKV) GetKV(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	v, ok := s.m[key]
+	return v, ok
+}
+
+func (s *memKV) KVRange(prefix string) map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ranges++
+	out := make(map[string][]byte)
+	for k, v := range s.m {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out[k] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}
+
+func (s *memKV) calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sets + s.gets + s.ranges
+}
+
+// fakeClock is a settable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func newTestManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	m, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestMintValidateRoundTrip(t *testing.T) {
+	for _, alg := range []Alg{AlgEd25519, AlgHMAC} {
+		t.Run(alg.String(), func(t *testing.T) {
+			clk := newClock()
+			m := newTestManager(t, Options{Alg: alg, TTL: time.Hour, Now: clk.now})
+			tok, err := m.Mint("alice")
+			if err != nil {
+				t.Fatalf("Mint: %v", err)
+			}
+			for i := 0; i < 2; i++ { // second pass exercises the verify cache
+				user, err := m.Validate(tok)
+				if err != nil || user != "alice" {
+					t.Fatalf("Validate pass %d = %q, %v", i, user, err)
+				}
+			}
+			clk.advance(time.Hour + time.Nanosecond)
+			if _, err := m.Validate(tok); !errors.Is(err, ErrExpired) {
+				t.Fatalf("after TTL: err = %v, want ErrExpired", err)
+			}
+		})
+	}
+}
+
+func TestRevocationWatermark(t *testing.T) {
+	clk := newClock()
+	st := newMemKV()
+	m := newTestManager(t, Options{TTL: time.Hour, Now: clk.now, Store: st})
+	tok, err := m.Mint("bob")
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if _, err := m.Validate(tok); err != nil {
+		t.Fatalf("pre-revoke Validate: %v", err)
+	}
+	if err := m.Revoke("bob"); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	if _, err := m.Validate(tok); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("post-revoke: err = %v, want ErrRevoked", err)
+	}
+	// A token minted strictly after the watermark is good again.
+	clk.advance(time.Nanosecond)
+	tok2, err := m.Mint("bob")
+	if err != nil {
+		t.Fatalf("re-Mint: %v", err)
+	}
+	if user, err := m.Validate(tok2); err != nil || user != "bob" {
+		t.Fatalf("post-revoke fresh token: %q, %v", user, err)
+	}
+	// Other users are untouched.
+	tokC, _ := m.Mint("carol")
+	if _, err := m.Validate(tokC); err != nil {
+		t.Fatalf("unrelated user hit by revocation: %v", err)
+	}
+	// The watermark persisted.
+	if _, ok := st.GetKV("session/rev/bob"); !ok {
+		t.Fatalf("revocation watermark not persisted")
+	}
+}
+
+// TestRotationOverlapWindow is the rotation property test: a token
+// minted under generation N validates through one rotation (overlap)
+// and is refused after the second, and the property holds across a
+// simulated hard restart (a brand-new Manager reseeded from the same
+// store — which is exactly what SIGKILL + reopen produces, since
+// every key write is durable before use).
+func TestRotationOverlapWindow(t *testing.T) {
+	clk := newClock()
+	st := newMemKV()
+	m := newTestManager(t, Options{TTL: 24 * time.Hour, Now: clk.now, Store: st})
+
+	tok, err := m.Mint("alice")
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if cur, _ := m.Generations(); cur != 1 {
+		t.Fatalf("fresh manager at generation %d, want 1", cur)
+	}
+	if err := m.Rotate(); err != nil { // now at gen 2; token gen 1 in overlap
+		t.Fatalf("Rotate: %v", err)
+	}
+	if user, err := m.Validate(tok); err != nil || user != "alice" {
+		t.Fatalf("after 1 rotation (overlap): %q, %v", user, err)
+	}
+
+	// Restart: a fresh Manager over the same durable state must reach
+	// the same verdicts — including for a token it never minted.
+	m2 := newTestManager(t, Options{TTL: 24 * time.Hour, Now: clk.now, Store: st})
+	if cur, active := m2.Generations(); cur != 2 || active != 2 {
+		t.Fatalf("restarted manager sees gen %d with %d keys, want 2 with 2", cur, active)
+	}
+	if user, err := m2.Validate(tok); err != nil || user != "alice" {
+		t.Fatalf("restarted manager, overlap token: %q, %v", user, err)
+	}
+
+	if err := m2.Rotate(); err != nil { // gen 3; token gen 1 is out
+		t.Fatalf("Rotate: %v", err)
+	}
+	if _, err := m2.Validate(tok); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("after 2 rotations: err = %v, want ErrStaleGeneration", err)
+	}
+	// The original manager lags at gen 2 but rotation also pruned the
+	// store; a second restart only sees gens 2 and 3.
+	m3 := newTestManager(t, Options{TTL: 24 * time.Hour, Now: clk.now, Store: st})
+	if _, err := m3.Validate(tok); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("restart after 2 rotations: err = %v, want ErrStaleGeneration", err)
+	}
+	if len(st.KVRange("session/key/")) != 2 {
+		t.Fatalf("store holds %d key generations, want 2 (current + overlap)", len(st.KVRange("session/key/")))
+	}
+}
+
+// TestValidateZeroStoreCalls is the acceptance check that the
+// validate path performs no store round-trips: after warmup, a
+// counting store sees zero additional calls across many validations
+// of hits, misses, revoked, and expired tokens.
+func TestValidateZeroStoreCalls(t *testing.T) {
+	clk := newClock()
+	st := newMemKV()
+	m := newTestManager(t, Options{TTL: time.Hour, Now: clk.now, Store: st})
+	good, err := m.Mint("alice")
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	revoked, _ := m.Mint("mallory")
+	if err := m.Revoke("mallory"); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	expired, _ := m.Mint("late")
+
+	before := st.calls()
+	for i := 0; i < 1000; i++ {
+		if _, err := m.Validate(good); err != nil {
+			t.Fatalf("Validate(good): %v", err)
+		}
+		if _, err := m.Validate(revoked); !errors.Is(err, ErrRevoked) {
+			t.Fatalf("Validate(revoked): %v", err)
+		}
+		if _, err := m.Validate("garbage-" + good); !errors.Is(err, ErrBadToken) {
+			t.Fatalf("Validate(garbage): %v", err)
+		}
+	}
+	clk.advance(2 * time.Hour)
+	if _, err := m.Validate(expired); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Validate(expired): %v", err)
+	}
+	if got := st.calls(); got != before {
+		t.Fatalf("validate path made %d store calls, want 0", got-before)
+	}
+}
+
+// TestFollowerAdoptsKeys models the follower side: the store refuses
+// writes, so the manager defers key creation and adopts whatever
+// ApplyKV (the replication watch) delivers — then revokes locally
+// even though its persistence attempt fails.
+func TestFollowerAdoptsKeys(t *testing.T) {
+	clk := newClock()
+
+	// Primary mints as usual.
+	pst := newMemKV()
+	p := newTestManager(t, Options{TTL: time.Hour, Now: clk.now, Store: pst})
+	tok, err := p.Mint("alice")
+	if err != nil {
+		t.Fatalf("primary Mint: %v", err)
+	}
+
+	// Follower boots with a read-only empty store: no key invented.
+	fst := newMemKV()
+	fst.readOnly = true
+	f := newTestManager(t, Options{TTL: time.Hour, Now: clk.now, Store: fst})
+	if cur, _ := f.Generations(); cur != 0 {
+		t.Fatalf("follower invented key generation %d", cur)
+	}
+	if _, err := f.Mint("x"); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("keyless Mint err = %v, want ErrNoKey", err)
+	}
+	if _, err := f.Validate(tok); err == nil {
+		t.Fatalf("follower validated a token with no keys")
+	}
+
+	// Replication delivers the primary's key writes.
+	for k, v := range pst.KVRange("session/") {
+		f.ApplyKV(k, v)
+	}
+	if user, err := f.Validate(tok); err != nil || user != "alice" {
+		t.Fatalf("follower Validate after adoption: %q, %v", user, err)
+	}
+	// An adopted key also mints (promotion needs this).
+	if _, err := f.Mint("bob"); err != nil {
+		t.Fatalf("follower Mint after adoption: %v", err)
+	}
+
+	// Rotation on the follower is refused by the store and changes
+	// nothing locally.
+	if err := f.Rotate(); err == nil {
+		t.Fatalf("follower Rotate succeeded against a read-only store")
+	}
+	if cur, _ := f.Generations(); cur != 1 {
+		t.Fatalf("failed rotation moved follower to generation %d", cur)
+	}
+
+	// Local revocation sticks even though persistence fails.
+	if err := f.Revoke("alice"); err == nil {
+		t.Fatalf("follower Revoke reported success against a read-only store")
+	}
+	if _, err := f.Validate(tok); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("follower after local revoke: %v, want ErrRevoked", err)
+	}
+}
+
+// TestApplyKVRevocationAndDeletes covers replicated revocation
+// watermarks (max-wins) and key deletions.
+func TestApplyKVRevocationAndDeletes(t *testing.T) {
+	clk := newClock()
+	m := newTestManager(t, Options{TTL: time.Hour, Now: clk.now})
+	tok, err := m.Mint("alice")
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	wm := clk.now().UnixNano()
+	m.ApplyKV("session/rev/alice", []byte(fmt.Sprintf("%d", wm)))
+	if _, err := m.Validate(tok); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("after replicated revocation: %v, want ErrRevoked", err)
+	}
+	// An older watermark must not regress the newer one.
+	m.ApplyKV("session/rev/alice", []byte(fmt.Sprintf("%d", wm-10)))
+	if _, err := m.Validate(tok); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("older watermark regressed the newer one: %v", err)
+	}
+	// Deleting the watermark clears it.
+	m.ApplyKV("session/rev/alice", nil)
+	if _, err := m.Validate(tok); err != nil {
+		t.Fatalf("after watermark delete: %v", err)
+	}
+	// Deleting the key generation drops it from the key set.
+	m.ApplyKV("session/key/1", nil)
+	if _, active := m.Generations(); active != 0 {
+		t.Fatalf("deleted key still installed (%d active)", active)
+	}
+	// Malformed entries are ignored, not fatal.
+	m.ApplyKV("session/key/notanumber", []byte("{}"))
+	m.ApplyKV("session/key/5", []byte("not json"))
+	m.ApplyKV("session/rev/", []byte("123"))
+	m.ApplyKV("session/rev/x", []byte("not a number"))
+	m.ApplyKV("unrelated/key", []byte("ignored"))
+}
+
+func TestTamperedTokensRejected(t *testing.T) {
+	clk := newClock()
+	m := newTestManager(t, Options{TTL: time.Hour, Now: clk.now})
+	tok, err := m.Mint("alice")
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	// A token signed by a different manager (attacker's own key, same
+	// format) must fail: "resigned" case.
+	other := newTestManager(t, Options{TTL: time.Hour, Now: clk.now})
+	forged, err := other.Mint("alice")
+	if err != nil {
+		t.Fatalf("other Mint: %v", err)
+	}
+	if _, err := m.Validate(forged); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("foreign-key token: err = %v, want ErrBadToken", err)
+	}
+	// Truncations.
+	for _, n := range []int{1, 2, len(tok) / 2, len(tok) - 1} {
+		if _, err := m.Validate(tok[:n]); err == nil {
+			t.Fatalf("truncated token (len %d) validated", n)
+		}
+	}
+	if _, err := m.Validate(""); err == nil {
+		t.Fatalf("empty token validated")
+	}
+}
+
+func TestVerifyCacheBounded(t *testing.T) {
+	clk := newClock()
+	// HMAC keeps 70k+ mint/validate pairs fast under -race.
+	m := newTestManager(t, Options{Alg: AlgHMAC, TTL: time.Hour, Now: clk.now})
+	// Overfill well past one shard's capacity; total held entries must
+	// stay within the global bound.
+	total := cacheShardCount*cacheShardCap + 5000
+	for i := 0; i < total; i++ {
+		tok, err := m.Mint(fmt.Sprintf("user-%d", i))
+		if err != nil {
+			t.Fatalf("Mint: %v", err)
+		}
+		if _, err := m.Validate(tok); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+	held := 0
+	for i := range m.cache {
+		m.cache[i].mu.Lock()
+		held += len(m.cache[i].m)
+		m.cache[i].mu.Unlock()
+	}
+	if held > cacheShardCount*cacheShardCap {
+		t.Fatalf("cache holds %d entries, bound is %d", held, cacheShardCount*cacheShardCap)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	clk := newClock()
+	st := newMemKV()
+	m := newTestManager(t, Options{TTL: time.Hour, Now: clk.now, Store: st})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tok, err := m.Mint(fmt.Sprintf("u%d", w))
+				if err != nil {
+					t.Errorf("Mint: %v", err)
+					return
+				}
+				if _, err := m.Validate(tok); err != nil && !errors.Is(err, ErrStaleGeneration) {
+					t.Errorf("Validate: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					if err := m.Rotate(); err != nil {
+						t.Errorf("Rotate: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -181,7 +181,7 @@ func (n *Node) followOnce(fo *followerState) error {
 			if m.Shard < 0 || m.Shard >= n.shards {
 				return fmt.Errorf("snapshot for unknown shard %d", m.Shard)
 			}
-			if err := n.store.InstallShardSnapshot(m.Shard, m.Records, m.Lockouts); err != nil {
+			if err := n.store.InstallShardSnapshot(m.Shard, m.Records, m.Lockouts, m.KV); err != nil {
 				return fmt.Errorf("installing shard %d snapshot: %w", m.Shard, err)
 			}
 			fo.setApplied(m.Shard, m.Seq)

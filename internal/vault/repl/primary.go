@@ -311,6 +311,20 @@ func (ps *primaryState) handleConn(c net.Conn) {
 		ps.mu.Unlock()
 		return
 	}
+	if len(ps.conns) > 0 {
+		// Exactly one follower per primary: quorum release keys on the
+		// MAX acked seq across attached connections, so with two
+		// followers a write acks once the faster one has it — and is
+		// silently lost if the slower one is later promoted. Until
+		// multi-follower quorums are a designed feature (see
+		// ROADMAP.md), a second concurrent follower is refused loudly
+		// rather than admitted into undefined behavior.
+		for other := range ps.conns {
+			n.opts.Logf("repl: REFUSING follower %s: follower %s is already attached and single-follower quorum would be unsound with both", pc.addr, other.addr)
+		}
+		ps.mu.Unlock()
+		return
+	}
 	ps.conns[pc] = struct{}{}
 	ps.mu.Unlock()
 	defer func() {
@@ -445,13 +459,13 @@ func (ps *primaryState) senderLoop(pc *pconn, next []uint64) {
 		ps.mu.Unlock()
 		for _, a := range actions {
 			if a.snapshot {
-				recs, locks, seq, err := n.store.ShardSnapshot(a.shard)
+				recs, locks, kv, seq, err := n.store.ShardSnapshot(a.shard)
 				if err != nil {
 					n.opts.Logf("repl: snapshotting shard %d for %s: %v", a.shard, pc.addr, err)
 					pc.c.Close()
 					return
 				}
-				m := wireMsg{Type: msgSnapshot, Shard: a.shard, Seq: seq, Records: recs, Lockouts: locks}
+				m := wireMsg{Type: msgSnapshot, Shard: a.shard, Seq: seq, Records: recs, Lockouts: locks, KV: kv}
 				if err := pc.write(&m, n.opts.QuorumTimeout); err != nil {
 					pc.c.Close()
 					return

@@ -69,9 +69,12 @@ type wireMsg struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// Frames is a concatenation of WAL frames (frames messages).
 	Frames []byte `json:"frames,omitempty"`
-	// Records and Lockouts carry a shard snapshot's state.
+	// Records, Lockouts, and KV carry a shard snapshot's state (KV is
+	// the durable side table — session keys and revocation
+	// watermarks).
 	Records  []*passpoints.Record `json:"records,omitempty"`
 	Lockouts map[string]int       `json:"lockouts,omitempty"`
+	KV       map[string][]byte    `json:"kv,omitempty"`
 }
 
 // wireHeaderSize is the fixed framing: little-endian uint32 payload

@@ -399,6 +399,29 @@ func (n *Node) SetLockout(user string, failures int) error {
 // Lockouts returns a copy of every persisted counter.
 func (n *Node) Lockouts() map[string]int { return n.store.Lockouts() }
 
+// SetKV durably sets a side-table blob (primary only) — the session
+// tier's key/revocation persistence path, forwarded to the durable
+// store so the write replicates like any other mutation.
+func (n *Node) SetKV(key string, val []byte) error {
+	if err := n.writable(); err != nil {
+		return err
+	}
+	return n.store.SetKV(key, val)
+}
+
+// GetKV returns a copy of key's side-table blob. Served from local
+// state on both roles: the session tier reads at seed/adopt time, and
+// a follower's copy is exactly as fresh as the rest of its replica.
+func (n *Node) GetKV(key string) ([]byte, bool) { return n.store.GetKV(key) }
+
+// KVRange returns a copy of every side-table entry under prefix.
+func (n *Node) KVRange(prefix string) map[string][]byte { return n.store.KVRange(prefix) }
+
+// SetKVWatch forwards to the durable store: the observer fires for
+// side-table keys changed by replication apply paths (see
+// vault.KVStore).
+func (n *Node) SetKVWatch(fn func(key string, val []byte)) { n.store.SetKVWatch(fn) }
+
 // Promote turns a follower (or a fenced ex-primary) into the primary:
 // it stops following, durably bumps the epoch past everything this
 // node has seen, starts a fresh stream incarnation listening on
@@ -559,6 +582,12 @@ type Stats struct {
 	// when unknown.
 	Primary string
 	// Followers lists attached followers and their lag (primary only).
+	// The slice shape is future-proofing, not multi-follower support:
+	// quorum acks wait on exactly ONE follower, and the primary
+	// refuses a second concurrent follower connection outright (two
+	// would make the max-ack quorum release unsound — a write could
+	// ack on the faster follower and be lost if the slower one is
+	// promoted). At most one entry is live at a time today.
 	Followers []FollowerStat
 	// StaleMs is the time since the last upstream message in
 	// milliseconds (followers and fenced ex-primaries; -1 otherwise).

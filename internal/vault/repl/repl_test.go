@@ -92,7 +92,7 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 func TestReplPairConverges(t *testing.T) {
 	pst, fst := openTestStore(t), openTestStore(t)
 	p := newTestPrimary(t, pst, Options{Ack: AckQuorum, QuorumTimeout: 5 * time.Second})
-	newTestFollower(t, fst, p.ReplAddr(), Options{Ack: AckQuorum})
+	f := newTestFollower(t, fst, p.ReplAddr(), Options{Ack: AckQuorum})
 
 	const users = 40
 	for i := 0; i < users; i++ {
@@ -120,9 +120,9 @@ func TestReplPairConverges(t *testing.T) {
 	}
 
 	// Follower role guard: mutations refused with a redirect, reads
-	// served.
-	f := newTestFollower(t, openTestStore(t), p.ReplAddr(), Options{})
-	waitFor(t, 5*time.Second, "second follower bootstrap", func() bool { return f.Len() == users-1 })
+	// served. (Asserted on the one attached follower — the primary
+	// refuses a second concurrent follower connection outright.)
+	waitFor(t, 5*time.Second, "follower convergence", func() bool { return f.Len() == users-1 })
 	err := f.Put(testRecord("newuser"))
 	var npe *vault.NotPrimaryError
 	if !errors.As(err, &npe) || !errors.Is(err, vault.ErrNotPrimary) {
@@ -140,6 +140,37 @@ func TestReplPairConverges(t *testing.T) {
 // quorum-mode mutation fails its writer after the timeout — but the
 // record is locally durable and visible (the documented semantics:
 // the error denies replica coverage, not existence).
+// TestReplSecondFollowerRefused: the primary admits exactly one
+// follower connection; a second concurrent one is refused (its conn
+// drops, it never bootstraps) while the first keeps streaming —
+// single-follower quorum stays sound instead of entering the
+// undefined two-follower max-ack regime.
+func TestReplSecondFollowerRefused(t *testing.T) {
+	p := newTestPrimary(t, openTestStore(t), Options{Ack: AckAsync})
+	f1 := newTestFollower(t, openTestStore(t), p.ReplAddr(), Options{})
+	if err := p.Put(testRecord("alice")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	waitFor(t, 5*time.Second, "first follower bootstrap", func() bool { return f1.Len() == 1 })
+
+	f2 := newTestFollower(t, openTestStore(t), p.ReplAddr(), Options{Redial: 50 * time.Millisecond})
+	// Give the second follower several dial attempts; it must never be
+	// admitted, so it never sees the record.
+	time.Sleep(300 * time.Millisecond)
+	if got := f2.Len(); got != 0 {
+		t.Fatalf("second follower bootstrapped %d records; the primary should have refused it", got)
+	}
+	st := p.Stats()
+	if len(st.Followers) != 1 {
+		t.Fatalf("primary reports %d followers, want exactly 1", len(st.Followers))
+	}
+	// The first follower still streams.
+	if err := p.Put(testRecord("bob")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	waitFor(t, 5*time.Second, "first follower still streaming", func() bool { return f1.Len() == 2 })
+}
+
 func TestReplQuorumTimeoutWithoutFollower(t *testing.T) {
 	st := openTestStore(t)
 	p := newTestPrimary(t, st, Options{Ack: AckQuorum, QuorumTimeout: 100 * time.Millisecond})

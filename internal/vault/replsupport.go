@@ -195,10 +195,11 @@ func (d *Durable) ReopenShard(i int) error {
 	if err != nil {
 		return fmt.Errorf("vault: reopening %s: %w", sh.path, err)
 	}
-	oldF, oldRecs, oldLocks := sh.f, sh.records, sh.lockouts
+	oldF, oldRecs, oldLocks, oldKV := sh.f, sh.records, sh.lockouts, sh.kv
 	sh.f = nf
 	sh.records = make(map[string]*passpoints.Record, len(oldRecs))
 	sh.lockouts = make(map[string]int, len(oldLocks))
+	sh.kv = make(map[string][]byte, len(oldKV))
 	sh.logID = 0
 	sh.wbuf = nil
 	sh.pending = sh.pending[:0]
@@ -207,7 +208,7 @@ func (d *Durable) ReopenShard(i int) error {
 		// memory and stay fail-stopped under the new cause.
 		nf.Close()
 		sh.f = oldF
-		sh.records, sh.lockouts = oldRecs, oldLocks
+		sh.records, sh.lockouts, sh.kv = oldRecs, oldLocks, oldKV
 		sh.failed = err
 		return fmt.Errorf("vault: reopening shard %d: %w", i, err)
 	}
@@ -220,21 +221,22 @@ func (d *Durable) ReopenShard(i int) error {
 }
 
 // ShardSnapshot returns a consistent copy of shard i's live state —
-// records sorted by user, lockout counters, and the shard's current
-// mutation sequence number — the bootstrap payload a primary streams
-// to a new or lagging follower. The shard is quiesced first so the
-// snapshot covers exactly the committed prefix: every mutation with
-// seq at or below the returned value is folded in, and the frame
-// stream resuming after it completes the state.
-func (d *Durable) ShardSnapshot(i int) ([]*passpoints.Record, map[string]int, uint64, error) {
+// records sorted by user, lockout counters, side-table (KVStore)
+// entries, and the shard's current mutation sequence number — the
+// bootstrap payload a primary streams to a new or lagging follower.
+// The shard is quiesced first so the snapshot covers exactly the
+// committed prefix: every mutation with seq at or below the returned
+// value is folded in, and the frame stream resuming after it
+// completes the state.
+func (d *Durable) ShardSnapshot(i int) ([]*passpoints.Record, map[string]int, map[string][]byte, uint64, error) {
 	if i < 0 || i >= len(d.shards) {
-		return nil, nil, 0, fmt.Errorf("vault: no shard %d", i)
+		return nil, nil, nil, 0, fmt.Errorf("vault: no shard %d", i)
 	}
 	sh := &d.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.f == nil {
-		return nil, nil, 0, fmt.Errorf("vault: store is closed")
+		return nil, nil, nil, 0, fmt.Errorf("vault: store is closed")
 	}
 	sh.quiesce()
 	recs := make([]*passpoints.Record, 0, len(sh.records))
@@ -246,7 +248,13 @@ func (d *Durable) ShardSnapshot(i int) ([]*passpoints.Record, map[string]int, ui
 	for u, n := range sh.lockouts {
 		locks[u] = n
 	}
-	return recs, locks, sh.seq, nil
+	kv := make(map[string][]byte, len(sh.kv))
+	for k, v := range sh.kv {
+		c := make([]byte, len(v))
+		copy(c, v)
+		kv[k] = c
+	}
+	return recs, locks, kv, sh.seq, nil
 }
 
 // InstallShardSnapshot replaces shard i's entire state with the given
@@ -256,11 +264,22 @@ func (d *Durable) ShardSnapshot(i int) ([]*passpoints.Record, map[string]int, ui
 // or after the install recovers to either the old or the new state,
 // never a blend. A fail-stopped shard is eligible (the install writes
 // a brand-new fsynced file, making durability provable again) and
-// comes back healthy on success.
-func (d *Durable) InstallShardSnapshot(i int, recs []*passpoints.Record, lockouts map[string]int) error {
+// comes back healthy on success. On success every side-table entry the
+// snapshot carries is delivered to the KV watch (after the shard lock
+// is released), so a watcher's soft state catches up with a bootstrap
+// exactly like it tracks the frame stream.
+func (d *Durable) InstallShardSnapshot(i int, recs []*passpoints.Record, lockouts map[string]int, kv map[string][]byte) error {
 	if i < 0 || i >= len(d.shards) {
 		return fmt.Errorf("vault: no shard %d", i)
 	}
+	var notify map[string][]byte
+	defer func() {
+		if w := d.kvWatch.Load(); w != nil && notify != nil {
+			for k, v := range notify {
+				(*w)(k, v)
+			}
+		}
+	}()
 	sh := &d.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -280,6 +299,12 @@ func (d *Durable) InstallShardSnapshot(i int, recs []*passpoints.Record, lockout
 			sh.lockouts[u] = n
 		}
 	}
+	sh.kv = make(map[string][]byte, len(kv))
+	for k, v := range kv {
+		if k != "" && len(v) > 0 {
+			sh.kv[k] = v
+		}
+	}
 	sh.wbuf = nil
 	sh.pending = sh.pending[:0]
 	wasFailed := sh.failed
@@ -289,6 +314,10 @@ func (d *Durable) InstallShardSnapshot(i int, recs []*passpoints.Record, lockout
 			sh.failed = wasFailed
 		}
 		return err
+	}
+	notify = make(map[string][]byte, len(sh.kv))
+	for k, v := range sh.kv {
+		notify[k] = v
 	}
 	return nil
 }
@@ -371,6 +400,19 @@ func (d *Durable) ApplyReplFrames(i int, frames []byte) error {
 	if err != nil {
 		return err
 	}
+	// Deliver applied side-table writes to the KV watch once every lock
+	// is dropped (this defer is registered before the unlock defer, so
+	// it runs after it): the watcher may call back into the store.
+	applied := false
+	defer func() {
+		if w := d.kvWatch.Load(); w != nil && applied {
+			for j := range entries {
+				if entries[j].Op == walOpKV && entries[j].Key != "" {
+					(*w)(entries[j].Key, entries[j].Val)
+				}
+			}
+		}
+	}()
 	sh := &d.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -411,5 +453,6 @@ func (d *Durable) ApplyReplFrames(i int, frames []byte) error {
 		sh.dirty = true
 		sh.dirtyGen++
 	}
+	applied = true
 	return nil
 }

@@ -52,10 +52,34 @@ type LockoutStore interface {
 	Lockouts() map[string]int
 }
 
+// KVStore is an optional Store extension for backends that can
+// durably persist a small side table of opaque blobs alongside the
+// records — configuration-grade state that must survive a restart and
+// replicate with the vault, but is not a PassPoints record. The
+// session tier type-asserts its store against this interface to
+// persist signing keys and revocation watermarks; backends without it
+// (the in-memory stores) leave the session tier in soft-state-only
+// mode. Keys are partitioned by FNV32a(key) exactly like records.
+type KVStore interface {
+	// SetKV durably sets key's blob; an empty or nil val deletes it.
+	SetKV(key string, val []byte) error
+	// GetKV returns a copy of key's blob and whether it exists.
+	GetKV(key string) ([]byte, bool)
+	// KVRange returns a copy of every entry whose key starts with
+	// prefix ("" for all).
+	KVRange(prefix string) map[string][]byte
+	// SetKVWatch installs (or with nil removes) an observer for keys
+	// changed by REPLICATION apply paths — not by local SetKV calls.
+	// The callback runs outside store locks and must tolerate
+	// duplicate deliveries; val is nil for a deletion.
+	SetKVWatch(fn func(key string, val []byte))
+}
+
 // All implementations must satisfy the interface.
 var (
-	_ Store = (*Vault)(nil)
-	_ Store = (*Sharded)(nil)
+	_ Store   = (*Vault)(nil)
+	_ Store   = (*Sharded)(nil)
+	_ KVStore = (*Durable)(nil)
 )
 
 // FNV32a returns the FNV-1a hash of s — the partitioning hash every

@@ -96,6 +96,8 @@ type walCkpt struct {
 	Records []*passpoints.Record `json:"records"`
 	// Lockouts is the live failed-attempt counter set.
 	Lockouts map[string]int `json:"lockouts,omitempty"`
+	// KV is the live side-table (KVStore) entry set.
+	KV map[string][]byte `json:"kv,omitempty"`
 }
 
 // readMarker decodes the log's first record if it is an intact
@@ -170,6 +172,11 @@ func (sh *walShard) applyCkpt(ck *walCkpt) {
 	for u, n := range ck.Lockouts {
 		if n > 0 {
 			sh.lockouts[u] = n
+		}
+	}
+	for k, v := range ck.KV {
+		if k != "" && len(v) > 0 {
+			sh.kv[k] = v
 		}
 	}
 }
@@ -328,6 +335,7 @@ func (d *Durable) checkpointShard(i, minDelta int, minBytes int64) error {
 		BaseOff:   sh.off,
 		Records:   make([]*passpoints.Record, 0, len(sh.records)),
 		Lockouts:  make(map[string]int, len(sh.lockouts)),
+		KV:        make(map[string][]byte, len(sh.kv)),
 	}
 	for _, r := range sh.records {
 		ck.Records = append(ck.Records, r)
@@ -335,6 +343,9 @@ func (d *Durable) checkpointShard(i, minDelta int, minBytes int64) error {
 	sort.Slice(ck.Records, func(a, b int) bool { return ck.Records[a].User < ck.Records[b].User })
 	for u, n := range sh.lockouts {
 		ck.Lockouts[u] = n
+	}
+	for k, v := range sh.kv {
+		ck.KV[k] = v
 	}
 	if err := writeCkptFile(d.dir, sh.ckptPath, &ck); err != nil {
 		return err

@@ -146,6 +146,15 @@ type DurableOptions struct {
 	// cannot defer rotation (and therefore replay cost) indefinitely.
 	// 0 keeps the record-count schedule alone.
 	CheckpointMinBytes int64
+	// CommitWindow, when > 0 under SyncAlways, makes each group-commit
+	// batch leader wait this long before flushing, so writers arriving
+	// inside the window join the batch instead of forming the next one
+	// — deeper batches (fewer fsyncs per mutation) at moderate load,
+	// bought with up to CommitWindow of added ack latency per write.
+	// 0 (the default) flushes immediately: the batch is whatever
+	// queued during the previous fsync, exactly the pre-window
+	// behavior.
+	CommitWindow time.Duration
 }
 
 // Durable is the crash-safe Store: the fnv-sharded in-memory map of
@@ -218,6 +227,14 @@ type Durable struct {
 	// its error fails the writer but never the shard (the record is
 	// locally durable, see ReplHooks).
 	replWait atomic.Pointer[func(shard int, seq uint64) error]
+	// kvWatch, when set, observes side-table keys changed by the
+	// REPLICATED apply paths (ApplyReplFrames, InstallShardSnapshot) —
+	// how a follower's soft state (the session key set) learns of
+	// primary writes without polling. Local SetKV calls do not fire it:
+	// the local writer already knows the value, and firing under the
+	// writer's own locks would invite deadlock. Fired after all shard
+	// locks are released. See SetKVWatch.
+	kvWatch atomic.Pointer[func(key string, val []byte)]
 }
 
 // walFile is the slice of *os.File the shard log code uses, split out
@@ -269,6 +286,12 @@ type walShard struct {
 	commit   sync.Cond // group-commit wakeups; commit.L == &mu
 	records  map[string]*passpoints.Record
 	lockouts map[string]int
+	// kv holds the shard's slice of the small durable key/value side
+	// table (see KVStore): opaque blobs keyed by FNV32a(key) exactly
+	// like records, logged, checkpointed, compacted, and replicated by
+	// the same machinery. Session signing keys and revocation
+	// watermarks live here.
+	kv       map[string][]byte
 	f        walFile
 	path     string
 	ckptPath string
@@ -309,6 +332,10 @@ type walShard struct {
 	// order (see ReplHooks.Commit). Called with sh.mu held; it must
 	// only copy the bytes out, never call back into the store.
 	ship func(frames []byte, lastSeq uint64)
+	// commitWindow is DurableOptions.CommitWindow, copied here so
+	// awaitCommit — a shard method — can read it without reaching back
+	// into the store.
+	commitWindow time.Duration
 }
 
 // Durable implements Store and the LockoutStore extension.
@@ -323,12 +350,17 @@ var (
 type walEntry struct {
 	// Op is "put" (store or overwrite Rec), "del" (remove User),
 	// "lock" (set User's failed-attempt counter to Failures; 0
-	// clears), or "ckpt" (a marker record identifying the log
+	// clears), "kv" (set Key's side-table blob to Val; empty Val
+	// deletes), or "ckpt" (a marker record identifying the log
 	// generation — see walckpt.go; never a mutation).
 	Op       string             `json:"op"`
 	User     string             `json:"user"`
 	Rec      *passpoints.Record `json:"rec,omitempty"`
 	Failures int                `json:"failures,omitempty"`
+	// Key and Val carry a "kv" side-table write (see KVStore); an
+	// empty Val deletes Key.
+	Key string `json:"key,omitempty"`
+	Val []byte `json:"val,omitempty"`
 	// Ckpt is the nonzero generation id of a "ckpt" marker record.
 	Ckpt uint64 `json:"ckpt,omitempty"`
 	// Full marks a "ckpt" marker written by compaction: the log after
@@ -340,6 +372,7 @@ const (
 	walOpPut  = "put"
 	walOpDel  = "del"
 	walOpLock = "lock"
+	walOpKV   = "kv"
 	walOpCkpt = "ckpt"
 )
 
@@ -421,6 +454,8 @@ func openDurable(dir string, opts DurableOptions, openFile func(string) (walFile
 		sh.commit.L = &sh.mu
 		sh.records = make(map[string]*passpoints.Record)
 		sh.lockouts = make(map[string]int)
+		sh.kv = make(map[string][]byte)
+		sh.commitWindow = opts.CommitWindow
 		sh.path = filepath.Join(dir, shardLogName(i))
 		sh.ckptPath = filepath.Join(dir, shardCkptName(i))
 		return sh.open(openFile)
@@ -482,6 +517,14 @@ func (sh *walShard) apply(e *walEntry) {
 		} else {
 			delete(sh.lockouts, e.User)
 		}
+	case walOpKV:
+		if e.Key != "" {
+			if len(e.Val) > 0 {
+				sh.kv[e.Key] = e.Val
+			} else {
+				delete(sh.kv, e.Key)
+			}
+		}
 	case walOpCkpt:
 		// generation marker, not a mutation
 	}
@@ -519,6 +562,16 @@ func (sh *walShard) applyUndo(e *walEntry) func() {
 				sh.lockouts[e.User] = prev
 			} else {
 				delete(sh.lockouts, e.User)
+			}
+		}
+	case walOpKV:
+		prev, had := sh.kv[e.Key]
+		sh.apply(e)
+		return func() {
+			if had {
+				sh.kv[e.Key] = prev
+			} else {
+				delete(sh.kv, e.Key)
 			}
 		}
 	}
@@ -744,6 +797,23 @@ func (sh *walShard) awaitCommit(myEnd int64) error {
 		}
 		if !sh.syncing {
 			sh.syncing = true
+			if sh.commitWindow > 0 {
+				// Adaptive batching: hold the leader role (syncing is
+				// set, so no rival flush starts) but let go of the lock
+				// so writers arriving inside the window stage into this
+				// very batch instead of the next one.
+				sh.mu.Unlock()
+				time.Sleep(sh.commitWindow)
+				sh.mu.Lock()
+				if sh.failed != nil {
+					// The shard fail-stopped while we slept (its wbuf is
+					// already rolled back); surrender leadership and let
+					// the loop report the failure.
+					sh.syncing = false
+					sh.commit.Broadcast()
+					continue
+				}
+			}
 			f := sh.f
 			batch := sh.wbuf
 			sh.wbuf = nil // writers arriving mid-flush stage a new buffer
@@ -797,8 +867,8 @@ func (sh *walShard) quiesce() {
 }
 
 // live returns the shard's live entry count (records plus tracked
-// lockout counters). Caller holds sh.mu.
-func (sh *walShard) live() int { return len(sh.records) + len(sh.lockouts) }
+// lockout counters and side-table keys). Caller holds sh.mu.
+func (sh *walShard) live() int { return len(sh.records) + len(sh.lockouts) + len(sh.kv) }
 
 // Dir returns the store's log directory.
 func (d *Durable) Dir() string { return d.dir }
@@ -963,6 +1033,82 @@ func (d *Durable) SetLockout(user string, failures int) error {
 		failures = 0
 	}
 	return d.mutate(user, &walEntry{Op: walOpLock, User: user, Failures: failures}, nil)
+}
+
+// SetKV durably sets key's side-table blob to val, appending the write
+// to key's shard log (FNV32a(key), the same split as records) before
+// acking — so the blob survives a crash, rides checkpoints and
+// compaction, and replicates to a follower exactly like a record. An
+// empty or nil val deletes the key (a no-op append is skipped when the
+// key is already absent). It implements the KVStore extension; the
+// session tier persists its signing keys and revocation watermarks
+// through here.
+func (d *Durable) SetKV(key string, val []byte) error {
+	if key == "" {
+		return fmt.Errorf("vault: kv entry must have a key")
+	}
+	if len(val) == 0 {
+		return d.mutate(key, &walEntry{Op: walOpKV, Key: key},
+			func(sh *walShard) error {
+				if _, ok := sh.kv[key]; !ok {
+					return errSkipAppend
+				}
+				return nil
+			})
+	}
+	// Copy val: the caller may reuse its buffer, and the shard map (and
+	// a staged-but-unflushed log frame's JSON) must not alias it.
+	v := make([]byte, len(val))
+	copy(v, val)
+	return d.mutate(key, &walEntry{Op: walOpKV, Key: key, Val: v}, nil)
+}
+
+// GetKV returns a copy of key's side-table blob and whether it exists.
+func (d *Durable) GetKV(key string) ([]byte, bool) {
+	sh, _ := d.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.kv[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// KVRange returns a copy of every side-table entry whose key starts
+// with prefix ("" for all). Per-shard-consistent like Snapshot.
+func (d *Durable) KVRange(prefix string) map[string][]byte {
+	out := make(map[string][]byte)
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.kv {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				c := make([]byte, len(v))
+				copy(c, v)
+				out[k] = c
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SetKVWatch installs (or with nil removes) the observer for
+// side-table keys changed by replication (ApplyReplFrames and
+// InstallShardSnapshot; val is nil for a deletion). The callback runs
+// after every store lock is released, so it may call back into the
+// store; it must tolerate duplicate and out-of-date deliveries (a
+// snapshot install re-delivers every key it carries). Local SetKV
+// calls are not observed — see the field comment on kvWatch.
+func (d *Durable) SetKVWatch(fn func(key string, val []byte)) {
+	if fn == nil {
+		d.kvWatch.Store(nil)
+		return
+	}
+	d.kvWatch.Store(&fn)
 }
 
 // Lockouts returns a copy of every persisted failed-attempt counter.
@@ -1202,6 +1348,12 @@ func (d *Durable) rewriteShardLocked(i int, sh *walShard) error {
 	}
 	for user, failures := range sh.lockouts {
 		if err := writeEntry(&walEntry{Op: walOpLock, User: user, Failures: failures}); err != nil {
+			return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
+		}
+		n++
+	}
+	for key, val := range sh.kv {
+		if err := writeEntry(&walEntry{Op: walOpKV, Key: key, Val: val}); err != nil {
 			return fmt.Errorf("vault: compacting %s: %w", sh.path, err)
 		}
 		n++
