@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-store bench-session bench-diff loadsmoke storm-smoke recovery-smoke repl-smoke session-smoke docs-lint cover ci
+.PHONY: all build test vet race bench bench-json bench-store bench-session bench-redteam bench-diff loadsmoke storm-smoke recovery-smoke repl-smoke session-smoke redteam-smoke docs-lint cover ci
 
 all: build vet test
 
@@ -69,6 +69,7 @@ bench-diff:
 	$(GO) run ./cmd/pwbench -out $(DIFF_OUT) -benchtime 100ms
 	$(GO) run ./cmd/pwbench -store -out $(DIFF_OUT) -benchtime 100ms
 	$(GO) run ./cmd/pwbench -session -out $(DIFF_OUT) -benchtime 100ms
+	$(GO) run ./cmd/pwbench -redteam -out $(DIFF_OUT) -benchtime 100ms
 	$(GO) run ./cmd/pwbench -diff . -out $(DIFF_OUT)
 
 # recovery-smoke is the CI crash drill: build the real pwserver, serve
@@ -108,6 +109,22 @@ session-smoke:
 bench-session:
 	$(GO) run ./cmd/pwbench -session -out .
 
+# bench-redteam records the scenario engine's wire-rate: one full
+# enroll-then-attack campaign (streamed victims, saliency-ordered
+# guesses, real TCP codec, lockout counters) per op at workers 1/2/4/8
+# as BENCH_redteam.json.
+bench-redteam:
+	$(GO) run ./cmd/pwbench -redteam -out .
+
+# redteam-smoke is the CI attack drill: build the real pwserver, start
+# a quorum primary/follower pair, stream-enroll a cohort, attack
+# through the wire, SIGKILL the primary mid-campaign, promote the
+# follower, finish the attack on the survivor, and assert the combined
+# compromise count matches the in-process attack model while the
+# re-adopted lockout counters grant the attacker zero fresh budget.
+redteam-smoke:
+	$(GO) test ./cmd/pwserver -run TestRedteamSmoke -v
+
 # docs-lint gates godoc coverage: go vet plus the repo's doclint
 # checker (package comment on every internal/ and cmd/ package,
 # doc comment on every exported identifier under internal/).
@@ -120,4 +137,4 @@ docs-lint:
 cover:
 	$(GO) test -cover ./...
 
-ci: build docs-lint test race loadsmoke storm-smoke recovery-smoke repl-smoke session-smoke
+ci: build docs-lint test race loadsmoke storm-smoke recovery-smoke repl-smoke session-smoke redteam-smoke

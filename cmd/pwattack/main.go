@@ -10,9 +10,18 @@
 //     concrete dictionary entry and run it through the production
 //     verifier — it must authenticate.
 //
+// With -serve it instead red-teams a live pwserver: the victim
+// population is enrolled over the wire (field study, or a cohort
+// streamed in O(workers) memory with -cohort) and the online attack's
+// saliency-ordered guess stream is driven through a real transport,
+// reporting the compromise curve plus attacker-visible friction and
+// cross-checking the result against the in-process model. See
+// README.md for the flag table and PERFORMANCE.md for real-run grids.
+//
 // Usage:
 //
 //	pwattack -image cars -side 36 -scheme robust -seed 42
+//	pwattack -serve 127.0.0.1:7700 -scheme centered -side 13 -lockout 8
 package main
 
 import (
@@ -40,6 +49,11 @@ func main() {
 		iter      = flag.Int("iterations", 100, "hash iterations for the demo vault")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = one per CPU, 1 = serial; results are identical)")
 		lockout   = flag.Int("lockout", 10, "failed-attempt lockout for the online attack (0 disables)")
+		serve     = flag.String("serve", "", "red-team a live pwserver at this address instead of simulating in process")
+		transport = flag.String("transport", "tcp", "wire transport for -serve: tcp or http")
+		cohort    = flag.Int("cohort", 0, "with -serve: stream this many cohort participants as victims (0 = field study)")
+		storm     = flag.Int("storm", 0, "with -serve: concurrent legitimate clients during the attack (0 = off)")
+		stormOps  = flag.Int("storm-ops", 50, "with -serve: requests per storm client")
 	)
 	flag.Parse()
 
@@ -66,6 +80,27 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *serve != "" {
+		if *lockout <= 0 {
+			fatal(fmt.Errorf("-serve needs a positive -lockout (the per-account guess budget)"))
+		}
+		if err := runServe(serveOptions{
+			addr:      *serve,
+			transport: *transport,
+			image:     img,
+			scheme:    scheme,
+			seed:      *seed,
+			workers:   *workers,
+			lockout:   *lockout,
+			cohort:    *cohort,
+			storm:     *storm,
+			stormOps:  *stormOps,
+		}); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fieldCfg := study.FieldConfig(img, *seed)

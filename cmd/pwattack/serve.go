@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"clickpass/internal/attack"
+	"clickpass/internal/authsvc"
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/loadtest"
+	"clickpass/internal/scenario"
+	"clickpass/internal/study"
+)
+
+// serveOptions collects the -serve mode's knobs.
+type serveOptions struct {
+	addr      string // pwserver address (host:port or http URL)
+	transport string // tcp | http
+	image     *imagegen.Image
+	scheme    core.Scheme
+	seed      uint64
+	workers   int
+	lockout   int // per-account guess budget; should match the server's -lockout
+	cohort    int // participants to stream as victims; 0 = field study
+	storm     int // concurrent legitimate clients during the attack
+	stormOps  int // ops per storm client
+}
+
+// runServe is the red-team mode: instead of modeling the online attack
+// in process, it enrolls the victim population into a live pwserver
+// and drives the same saliency-ordered guess stream through the wire,
+// reporting the compromise curve plus every defense the attacker felt
+// (lockouts, throttles, sheds, redirects). In field mode the result is
+// cross-checked against attack.Online — the two must agree whenever
+// the server runs the same scheme, image, and lockout.
+func runServe(o serveOptions) error {
+	dial, err := transportFactory(o.transport, o.addr)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.Config{Dial: dial, Workers: o.workers}
+
+	// Victims: a materialized field study (with an in-process model to
+	// compare against), or a streamed cohort too big to compare.
+	var (
+		accounts scenario.AccountStream
+		field    *dataset.Dataset
+	)
+	if o.cohort > 0 {
+		ccfg := study.DefaultCohort(o.image, o.seed)
+		ccfg.Participants = o.cohort
+		ccfg.Workers = o.workers
+		accounts = scenario.CohortAccounts(ccfg)
+		fmt.Printf("victims: streamed cohort, %d participants (never materialized)\n", o.cohort)
+	} else {
+		fieldCfg := study.FieldConfig(o.image, o.seed)
+		fieldCfg.Workers = o.workers
+		field, err = study.Run(fieldCfg)
+		if err != nil {
+			return err
+		}
+		accounts = scenario.FieldAccounts(field)
+		fmt.Printf("victims: field study, %d passwords\n", len(field.Passwords))
+	}
+
+	labCfg := study.LabConfig(o.image, o.seed+100)
+	labCfg.Workers = o.workers
+	lab, err := study.Run(labCfg)
+	if err != nil {
+		return err
+	}
+	guesses, err := scenario.Guesses(lab, o.image, o.lockout)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	users, err := scenario.EnrollStream(cfg, accounts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("enrolled %d accounts over %s in %v\n",
+		len(users), o.transport, time.Since(start).Round(time.Millisecond))
+
+	// Optional legitimate storm concurrent with the attack: the report
+	// then shows the attacker's friction under production load.
+	var (
+		stormRes  loadtest.StormResult
+		stormErr  error
+		stormDone sync.WaitGroup
+	)
+	if o.storm > 0 {
+		legit, err := enrollLegit(cfg, o.storm)
+		if err != nil {
+			return err
+		}
+		stormDone.Add(1)
+		go func() {
+			defer stormDone.Done()
+			stormRes, stormErr = loadtest.Storm(loadtest.StormConfig{
+				Dial:         dial,
+				Clients:      o.storm,
+				OpsPerClient: o.stormOps,
+				Request:      loadtest.AuthMix(legit, legitClicks, 10),
+			})
+		}()
+	}
+
+	rep, err := scenario.RedTeam(cfg, users, guesses)
+	if err != nil {
+		return err
+	}
+	stormDone.Wait()
+	printReport(rep, o)
+	if o.storm > 0 {
+		if stormErr != nil {
+			return fmt.Errorf("legit storm: %w", stormErr)
+		}
+		fmt.Printf("concurrent legit storm: %s\n", stormRes)
+	}
+
+	if field != nil {
+		online, err := attack.Online(field, lab, o.image, o.scheme, o.lockout, o.workers)
+		if err != nil {
+			return err
+		}
+		verdict := "MATCH"
+		if online.Compromised != rep.Compromised {
+			verdict = "MISMATCH (is the server running the same -scheme/-side/-lockout?)"
+		}
+		fmt.Printf("model check: in-process attack.Online compromised %d/%d — %s\n",
+			online.Compromised, online.Accounts, verdict)
+	}
+	return nil
+}
+
+// transportFactory maps -transport to a wire client factory.
+func transportFactory(transport, addr string) (func(int) (authsvc.Client, error), error) {
+	switch transport {
+	case "tcp":
+		return loadtest.TCPTransport(addr, 5*time.Second), nil
+	case "http":
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		return loadtest.HTTPTransport(addr), nil
+	default:
+		return nil, fmt.Errorf("unknown transport %q (want tcp or http)", transport)
+	}
+}
+
+// legitClicks is the deterministic password of storm user "legit-<n>":
+// distinct per user, comfortably inside the 451x331 study image.
+func legitClicks(user string) []dataset.Click {
+	var n int
+	fmt.Sscanf(user, "legit-%d", &n)
+	dx := n % 40
+	return []dataset.Click{
+		{X: 31 + dx, Y: 41}, {X: 121 + dx, Y: 301}, {X: 223 + dx, Y: 52},
+		{X: 401 + dx, Y: 201}, {X: 78 + dx, Y: 161},
+	}
+}
+
+// enrollLegit registers the storm population.
+func enrollLegit(cfg scenario.Config, n int) ([]string, error) {
+	return scenario.EnrollStream(cfg, func(emit func(string, []dataset.Click) error) error {
+		for i := 0; i < n; i++ {
+			user := fmt.Sprintf("legit-%d", i)
+			if err := emit(user, legitClicks(user)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// printReport renders the red-team run: the compromise curve first
+// (the science), then the friction columns (the serving stack's
+// resistance as the attacker experienced it).
+func printReport(rep *scenario.Report, o serveOptions) {
+	pct := 0.0
+	if rep.Accounts > 0 {
+		pct = 100 * float64(rep.Compromised) / float64(rep.Accounts)
+	}
+	fmt.Printf("red team (%d-guess budget, %d workers, %s): %d/%d accounts compromised (%.1f%%) in %v\n",
+		rep.Guesses, o.workers, o.transport, rep.Compromised, rep.Accounts, pct,
+		rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  curve (cumulative compromised by guess depth):")
+	for k, c := range rep.Curve {
+		fmt.Printf(" %d:%d", k+1, c)
+	}
+	fmt.Println()
+	fmt.Printf("  defenses felt: denied=%d locked=%d throttled=%d resent=%d incomplete=%d\n",
+		rep.Denied, rep.Locked, rep.Throttled, rep.Resent, rep.Incomplete)
+	fmt.Printf("  wire: calls=%d retries=%d overloaded=%d redirects=%d breaker_opens=%d fast_fails=%d\n",
+		rep.Wire.Calls, rep.Wire.Retries, rep.Wire.Overloaded, rep.Wire.Redirects,
+		rep.Wire.BreakerOpens, rep.Wire.BreakerFastFails)
+	definitive := rep.Denied + int64(rep.Locked) + int64(rep.Compromised)
+	goodput := 0.0
+	if rep.Elapsed > 0 {
+		goodput = float64(definitive) / rep.Elapsed.Seconds()
+	}
+	fmt.Printf("  latency p50=%v p99=%v max=%v; attacker goodput %.0f definitive answers/s\n",
+		rep.P50, rep.P99, rep.MaxLatency, goodput)
+}

@@ -15,6 +15,7 @@
 //	pwbench -out bench -benchtime 200ms      # CI smoke settings
 //	pwbench -store                           # vault backends -> BENCH_store.json
 //	pwbench -session                         # token validate vs login -> BENCH_session.json
+//	pwbench -redteam                         # wire red-team campaign -> BENCH_redteam.json
 //	pwbench -diff . -out bench               # compare bench/ vs committed baselines
 package main
 
@@ -204,6 +205,7 @@ func main() {
 		benchtime   = flag.String("benchtime", "1s", "per-measurement budget (testing -benchtime syntax)")
 		storeOnly   = flag.Bool("store", false, "measure the vault store backends (incl. durable fsync policies) into BENCH_store.json instead of the engine paths")
 		sessionOnly = flag.Bool("session", false, "measure session-token validation vs full-verify login into BENCH_session.json instead of the engine paths")
+		redteamOnly = flag.Bool("redteam", false, "measure the scenario red-team campaign (streamed enroll + wire attack against an in-process server) into BENCH_redteam.json instead of the engine paths")
 		diffDir     = flag.String("diff", "", "run no benchmarks; compare BENCH_*.json in -out against the baselines in this directory and exit 1 on regressions")
 		threshold   = flag.Float64("threshold", 25, "with -diff: fail when a case is more than this percent slower than baseline after median normalization")
 	)
@@ -235,6 +237,15 @@ func main() {
 			fatal(err)
 		}
 		if err := runSessionBench(*outDir, counts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *redteamOnly {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := runRedteamBench(*outDir, counts, *seed); err != nil {
 			fatal(err)
 		}
 		return

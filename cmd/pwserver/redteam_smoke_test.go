@@ -1,0 +1,263 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"clickpass/internal/attack"
+	"clickpass/internal/authsvc"
+	"clickpass/internal/core"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/loadtest"
+	"clickpass/internal/replay"
+	"clickpass/internal/scenario"
+	"clickpass/internal/study"
+)
+
+// TestRedteamSmoke is the end-to-end attack drill the CI redteam-smoke
+// job runs: build the real pwserver binary, start a quorum primary and
+// a follower as separate processes, stream-enroll a cohort through the
+// wire, run phase one of the saliency-ordered attack against the
+// primary, SIGKILL it mid-campaign, promote the follower, and finish
+// the attack on the survivor. The combined compromise set must match
+// the in-process replay model exactly, and — the point of the drill —
+// the survivor must have re-adopted every lockout counter the attacker
+// burned on the dead primary: accounts lock after exactly the
+// remaining budget, never the full one, down to a locked account
+// refusing its own correct password. A survivor that reset counters
+// would hand every attacker a fresh budget on each failover.
+func TestRedteamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pwserver")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pwserver: %v\n%s", err, out)
+	}
+	var (
+		pRepl  = fmt.Sprintf("127.0.0.1:%d", pickPort(t))
+		fRepl  = fmt.Sprintf("127.0.0.1:%d", pickPort(t))
+		fAdmin = fmt.Sprintf("127.0.0.1:%d", pickPort(t))
+	)
+	// startPwserver bakes -lockout 5: a five-guess budget per account,
+	// split two guesses before the kill and three after.
+	const (
+		lockout = 5
+		phase1N = 2
+	)
+
+	// Quorum acks on the primary are what make the drill sound: every
+	// denial the attacker is charged for is fsynced on the follower
+	// before the attacker sees the response, so the kill cannot lose
+	// budget the assertions below depend on.
+	pAddr, killPrimary := startPwserver(t, bin, filepath.Join(dir, "vault-a.d"),
+		"-role", "primary", "-repl-listen", pRepl, "-repl-ack", "quorum")
+	fAddr, killFollower := startPwserver(t, bin, filepath.Join(dir, "vault-b.d"),
+		"-role", "follower", "-repl-primary", pRepl, "-repl-listen", fRepl,
+		"-repl-ack", "async", "-metrics", fAdmin)
+	defer killFollower()
+
+	// Victims: a streamed cohort, with the attacker's #2 and #4 guesses
+	// planted over two of its passwords so one account falls in each
+	// phase. The materialized twin (byte-identical to the stream by the
+	// scenario package's golden tests) is what the replay model runs on.
+	img := imagegen.Cars()
+	ccfg := study.DefaultCohort(img, 23)
+	ccfg.Participants = 6
+	twin, err := study.RunCohort(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := study.Run(study.LabConfig(img, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := attack.GuessOrder(lab, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < lockout {
+		t.Fatalf("guess stream has %d entries, want >= %d", len(order), lockout)
+	}
+	order = order[:lockout]
+	if len(twin.Passwords) < 5 {
+		t.Fatalf("cohort generated only %d passwords", len(twin.Passwords))
+	}
+	planted := map[string][]dataset.Click{}
+	for _, pl := range []struct{ pw, guess int }{{1, 1}, {3, 3}} {
+		clicks := make([]dataset.Click, len(order[pl.guess]))
+		for j, p := range order[pl.guess] {
+			clicks[j] = dataset.FromPoint(p)
+		}
+		twin.Passwords[pl.pw].Clicks = clicks
+		planted[scenario.AccountName(twin.Passwords[pl.pw].ID)] = clicks
+	}
+
+	// The model: for every account, the first guess depth the server's
+	// scheme would accept (pwserver defaults: centered, side 13). This
+	// decides phase membership and every expected counter below.
+	scheme, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := replay.Compile(twin, scheme)
+	firstHit := make([]int, set.Len())
+	for i := range firstHit {
+		firstHit[i] = -1
+		for k := range order {
+			if set.Accepts(i, order[k]) {
+				firstHit[i] = k
+				break
+			}
+		}
+	}
+	if firstHit[1] != 1 || firstHit[3] != 3 {
+		t.Fatalf("planted guesses do not hit at depths 1 and 3 (got %d, %d); corpus drifted", firstHit[1], firstHit[3])
+	}
+
+	// Stream the cohort into the primary, substituting the plants in
+	// flight — the enrollment path is the real streamed one, and the
+	// first quorum-acked enroll doubles as the follower attach barrier.
+	stream := func(emit func(string, []dataset.Click) error) error {
+		return scenario.CohortAccounts(ccfg)(func(user string, clicks []dataset.Click) error {
+			if pc, ok := planted[user]; ok {
+				clicks = pc
+			}
+			return emit(user, clicks)
+		})
+	}
+	cfg := scenario.Config{Dial: loadtest.TCPTransport(pAddr, 5*time.Second), Workers: 2}
+	users, err := scenario.EnrollStream(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != len(twin.Passwords) {
+		t.Fatalf("enrolled %d accounts, cohort has %d", len(users), len(twin.Passwords))
+	}
+
+	guesses, err := scenario.Guesses(lab, img, lockout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: the first two guesses against the primary.
+	rep1, err := scenario.RedTeam(cfg, users, guesses[:phase1N])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comp1 int
+	var denied1 int64
+	for _, h := range firstHit {
+		if h >= 0 && h < phase1N {
+			comp1++
+			denied1 += int64(h)
+		} else {
+			denied1 += phase1N
+		}
+	}
+	if rep1.Compromised != comp1 || comp1 < 1 {
+		t.Fatalf("phase 1 compromised %d accounts, model says %d", rep1.Compromised, comp1)
+	}
+	if rep1.Denied != denied1 || rep1.Locked != 0 || rep1.Incomplete != 0 {
+		t.Fatalf("phase 1 denied=%d locked=%d incomplete=%d, want denied=%d locked=0 incomplete=0",
+			rep1.Denied, rep1.Locked, rep1.Incomplete, denied1)
+	}
+
+	killPrimary() // SIGKILL mid-campaign: no drain, no fence, no goodbye
+
+	promote, err := http.Post("http://"+fAdmin+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	var pr struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(promote.Body).Decode(&pr); err != nil || promote.StatusCode != http.StatusOK || !pr.OK {
+		t.Fatalf("promote response: status=%d body=%+v err=%v", promote.StatusCode, pr, err)
+	}
+	promote.Body.Close()
+
+	// Phase 2: the remaining three guesses, against the survivor, on the
+	// accounts phase 1 did not crack. Every such account already burned
+	// two failures on the dead primary; with the counters re-adopted the
+	// budget left is lockout-2 = 3, so an uncompromised account eats
+	// exactly two more denials and then locks on its fifth failure. A
+	// survivor that reset the counters would instead answer three
+	// denials and lock nobody.
+	var (
+		phase2Users []string
+		comp2       int
+		denied2     int64
+		wantLocked  int
+		lockedProbe = -1 // twin index of one account that must end locked
+	)
+	for i, u := range users {
+		h := firstHit[i]
+		if h >= 0 && h < phase1N {
+			continue
+		}
+		phase2Users = append(phase2Users, u)
+		if h >= phase1N {
+			comp2++
+			denied2 += int64(h - phase1N)
+		} else {
+			denied2 += int64(lockout - phase1N - 1)
+			wantLocked++
+			lockedProbe = i
+		}
+	}
+	if comp2 < 1 || wantLocked < 1 {
+		t.Fatalf("model gives phase 2 %d compromises and %d lockouts; corpus too weak", comp2, wantLocked)
+	}
+	fCfg := scenario.Config{Dial: loadtest.TCPTransport(fAddr, 5*time.Second), Workers: 2}
+	rep2, err := scenario.RedTeam(fCfg, phase2Users, guesses[phase1N:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Compromised != comp2 {
+		t.Errorf("phase 2 compromised %d accounts on the survivor, model says %d", rep2.Compromised, comp2)
+	}
+	if rep2.Locked != wantLocked {
+		t.Errorf("phase 2 locked %d accounts, want %d — the survivor did not re-adopt the burned lockout counters", rep2.Locked, wantLocked)
+	}
+	if rep2.Denied != denied2 {
+		t.Errorf("phase 2 denied = %d, want %d — the attacker got fresh budget from the failover", rep2.Denied, denied2)
+	}
+	if rep2.Incomplete != 0 {
+		t.Errorf("%d accounts incomplete on the survivor", rep2.Incomplete)
+	}
+
+	// The campaign total equals the model's: the failover neither hid
+	// nor manufactured compromises.
+	var compModel int
+	for _, h := range firstHit {
+		if h >= 0 {
+			compModel++
+		}
+	}
+	if got := rep1.Compromised + rep2.Compromised; got != compModel {
+		t.Errorf("campaign compromised %d accounts across the failover, model says %d", got, compModel)
+	}
+
+	// Zero fresh budget, sharpest form: a locked account refuses its
+	// own CORRECT password on the survivor.
+	probe := twin.Passwords[lockedProbe]
+	cli, err := fCfg.Dial(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := authsvc.Ops{Doer: cli}.Login(context.Background(), scenario.AccountName(probe.ID), probe.Clicks)
+	if err != nil || resp.Code != authsvc.CodeLocked {
+		t.Errorf("locked account accepted its correct password on the survivor: %+v %v", resp, err)
+	}
+}

@@ -141,8 +141,8 @@ func OfflineKnownGrids(field *dataset.Dataset, dict *Dictionary, scheme core.Sch
 	if err != nil {
 		return Result{}, err
 	}
+	res.Passwords = len(hits) // == len(field.Passwords)
 	for _, hit := range hits {
-		res.Passwords++
 		if hit {
 			res.Cracked++
 		}
@@ -212,8 +212,52 @@ func Online(field *dataset.Dataset, lab *dataset.Dataset, img *imagegen.Image, s
 	if err := field.Validate(); err != nil {
 		return OnlineResult{}, err
 	}
-	if err := lab.Validate(); err != nil {
+	guesses, err := GuessOrder(lab, img)
+	if err != nil {
 		return OnlineResult{}, err
+	}
+	if lockout < len(guesses) {
+		guesses = guesses[:lockout]
+	}
+	res := OnlineResult{
+		Image:   field.Image,
+		Scheme:  scheme.Name(),
+		SidePx:  int(scheme.SquareSide().Pixels()),
+		Lockout: lockout,
+	}
+	// Accounts are independent once tokens are compiled; matching is
+	// pure (Scheme.Locate), so the fan-out is safe for every policy.
+	set := replay.Compile(field, scheme)
+	hits, err := par.Map(workers, set.Len(), func(i int) (bool, error) {
+		for _, g := range guesses {
+			if set.Accepts(i, g) {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+	if err != nil {
+		return OnlineResult{}, err
+	}
+	res.Accounts = len(hits) // == set.Len() == len(field.Passwords)
+	for _, hit := range hits {
+		if hit {
+			res.Compromised++
+		}
+	}
+	return res, nil
+}
+
+// GuessOrder is the online attacker's guess stream: every lab password
+// as a click sequence, ordered by descending whole-guess hotspot
+// saliency (ties broken by lab order — the sort is stable, so the
+// stream is deterministic). Online consumes the first `lockout`
+// entries of exactly this stream; the scenario red-team harness feeds
+// the same stream through the wire, which is what makes the in-process
+// and through-the-wire compromise counts comparable.
+func GuessOrder(lab *dataset.Dataset, img *imagegen.Image) ([][]geom.Point, error) {
+	if err := lab.Validate(); err != nil {
+		return nil, err
 	}
 	guesses := make([][]geom.Point, len(lab.Passwords))
 	scores := make([]float64, len(guesses))
@@ -228,36 +272,11 @@ func Online(field *dataset.Dataset, lab *dataset.Dataset, img *imagegen.Image, s
 	sort.SliceStable(order, func(a, b int) bool {
 		return scores[order[a]] > scores[order[b]]
 	})
-	if lockout < len(order) {
-		order = order[:lockout]
+	ordered := make([][]geom.Point, len(order))
+	for k, g := range order {
+		ordered[k] = guesses[g]
 	}
-	res := OnlineResult{
-		Image:   field.Image,
-		Scheme:  scheme.Name(),
-		SidePx:  int(scheme.SquareSide().Pixels()),
-		Lockout: lockout,
-	}
-	// Accounts are independent once tokens are compiled; matching is
-	// pure (Scheme.Locate), so the fan-out is safe for every policy.
-	set := replay.Compile(field, scheme)
-	hits, err := par.Map(workers, set.Len(), func(i int) (bool, error) {
-		for _, g := range order {
-			if set.Accepts(i, guesses[g]) {
-				return true, nil
-			}
-		}
-		return false, nil
-	})
-	if err != nil {
-		return OnlineResult{}, err
-	}
-	for _, hit := range hits {
-		res.Accounts++
-		if hit {
-			res.Compromised++
-		}
-	}
-	return res, nil
+	return ordered, nil
 }
 
 // guessScore ranks a whole guess by the product of point saliencies

@@ -1,0 +1,58 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"clickpass/internal/core"
+)
+
+// TestGuessOrderDeterministicAndComplete pins the exported guess
+// stream: one entry per lab password, descending saliency score with
+// stable ties, identical across calls — the contract the scenario
+// red-team harness relies on to stay comparable with Online.
+func TestGuessOrderDeterministicAndComplete(t *testing.T) {
+	pair := studyPairs(t)[0]
+	order, err := GuessOrder(pair.lab, pair.img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(pair.lab.Passwords) {
+		t.Fatalf("guess stream has %d entries, want %d", len(order), len(pair.lab.Passwords))
+	}
+	for i := 1; i < len(order); i++ {
+		if guessScore(order[i], pair.img) > guessScore(order[i-1], pair.img) {
+			t.Fatalf("guess %d scores higher than guess %d", i, i-1)
+		}
+	}
+	again, err := GuessOrder(pair.lab, pair.img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, again) {
+		t.Fatal("guess stream not deterministic across calls")
+	}
+}
+
+// TestOnlineAccountsEqualsFieldSize is the regression gate for the
+// Accounts accounting fix: the result must report exactly the field
+// dataset's size, at several lockouts and worker counts.
+func TestOnlineAccountsEqualsFieldSize(t *testing.T) {
+	pair := studyPairs(t)[0]
+	c13, err := core.NewCentered(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lockout := range []int{1, 10, 1000} {
+		for _, w := range []int{1, 4} {
+			res, err := Online(pair.field, pair.lab, pair.img, c13, lockout, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accounts != len(pair.field.Passwords) {
+				t.Fatalf("lockout=%d workers=%d: Accounts = %d, want %d",
+					lockout, w, res.Accounts, len(pair.field.Passwords))
+			}
+		}
+	}
+}

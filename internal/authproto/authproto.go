@@ -220,9 +220,22 @@ func NewServer(cfg passpoints.Config, v vault.Store, lockout int) (*Server, erro
 		conns:      make(map[net.Conn]*connState),
 		listeners:  make(map[net.Listener]struct{}),
 	}
+	// The lockout-crossing counter lives in the service core (only it
+	// sees the threshold transition); surface it next to the
+	// attacker-classification counters Metrics exports.
+	s.RegisterMetrics(func(w io.Writer) {
+		fmt.Fprintf(w, "# HELP authsvc_lockouts_triggered_total Failed attempts that crossed an account's lockout threshold.\n")
+		fmt.Fprintf(w, "# TYPE authsvc_lockouts_triggered_total counter\n")
+		fmt.Fprintf(w, "authsvc_lockouts_triggered_total %d\n", svc.LockoutsTriggered())
+	})
 	s.rebuild()
 	return s, nil
 }
+
+// LockoutsTriggered exposes the service core's lockout-crossing
+// counter — how many accounts attack traffic actually locked since
+// startup.
+func (s *Server) LockoutsTriggered() int64 { return s.svc.LockoutsTriggered() }
 
 // rebuild recomposes the middleware pipeline. Configuration setters
 // call it; they must run before the server starts serving.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
@@ -195,6 +196,14 @@ type Service struct {
 
 	mu       sync.Mutex
 	failures map[string]int
+
+	// lockouts counts threshold crossings: the failed attempt that
+	// moved an account from open to locked. Refusals of an
+	// already-locked account are counted by Metrics.LockedRefusals;
+	// this counter answers "how many accounts did attack traffic
+	// actually lock" — the server-side echo of the red-team harness's
+	// per-account budget exhaustion.
+	lockouts atomic.Int64
 }
 
 // DefaultLockout is the failed-attempt budget per account.
@@ -503,10 +512,21 @@ func (s *Service) fail(user string) Response {
 		}()
 	}
 	if remaining <= 0 {
+		if n == s.lockout {
+			// Exactly the crossing attempt — racing failures past the
+			// threshold (n > lockout) refuse without re-counting.
+			s.lockouts.Add(1)
+		}
 		return Response{Version: Version, Code: CodeLocked, Err: "account locked"}
 	}
 	return Response{Version: Version, Code: CodeDenied, Err: "login failed", Remaining: remaining}
 }
+
+// LockoutsTriggered returns how many times a failed attempt crossed an
+// account's lockout threshold since this service started (restarts and
+// admin resets re-arm accounts, so the counter can exceed the number
+// of currently locked accounts).
+func (s *Service) LockoutsTriggered() int64 { return s.lockouts.Load() }
 
 // sweepFailures evicts sub-lockout counters when the map is at
 // capacity, called with s.mu held; it returns the evicted users so

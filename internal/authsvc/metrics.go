@@ -32,6 +32,13 @@ type Metrics struct {
 	// sheds counts CodeOverloaded refusals by admission priority —
 	// the load the overload policy deliberately turned away.
 	sheds [numPriorities]atomic.Int64
+	// Attacker-classification counters: failed credential checks and
+	// locked-account refusals on the credential-bearing ops (login and
+	// change). Legitimate users mistype occasionally; an online guesser
+	// produces these in bulk, so the pair is the red-team harness's
+	// server-side view of an attack in progress.
+	credFailures   atomic.Int64
+	lockedRefusals atomic.Int64
 
 	mu       sync.Mutex
 	byOp     map[Op]int64
@@ -86,6 +93,14 @@ func (m *Metrics) leave() { m.inFlight.Add(-1) }
 
 // observe records one finished request's outcome and latency.
 func (m *Metrics) observe(op Op, code Code, d time.Duration) {
+	if op == OpLogin || op == OpChange {
+		switch code {
+		case CodeDenied:
+			m.credFailures.Add(1)
+		case CodeLocked:
+			m.lockedRefusals.Add(1)
+		}
+	}
 	m.mu.Lock()
 	if m.byOp == nil {
 		m.byOp = make(map[Op]int64)
@@ -131,6 +146,16 @@ func (m *Metrics) observeQueueWait(d time.Duration, p Priority) {
 	m.mu.Unlock()
 }
 
+// CredentialFailures returns the number of failed credential checks
+// (CodeDenied on login/change) — the guess volume an online attacker
+// spent against this server.
+func (m *Metrics) CredentialFailures() int64 { return m.credFailures.Load() }
+
+// LockedRefusals returns the number of credential-bearing requests
+// refused because the account was already locked out — attempts an
+// attacker paid for that bought zero verification work.
+func (m *Metrics) LockedRefusals() int64 { return m.lockedRefusals.Load() }
+
 // Sheds returns the total CodeOverloaded refusals across priorities.
 func (m *Metrics) Sheds() int64 {
 	var n int64
@@ -160,6 +185,11 @@ type Snapshot struct {
 	LatMaxUs  float64        `json:"latency_max_us"`
 	// ShedByPriority counts overload refusals per admission priority.
 	ShedByPriority map[string]int64 `json:"shed_by_priority,omitempty"`
+	// CredentialFailures / LockedRefusals classify attack-shaped
+	// traffic: failed credential checks and locked-account refusals on
+	// the credential-bearing ops.
+	CredentialFailures int64 `json:"credential_failures,omitempty"`
+	LockedRefusals     int64 `json:"locked_refusals,omitempty"`
 	// QueueWaitMeanUs / QueueWaitMaxUs describe time admitted requests
 	// spent parked for a limiter slot.
 	QueueWaitMeanUs float64 `json:"queue_wait_mean_us,omitempty"`
@@ -180,8 +210,10 @@ type QueueWaitStat struct {
 // Snapshot copies the current counters.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		InFlight: m.inFlight.Load(),
-		Peak:     m.peak.Load(),
+		InFlight:           m.inFlight.Load(),
+		Peak:               m.peak.Load(),
+		CredentialFailures: m.credFailures.Load(),
+		LockedRefusals:     m.lockedRefusals.Load(),
 	}
 	for i := range m.sheds {
 		if n := m.sheds[i].Load(); n > 0 {
@@ -297,6 +329,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for i := range m.sheds {
 		fmt.Fprintf(w, "authsvc_shed_total{priority=%q} %d\n", Priority(i), m.sheds[i].Load())
 	}
+	fmt.Fprintf(w, "# HELP authsvc_credential_failures_total Failed credential checks (code=denied on login/change) — attack-shaped traffic.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_credential_failures_total counter\n")
+	fmt.Fprintf(w, "authsvc_credential_failures_total %d\n", m.credFailures.Load())
+	fmt.Fprintf(w, "# HELP authsvc_locked_refusals_total Credential requests refused because the account was locked out.\n")
+	fmt.Fprintf(w, "# TYPE authsvc_locked_refusals_total counter\n")
+	fmt.Fprintf(w, "authsvc_locked_refusals_total %d\n", m.lockedRefusals.Load())
 	fmt.Fprintf(w, "# HELP authsvc_queue_wait_seconds_sum Total time admitted requests spent queued for a limiter slot.\n")
 	fmt.Fprintf(w, "# TYPE authsvc_queue_wait_seconds_sum counter\n")
 	fmt.Fprintf(w, "authsvc_queue_wait_seconds_sum %s\n", promFloat(qwTotal.Seconds()))

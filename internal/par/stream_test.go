@@ -1,0 +1,169 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// square is a trivial prepare for tests that need no serial state.
+func square(i int) func() (int, error) {
+	return func() (int, error) { return i * i, nil }
+}
+
+func TestStreamOrderedEmit(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 33} {
+		var got []int
+		err := Stream(w, 100, square, func(i, v int) error {
+			got = append(got, v)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: emitted %d values, want 100", w, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: emit %d = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestStreamPrepareRunsInClaimOrder(t *testing.T) {
+	// prepare consumes a shared counter; the i-th call must observe
+	// value i no matter how many workers race to claim.
+	for _, w := range []int{1, 4, 16} {
+		counter := 0
+		var got []int
+		err := Stream(w, 200, func(i int) func() (int, error) {
+			seed := counter // serial: claim order == index order
+			counter++
+			return func() (int, error) { return seed, nil }
+		}, func(i, v int) error {
+			got = append(got, v)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: task %d drew serial value %d, want %d", w, i, v, i)
+			}
+		}
+	}
+}
+
+func TestStreamLowestIndexError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	for _, w := range []int{1, 2, 8} {
+		err := Stream(w, 64, func(i int) func() (int, error) {
+			return func() (int, error) {
+				if i == 7 || i == 23 || i == 40 {
+					return 0, boom(i)
+				}
+				return i, nil
+			}
+		}, func(i, v int) error { return nil })
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 7 failed", w, err)
+		}
+	}
+}
+
+func TestStreamEmitErrorStops(t *testing.T) {
+	stop := errors.New("enough")
+	for _, w := range []int{1, 8} {
+		var ran atomic.Int64
+		emitted := 0
+		err := Stream(w, 1000, func(i int) func() (int, error) {
+			return func() (int, error) { ran.Add(1); return i, nil }
+		}, func(i, v int) error {
+			emitted++
+			if i == 10 {
+				return stop
+			}
+			return nil
+		})
+		if !errors.Is(err, stop) {
+			t.Fatalf("workers=%d: err = %v, want %v", w, err, stop)
+		}
+		if emitted != 11 {
+			t.Fatalf("workers=%d: emitted %d values, want 11", w, emitted)
+		}
+		// Backpressure bounds how far the pool ran past the failure.
+		if n := ran.Load(); n > 11+int64(4*w) {
+			t.Fatalf("workers=%d: %d tasks ran after emit stopped at 11", w, n)
+		}
+	}
+}
+
+func TestStreamPanicContained(t *testing.T) {
+	err := Stream(4, 32, func(i int) func() (int, error) {
+		return func() (int, error) {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return i, nil
+		}
+	}, func(i, v int) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "task 5 panicked") {
+		t.Fatalf("err = %v, want contained panic from task 5", err)
+	}
+
+	err = Stream(4, 32, func(i int) func() (int, error) {
+		if i == 3 {
+			panic("prepare kaboom")
+		}
+		return square(i)
+	}, func(i, v int) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "task 3: prepare panicked") {
+		t.Fatalf("err = %v, want contained prepare panic from task 3", err)
+	}
+}
+
+func TestStreamBoundedWindow(t *testing.T) {
+	// With the emitter stalled, workers must stop once they are a full
+	// window ahead — the O(workers) memory guarantee.
+	const w = 4
+	var started, atStall atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	err := Stream(w, 1000, func(i int) func() (int, error) {
+		return func() (int, error) { started.Add(1); return i, nil }
+	}, func(i, v int) error {
+		once.Do(func() {
+			// Give the pool time to run as far ahead as it ever will,
+			// then record how far it actually got.
+			time.Sleep(100 * time.Millisecond)
+			atStall.Store(started.Load())
+			close(release)
+		})
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stall happened with emitNext == 0; the pool may claim at most
+	// emitNext + 2w tasks.
+	if n := atStall.Load(); n > 2*w {
+		t.Fatalf("pool ran %d tasks while the emitter was stalled, want <= %d", n, 2*w)
+	}
+}
+
+func TestStreamZeroAndNegative(t *testing.T) {
+	if err := Stream(4, 0, square, func(i, v int) error { t.Fatal("emit on empty stream"); return nil }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := Stream(4, -1, square, func(i, v int) error { return nil }); err == nil {
+		t.Fatal("n=-1: expected error")
+	}
+}

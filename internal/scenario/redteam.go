@@ -1,0 +1,276 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"clickpass/internal/authsvc"
+	"clickpass/internal/dataset"
+	"clickpass/internal/par"
+)
+
+// Report is what one red-team run measured. The curve fields are
+// deterministic for a deterministic scheme (same seed, lockout, and
+// guess stream always crack the same accounts at the same depth); the
+// friction fields — throttles, re-sends, retry stats, latency — are
+// the attacker's-eye view of the server's defenses and vary with load.
+type Report struct {
+	// Accounts attacked and guesses budgeted per account.
+	Accounts int
+	Guesses  int
+	// Compromised accounts, and the cumulative curve: Curve[k] is how
+	// many accounts fell within the first k+1 guesses (the paper's
+	// guesses-versus-fraction-cracked axis).
+	Compromised int
+	Curve       []int
+	// Denied counts wrong guesses the server verified and refused;
+	// Locked counts accounts that hit the lockout wall mid-stream.
+	Denied int64
+	Locked int
+	// Throttled counts per-user rate-limit refusals (budget-neutral:
+	// the same guess was re-sent after ThrottleWait). Resent counts
+	// guesses re-sent after the RetryClient exhausted its own budget
+	// (sustained shedding or transport loss). Incomplete counts
+	// accounts abandoned after GuessRetries such re-sends.
+	Throttled  int64
+	Resent     int64
+	Incomplete int
+	// Wire sums every worker's RetryClient stats: total calls,
+	// retries, overload shed responses absorbed, breaker activity, and
+	// not_primary redirects followed.
+	Wire authsvc.RetryStats
+	// Elapsed is wall-clock for the whole run; the latency quantiles
+	// cover definitive answers only (ok/denied/locked), measured
+	// around the RetryClient call so internal retry waits count —
+	// that is the latency the attacker experiences.
+	Elapsed    time.Duration
+	P50        time.Duration
+	P99        time.Duration
+	MaxLatency time.Duration
+}
+
+// CrackCurve is the load-independent core of a Report — the part that
+// must be byte-identical across worker counts and transports, and the
+// part golden tests pin.
+type CrackCurve struct {
+	Accounts    int   `json:"accounts"`
+	Guesses     int   `json:"guesses"`
+	Compromised int   `json:"compromised"`
+	Curve       []int `json:"curve"`
+}
+
+// CrackCurve extracts the deterministic compromise curve.
+func (r *Report) CrackCurve() CrackCurve {
+	return CrackCurve{
+		Accounts:    r.Accounts,
+		Guesses:     r.Guesses,
+		Compromised: r.Compromised,
+		Curve:       append([]int(nil), r.Curve...),
+	}
+}
+
+// outcome is one account's attack result.
+type outcome struct {
+	compromisedAt int // guess index, -1 if never
+	locked        bool
+	incomplete    bool
+	denied        int64
+	throttled     int64
+	resent        int64
+	hist          latHist
+}
+
+// RedTeam runs the online attack against a live server: every account
+// gets the same guess stream (most-salient first — the order
+// attack.Online uses) until the server says ok, says locked, or the
+// stream runs out. Workers share nothing per-account, so any worker
+// count and any transport produce the same CrackCurve; only the
+// friction fields move. Callers wanting the attack.Online equivalence
+// should pass a guess stream truncated to the server's lockout — a
+// longer stream only measures how well lockout holds past the budget.
+func RedTeam(cfg Config, users []string, guesses [][]dataset.Click) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("scenario: nil transport factory")
+	}
+	rep := &Report{
+		Accounts: len(users),
+		Guesses:  len(guesses),
+		Curve:    make([]int, len(guesses)),
+	}
+	if len(users) == 0 || len(guesses) == 0 {
+		return rep, nil
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.Default()
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	clients, err := dialClients(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer closeClients(clients)
+	pool := make(chan *authsvc.RetryClient, workers)
+	for _, c := range clients {
+		pool <- c
+	}
+
+	start := time.Now()
+	outcomes, err := par.MapWith(workers, len(users),
+		func() *authsvc.RetryClient { return <-pool },
+		func(cli *authsvc.RetryClient, i int) (outcome, error) {
+			return attackAccount(cfg, cli, users[i], guesses), nil
+		})
+	rep.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	var hist latHist
+	marks := make([]int, len(guesses))
+	for _, o := range outcomes {
+		if o.compromisedAt >= 0 {
+			rep.Compromised++
+			marks[o.compromisedAt]++
+		}
+		if o.locked {
+			rep.Locked++
+		}
+		if o.incomplete {
+			rep.Incomplete++
+		}
+		rep.Denied += o.denied
+		rep.Throttled += o.throttled
+		rep.Resent += o.resent
+		hist.merge(&o.hist)
+	}
+	cum := 0
+	for k, m := range marks {
+		cum += m
+		rep.Curve[k] = cum
+	}
+	for _, c := range clients {
+		s := c.Stats()
+		rep.Wire.Calls += s.Calls
+		rep.Wire.Retries += s.Retries
+		rep.Wire.Overloaded += s.Overloaded
+		rep.Wire.BreakerOpens += s.BreakerOpens
+		rep.Wire.BreakerFastFails += s.BreakerFastFails
+		rep.Wire.Redirects += s.Redirects
+	}
+	rep.P50 = hist.quantile(0.50)
+	rep.P99 = hist.quantile(0.99)
+	rep.MaxLatency = hist.max
+	return rep, nil
+}
+
+// attackAccount walks one account down the guess stream. Refusals that
+// consumed no lockout budget (throttled, shed past the RetryClient's
+// patience, transport errors) re-send the same guess, so the only ways
+// forward are the server's three definitive answers.
+func attackAccount(cfg Config, cli *authsvc.RetryClient, user string, guesses [][]dataset.Click) outcome {
+	o := outcome{compromisedAt: -1}
+	ops := authsvc.Ops{Doer: cli}
+	ctx := context.Background()
+	for gi, g := range guesses {
+		resent := 0
+	sendGuess:
+		for {
+			t0 := time.Now()
+			resp, err := ops.Login(ctx, user, g)
+			if err == nil {
+				switch resp.Code {
+				case authsvc.CodeOK:
+					o.hist.add(time.Since(t0))
+					o.compromisedAt = gi
+					return o
+				case authsvc.CodeDenied:
+					o.hist.add(time.Since(t0))
+					o.denied++
+					break sendGuess
+				case authsvc.CodeLocked:
+					o.hist.add(time.Since(t0))
+					o.locked = true
+					return o
+				case authsvc.CodeThrottled:
+					o.throttled++
+					time.Sleep(cfg.ThrottleWait)
+					continue
+				}
+			}
+			// Transport error or a non-definitive refusal the
+			// RetryClient already retried to exhaustion — back off and
+			// re-send the whole guess, up to the incompleteness cap.
+			o.resent++
+			resent++
+			if resent > cfg.GuessRetries {
+				o.incomplete = true
+				return o
+			}
+			time.Sleep(cfg.ThrottleWait)
+		}
+	}
+	return o
+}
+
+// latHist is a fixed-size log2(ns) histogram: O(1) memory however many
+// attempts a run makes, quantiles accurate to a factor of two — plenty
+// for the attacker's-eye latency columns, which are not golden-pinned.
+type latHist struct {
+	n       int64
+	max     time.Duration
+	buckets [48]int64
+}
+
+func (h *latHist) add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if d > h.max {
+		h.max = d
+	}
+	b := bits.Len64(uint64(d))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+	h.n++
+}
+
+func (h *latHist) merge(o *latHist) {
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// quantile returns an upper bound for the q-th latency quantile.
+func (h *latHist) quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q*float64(h.n-1)) + 1
+	var seen int64
+	for b, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if b == 0 {
+				return 0
+			}
+			d := time.Duration(1) << uint(b)
+			if d > h.max {
+				d = h.max
+			}
+			return d
+		}
+	}
+	return h.max
+}

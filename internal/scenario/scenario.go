@@ -1,0 +1,243 @@
+// Package scenario closes the loop between the repository's two
+// halves: the experiment engine (streamed study generation, the §5.1
+// online-attack model) and the serving stack (wire protocols, lockout
+// persistence, admission control, replication). It enrolls a streamed
+// cohort through real transports and then replays attack.Online's
+// saliency-ordered guess stream against the live server — a red-team
+// harness measuring Figure-7-style compromise curves at serving scale,
+// plus the shed/lockout/latency friction the attacker actually
+// experiences under the server's defenses.
+//
+// The harness is deterministic where the server is: for a
+// deterministic scheme with shedding disabled, the through-the-wire
+// compromise count equals attack.Online's in-process result for the
+// same seed and lockout — the invariant the scenario test suite pins.
+// Under overload, every shed or throttled attempt is re-sent until the
+// server gives a definitive answer (a refused request never consumed
+// lockout budget), so admission control changes attacker goodput — the
+// time axis — while the curve itself stays a function of the lockout
+// policy.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"clickpass/internal/attack"
+	"clickpass/internal/authsvc"
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+	"clickpass/internal/par"
+	"clickpass/internal/study"
+)
+
+// Config describes how the harness reaches the server under test.
+type Config struct {
+	// Dial opens the client-th transport handle — loadtest.TCPTransport
+	// and loadtest.HTTPTransport build factories for the two shipped
+	// codecs. The harness dials one handle per worker and wraps each in
+	// a RetryClient.
+	Dial func(client int) (authsvc.Client, error)
+	// Workers bounds the fan-out across accounts (0 = one per CPU,
+	// 1 = serial). Per-account outcomes are deterministic, so the
+	// report's curve is identical at any worker count.
+	Workers int
+	// Retry configures each worker's RetryClient. Set Redirect to let
+	// the attack follow a replicated pair's not_primary refusals across
+	// a failover. The zero value selects the client's defaults.
+	Retry authsvc.RetryPolicy
+	// ThrottleWait is how long a worker waits before re-sending a guess
+	// the per-user rate limiter refused (a throttled request consumed
+	// no lockout budget). <= 0 selects 25ms.
+	ThrottleWait time.Duration
+	// GuessRetries caps how many times one guess is re-sent after the
+	// RetryClient itself gave up (sustained overload, repeated
+	// transport errors) before the account is marked incomplete.
+	// <= 0 selects 64.
+	GuessRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ThrottleWait <= 0 {
+		c.ThrottleWait = 25 * time.Millisecond
+	}
+	if c.GuessRetries <= 0 {
+		c.GuessRetries = 64
+	}
+	return c
+}
+
+// AccountName is the wire identity enrolled for a generated password:
+// accounts are keyed by password ID, so a cohort participant with
+// three passwords contributes three independently attackable accounts
+// (the model attack.Online uses — each field password is one account).
+func AccountName(passwordID int) string { return fmt.Sprintf("u%d", passwordID) }
+
+// AccountStream drives emit once per account to enroll, in a stable
+// order, with the account's enrollment clicks. Implementations over
+// study streams exist (FieldAccounts, CohortAccounts); tests may hand-
+// roll one.
+type AccountStream func(emit func(user string, clicks []dataset.Click) error) error
+
+// FieldAccounts streams one account per password of a materialized
+// dataset — the paper's field study as a victim population.
+func FieldAccounts(d *dataset.Dataset) AccountStream {
+	return func(emit func(user string, clicks []dataset.Click) error) error {
+		for i := range d.Passwords {
+			pw := &d.Passwords[i]
+			if err := emit(AccountName(pw.ID), pw.Clicks); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// CohortAccounts streams one account per password of a generated
+// cohort without ever materializing it: participants flow from
+// study.RunCohortStream in O(workers) memory straight into the enroll
+// swarm, so the victim population can be orders of magnitude larger
+// than RAM would allow for a dataset.Dataset.
+func CohortAccounts(cfg study.CohortConfig) AccountStream {
+	return func(emit func(user string, clicks []dataset.Click) error) error {
+		return study.RunCohortStream(cfg, func(p study.Participant) error {
+			for i := range p.Passwords {
+				pw := &p.Passwords[i]
+				if err := emit(AccountName(pw.ID), pw.Clicks); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// Guesses builds the attacker's wire-ready guess stream: every lab
+// password ordered by descending hotspot saliency — exactly
+// attack.GuessOrder, the stream attack.Online consumes — truncated to
+// limit entries (0 = no truncation). Pass the server's lockout as the
+// limit to model the budget-bounded online attacker; anything an
+// account refuses beyond the budget is lockout working.
+func Guesses(lab *dataset.Dataset, img *imagegen.Image, limit int) ([][]dataset.Click, error) {
+	order, err := attack.GuessOrder(lab, img)
+	if err != nil {
+		return nil, err
+	}
+	if limit > 0 && limit < len(order) {
+		order = order[:limit]
+	}
+	guesses := make([][]dataset.Click, len(order))
+	for i, pts := range order {
+		clicks := make([]dataset.Click, len(pts))
+		for j, p := range pts {
+			clicks[j] = dataset.FromPoint(p)
+		}
+		guesses[i] = clicks
+	}
+	return guesses, nil
+}
+
+// EnrollStream enrolls every streamed account through cfg.Workers wire
+// clients and returns the account names in stream order — the victim
+// list the red-team run attacks. Memory stays O(workers + accounts):
+// the generated click data is enrolled and dropped; only the names are
+// retained (the attacker knows who exists, not what they chose).
+// Enrollment order across accounts is scheduling-dependent, which is
+// fine: accounts are independent rows in the vault.
+func EnrollStream(cfg Config, stream AccountStream) ([]string, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("scenario: nil transport factory")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.Default()
+	}
+	clients, err := dialClients(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer closeClients(clients)
+
+	type job struct {
+		user   string
+		clicks []dataset.Click
+	}
+	jobs := make(chan job, workers)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(failed)
+		})
+	}
+	ctx := context.Background()
+	for _, cli := range clients {
+		wg.Add(1)
+		go func(cli *authsvc.RetryClient) {
+			defer wg.Done()
+			ops := authsvc.Ops{Doer: cli}
+			for j := range jobs {
+				resp, err := ops.Enroll(ctx, j.user, j.clicks)
+				if err != nil {
+					fail(fmt.Errorf("scenario: enrolling %s: %w", j.user, err))
+					return
+				}
+				if !resp.OK() {
+					fail(fmt.Errorf("scenario: enrolling %s refused: %s (%s)", j.user, resp.Err, resp.Code))
+					return
+				}
+			}
+		}(cli)
+	}
+	var users []string
+	streamErr := stream(func(user string, clicks []dataset.Click) error {
+		users = append(users, user)
+		select {
+		case jobs <- job{user: user, clicks: clicks}:
+			return nil
+		case <-failed:
+			return firstErr
+		}
+	})
+	close(jobs)
+	wg.Wait()
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	select {
+	case <-failed:
+		return nil, firstErr
+	default:
+	}
+	return users, nil
+}
+
+// dialClients opens one RetryClient per worker.
+func dialClients(cfg Config, workers int) ([]*authsvc.RetryClient, error) {
+	clients := make([]*authsvc.RetryClient, workers)
+	for i := range clients {
+		inner, err := cfg.Dial(i)
+		if err != nil {
+			closeClients(clients[:i])
+			return nil, fmt.Errorf("scenario: dialing client %d: %w", i, err)
+		}
+		clients[i] = authsvc.NewRetryClient(inner, cfg.Retry)
+	}
+	return clients, nil
+}
+
+func closeClients(clients []*authsvc.RetryClient) {
+	for _, c := range clients {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+}

@@ -2,11 +2,9 @@ package study
 
 import (
 	"fmt"
-	"math"
 
 	"clickpass/internal/dataset"
 	"clickpass/internal/imagegen"
-	"clickpass/internal/par"
 	"clickpass/internal/rng"
 )
 
@@ -116,92 +114,27 @@ func (c CohortConfig) Validate() error {
 
 // RunCohort simulates the cohort for one image. Participants are
 // independent: each draws from its own rng stream (split off the seed
-// serially, before the fan-out — the study.Run pattern) and generates
-// its passwords and logins as one task on the worker pool, so the
-// cohort is byte-identical for a fixed seed at any worker count.
-// Password IDs are assigned after the fan-out, in participant order,
+// serially, in participant order — the study.Run pattern) and
+// generates its passwords and logins as one task on the worker pool,
+// so the cohort is byte-identical for a fixed seed at any worker
+// count. Password IDs are assigned serially in participant order,
 // because a participant's password count is random and IDs must stay
-// sequential from FirstPasswordID.
+// sequential from FirstPasswordID. RunCohort is the materializing
+// shell over RunCohortStream — the golden tests pin the two paths to
+// the same bytes by construction.
 func RunCohort(cfg CohortConfig) (*dataset.Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	base := rng.New(cfg.Seed)
-	streams := make([]*rng.Source, cfg.Participants)
-	for p := range streams {
-		streams[p] = base.Split()
-	}
 	size := cfg.Image.Size
-	pwCfg := Config{
-		Image:         cfg.Image,
-		Passwords:     1,
-		Clicks:        cfg.Clicks,
-		MinSeparation: cfg.MinSeparation,
-		Error:         cfg.Error,
-	}
-	// One block per participant; Password IDs and Login.PasswordID are
-	// participant-local ordinals until the serial renumbering below.
-	type block struct {
-		passwords []dataset.Password
-		logins    []dataset.Login
-	}
-	blocks, err := par.Map(cfg.Workers, cfg.Participants, func(p int) (block, error) {
-		r := streams[p]
-		var blk block
-		// Lognormal skill multiplier with mean ~1.
-		skill := math.Exp(r.NormalScaled(0, cfg.SkillSpread))
-		if skill < 0.3 {
-			skill = 0.3
-		}
-		if skill > 3 {
-			skill = 3
-		}
-		nPw := sampleCount(r, cfg.PasswordsPerParticipant)
-		for k := 0; k < nPw; k++ {
-			clicksPts := samplePassword(r, pwCfg)
-			pw := dataset.Password{
-				ID:    k,
-				User:  fmt.Sprintf("%s-c%03d", cfg.Image.Name, p),
-				Image: cfg.Image.Name,
-			}
-			for _, pt := range clicksPts {
-				pw.Clicks = append(pw.Clicks, dataset.FromPoint(pt))
-			}
-			blk.passwords = append(blk.passwords, pw)
-			nLogins := sampleCount(r, cfg.LoginsPerPassword)
-			errScale := skill
-			for a := 0; a < nLogins; a++ {
-				model := cfg.Error.scaled(errScale)
-				login := dataset.Login{PasswordID: k, Attempt: a}
-				for _, pt := range clicksPts {
-					login.Clicks = append(login.Clicks, dataset.FromPoint(model.perturb(r, pt, size)))
-				}
-				blk.logins = append(blk.logins, login)
-				// Practice: later attempts get steadier, floored at
-				// half the participant's initial error.
-				errScale *= cfg.PracticeRate
-				if errScale < skill/2 {
-					errScale = skill / 2
-				}
-			}
-		}
-		return blk, nil
+	d := &dataset.Dataset{Image: cfg.Image.Name, Width: size.W, Height: size.H}
+	err := RunCohortStream(cfg, func(p Participant) error {
+		d.Passwords = append(d.Passwords, p.Passwords...)
+		d.Logins = append(d.Logins, p.Logins...)
+		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	d := &dataset.Dataset{Image: cfg.Image.Name, Width: size.W, Height: size.H}
-	nextID := cfg.FirstPasswordID
-	for _, blk := range blocks {
-		for i := range blk.passwords {
-			blk.passwords[i].ID += nextID
-		}
-		for i := range blk.logins {
-			blk.logins[i].PasswordID += nextID
-		}
-		d.Passwords = append(d.Passwords, blk.passwords...)
-		d.Logins = append(d.Logins, blk.logins...)
-		nextID += len(blk.passwords)
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("study: cohort generated invalid dataset: %w", err)

@@ -1,0 +1,170 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"clickpass/internal/dataset"
+	"clickpass/internal/par"
+	"clickpass/internal/rng"
+)
+
+// Participant is one streamed cohort member's generated block:
+// everything RunCohort would have contributed to the materialized
+// dataset for this participant, with final sequential password IDs
+// already assigned. Blocks arrive in participant order.
+type Participant struct {
+	// Index is the participant's ordinal in [0, Participants).
+	Index int
+	// Passwords are the participant's created passwords with final
+	// dataset IDs (sequential from CohortConfig.FirstPasswordID in
+	// participant order).
+	Passwords []dataset.Password
+	// Logins are the participant's login attempts; PasswordID points at
+	// the final password IDs above.
+	Logins []dataset.Login
+}
+
+// Stream is the streaming form of Run: it generates the same study —
+// byte-identical passwords and logins, in the same order — but hands
+// each password and its logins to emit instead of materializing a
+// dataset.Dataset, holding only O(workers) blocks in memory. Each
+// password draws from its own rng stream split off the seed in
+// password order (par.Stream's serial prepare hook reproduces Run's
+// split-before-fan-out sequence exactly), so Stream and Run agree for
+// any worker count. An error from emit stops generation and is
+// returned.
+func Stream(cfg Config, emit func(pw dataset.Password, logins []dataset.Login) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	base := rng.New(cfg.Seed)
+	type block struct {
+		pw     dataset.Password
+		logins []dataset.Login
+	}
+	return par.Stream(cfg.Workers, cfg.Passwords,
+		func(i int) func() (block, error) {
+			r := base.Split() // serial, in password order: Run's stream sequence
+			return func() (block, error) {
+				pw, logins := genPassword(r, cfg, i)
+				return block{pw: pw, logins: logins}, nil
+			}
+		},
+		func(_ int, b block) error { return emit(b.pw, b.logins) })
+}
+
+// RunCohortStream is the streaming form of RunCohort: the same cohort
+// — byte-identical passwords and logins, in the same participant
+// order, with the same sequential password IDs — delivered one
+// Participant at a time in O(workers) memory. A 10M-user cohort
+// streams through a fixed-size reorder window instead of a
+// multi-gigabyte dataset. ID renumbering happens serially in the
+// ordered emit path, exactly where RunCohort does it after its
+// fan-out. An error from emit stops generation and is returned.
+func RunCohortStream(cfg CohortConfig, emit func(p Participant) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	base := rng.New(cfg.Seed)
+	pwCfg := Config{
+		Image:         cfg.Image,
+		Passwords:     1,
+		Clicks:        cfg.Clicks,
+		MinSeparation: cfg.MinSeparation,
+		Error:         cfg.Error,
+	}
+	nextID := cfg.FirstPasswordID
+	return par.Stream(cfg.Workers, cfg.Participants,
+		func(p int) func() (Participant, error) {
+			r := base.Split() // serial, in participant order: RunCohort's stream sequence
+			return func() (Participant, error) {
+				return genParticipant(r, cfg, pwCfg, p), nil
+			}
+		},
+		func(_ int, blk Participant) error {
+			// Participant password counts are random, so IDs can only be
+			// assigned here, on the serial in-order path.
+			for i := range blk.Passwords {
+				blk.Passwords[i].ID += nextID
+			}
+			for i := range blk.Logins {
+				blk.Logins[i].PasswordID += nextID
+			}
+			nextID += len(blk.Passwords)
+			return emit(blk)
+		})
+}
+
+// genPassword generates the i-th study password and its logins from
+// the password's own rng stream — the per-task body shared by Run and
+// Stream.
+func genPassword(r *rng.Source, cfg Config, i int) (dataset.Password, []dataset.Login) {
+	size := cfg.Image.Size
+	id := cfg.FirstPasswordID + i
+	clicks := samplePassword(r, cfg)
+	pw := dataset.Password{
+		ID:    id,
+		User:  fmt.Sprintf("%s-p%03d", cfg.Image.Name, i),
+		Image: cfg.Image.Name,
+	}
+	for _, p := range clicks {
+		pw.Clicks = append(pw.Clicks, dataset.FromPoint(p))
+	}
+	var logins []dataset.Login
+	for a := 0; a < cfg.LoginsPerPassword; a++ {
+		login := dataset.Login{PasswordID: id, Attempt: a}
+		for _, p := range clicks {
+			login.Clicks = append(login.Clicks, dataset.FromPoint(cfg.Error.perturb(r, p, size)))
+		}
+		logins = append(logins, login)
+	}
+	return pw, logins
+}
+
+// genParticipant generates participant p's block from the
+// participant's own rng stream — the per-task body shared by RunCohort
+// and RunCohortStream. Password IDs and Login.PasswordID are
+// participant-local ordinals; the serial emit path renumbers them.
+func genParticipant(r *rng.Source, cfg CohortConfig, pwCfg Config, p int) Participant {
+	size := cfg.Image.Size
+	blk := Participant{Index: p}
+	// Lognormal skill multiplier with mean ~1.
+	skill := math.Exp(r.NormalScaled(0, cfg.SkillSpread))
+	if skill < 0.3 {
+		skill = 0.3
+	}
+	if skill > 3 {
+		skill = 3
+	}
+	nPw := sampleCount(r, cfg.PasswordsPerParticipant)
+	for k := 0; k < nPw; k++ {
+		clicksPts := samplePassword(r, pwCfg)
+		pw := dataset.Password{
+			ID:    k,
+			User:  fmt.Sprintf("%s-c%03d", cfg.Image.Name, p),
+			Image: cfg.Image.Name,
+		}
+		for _, pt := range clicksPts {
+			pw.Clicks = append(pw.Clicks, dataset.FromPoint(pt))
+		}
+		blk.Passwords = append(blk.Passwords, pw)
+		nLogins := sampleCount(r, cfg.LoginsPerPassword)
+		errScale := skill
+		for a := 0; a < nLogins; a++ {
+			model := cfg.Error.scaled(errScale)
+			login := dataset.Login{PasswordID: k, Attempt: a}
+			for _, pt := range clicksPts {
+				login.Clicks = append(login.Clicks, dataset.FromPoint(model.perturb(r, pt, size)))
+			}
+			blk.Logins = append(blk.Logins, login)
+			// Practice: later attempts get steadier, floored at half the
+			// participant's initial error.
+			errScale *= cfg.PracticeRate
+			if errScale < skill/2 {
+				errScale = skill / 2
+			}
+		}
+	}
+	return blk
+}

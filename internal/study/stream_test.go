@@ -1,0 +1,138 @@
+package study
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"clickpass/internal/dataset"
+	"clickpass/internal/imagegen"
+)
+
+// TestStreamMatchesRun re-collects the streaming path into a dataset
+// and requires it to equal Run's materialized output exactly, at
+// several worker counts. Together with the golden SHA tests (which pin
+// Run/RunCohort, now thin shells over the streams), this locks the
+// streamed bytes to the pre-streaming generation.
+func TestStreamMatchesRun(t *testing.T) {
+	img := imagegen.Cars()
+	for _, w := range []int{1, 2, 8} {
+		cfg := FieldConfig(img, 99)
+		cfg.Workers = w
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &dataset.Dataset{Image: img.Name, Width: img.Size.W, Height: img.Size.H}
+		err = Stream(cfg, func(pw dataset.Password, logins []dataset.Login) error {
+			got.Passwords = append(got.Passwords, pw)
+			got.Logins = append(got.Logins, logins...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: streamed dataset differs from Run", w)
+		}
+	}
+}
+
+// TestRunCohortStreamMatchesRunCohort re-collects the streamed cohort
+// and requires byte-identity with RunCohort — including the serially
+// renumbered password IDs — at several worker counts.
+func TestRunCohortStreamMatchesRunCohort(t *testing.T) {
+	img := imagegen.Pool()
+	for _, w := range []int{1, 2, 8} {
+		cfg := DefaultCohort(img, 31)
+		cfg.Workers = w
+		want, err := RunCohort(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &dataset.Dataset{Image: img.Name, Width: img.Size.W, Height: img.Size.H}
+		lastIdx := -1
+		err = RunCohortStream(cfg, func(p Participant) error {
+			if p.Index != lastIdx+1 {
+				t.Fatalf("participant %d emitted after %d", p.Index, lastIdx)
+			}
+			lastIdx = p.Index
+			got.Passwords = append(got.Passwords, p.Passwords...)
+			got.Logins = append(got.Logins, p.Logins...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastIdx != cfg.Participants-1 {
+			t.Fatalf("streamed %d participants, want %d", lastIdx+1, cfg.Participants)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: streamed cohort differs from RunCohort", w)
+		}
+		for i := 1; i < len(got.Passwords); i++ {
+			if got.Passwords[i].ID != got.Passwords[i-1].ID+1 {
+				t.Fatalf("password IDs not sequential at %d: %d after %d",
+					i, got.Passwords[i].ID, got.Passwords[i-1].ID)
+			}
+		}
+	}
+}
+
+// heapLive returns the post-GC live heap — retained bytes, not
+// allocation churn.
+func heapLive() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestRunCohortStreamMemoryBudget is the O(workers)-memory regression
+// gate: a large streamed cohort must retain less than heapBudget bytes
+// beyond the baseline, while materializing the same cohort through
+// RunCohort is shown to exceed that budget — so if streaming ever
+// silently starts buffering whole cohorts again, this fails rather
+// than just getting slower.
+func TestRunCohortStreamMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-budget test generates a large cohort")
+	}
+	const heapBudget = 12 << 20 // bytes retained beyond baseline
+	img := imagegen.Cars()
+	cfg := DefaultCohort(img, 5)
+	cfg.Participants = 10000
+
+	base := heapLive()
+	var participants, passwords, logins int
+	if err := RunCohortStream(cfg, func(p Participant) error {
+		participants++
+		passwords += len(p.Passwords)
+		logins += len(p.Logins)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	streamed := int64(heapLive()) - int64(base)
+	if participants != cfg.Participants || passwords == 0 || logins == 0 {
+		t.Fatalf("stream under-delivered: %d participants, %d passwords, %d logins",
+			participants, passwords, logins)
+	}
+	if streamed >= heapBudget {
+		t.Fatalf("streamed cohort retained %d bytes, budget %d", streamed, heapBudget)
+	}
+
+	base = heapLive()
+	d, err := RunCohort(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialized := int64(heapLive()) - int64(base)
+	if materialized <= heapBudget {
+		t.Fatalf("materialized cohort retained %d bytes — the %d budget no longer separates the paths; grow cfg.Participants",
+			materialized, heapBudget)
+	}
+	t.Logf("retained: streamed %d bytes, materialized %d bytes (%d passwords, %d logins)",
+		streamed, materialized, len(d.Passwords), len(d.Logins))
+	runtime.KeepAlive(d)
+}

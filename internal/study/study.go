@@ -26,7 +26,6 @@ import (
 	"clickpass/internal/dataset"
 	"clickpass/internal/geom"
 	"clickpass/internal/imagegen"
-	"clickpass/internal/par"
 	"clickpass/internal/rng"
 )
 
@@ -158,56 +157,26 @@ func (c Config) Validate() error {
 // Run simulates the study: Passwords password creations, each followed
 // by LoginsPerPassword re-entry attempts. Generation fans out across
 // cfg.Workers goroutines, one independent rng stream per password
-// (split off the seed serially before the fan-out), so the dataset is
-// byte-identical for a fixed seed regardless of worker count.
+// (split off the seed serially, in password order), so the dataset is
+// byte-identical for a fixed seed regardless of worker count. Run is
+// the materializing shell over Stream — the golden tests pin the two
+// paths to the same bytes by construction.
 func Run(cfg Config) (*dataset.Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	base := rng.New(cfg.Seed)
-	streams := make([]*rng.Source, cfg.Passwords)
-	for i := range streams {
-		streams[i] = base.Split()
+	d := &dataset.Dataset{
+		Image:  cfg.Image.Name,
+		Width:  cfg.Image.Size.W,
+		Height: cfg.Image.Size.H,
 	}
-	size := cfg.Image.Size
-	// Each task generates one password plus its logins from its own
-	// stream; results are collected in password order.
-	type block struct {
-		pw     dataset.Password
-		logins []dataset.Login
-	}
-	blocks, err := par.Map(cfg.Workers, cfg.Passwords, func(i int) (block, error) {
-		r := streams[i]
-		id := cfg.FirstPasswordID + i
-		clicks := samplePassword(r, cfg)
-		blk := block{pw: dataset.Password{
-			ID:    id,
-			User:  fmt.Sprintf("%s-p%03d", cfg.Image.Name, i),
-			Image: cfg.Image.Name,
-		}}
-		for _, p := range clicks {
-			blk.pw.Clicks = append(blk.pw.Clicks, dataset.FromPoint(p))
-		}
-		for a := 0; a < cfg.LoginsPerPassword; a++ {
-			login := dataset.Login{PasswordID: id, Attempt: a}
-			for _, p := range clicks {
-				login.Clicks = append(login.Clicks, dataset.FromPoint(cfg.Error.perturb(r, p, size)))
-			}
-			blk.logins = append(blk.logins, login)
-		}
-		return blk, nil
+	err := Stream(cfg, func(pw dataset.Password, logins []dataset.Login) error {
+		d.Passwords = append(d.Passwords, pw)
+		d.Logins = append(d.Logins, logins...)
+		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	d := &dataset.Dataset{
-		Image:  cfg.Image.Name,
-		Width:  size.W,
-		Height: size.H,
-	}
-	for i := range blocks {
-		d.Passwords = append(d.Passwords, blocks[i].pw)
-		d.Logins = append(d.Logins, blocks[i].logins...)
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("study: generated invalid dataset: %w", err)
